@@ -1,0 +1,63 @@
+// Command polm2-bench regenerates the tables and figures of the POLM2
+// paper's evaluation (§5): Table 1 and Figures 3 through 9, plus the
+// ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	polm2-bench                 # everything, full 30-minute simulated runs
+//	polm2-bench -quick          # everything, shortened runs
+//	polm2-bench -exp fig5       # one experiment
+//	polm2-bench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polm2"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp   = flag.String("exp", "", "single experiment to run (default: all); see -list")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+		quick = flag.Bool("quick", false, "shorten production runs to 10 simulated minutes")
+		scale = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
+		seed  = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range polm2.BenchExperiments() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	cfg := polm2.BenchConfig{Scale: *scale, Seed: *seed}
+	if *quick {
+		cfg.RunDuration = 10 * time.Minute
+		cfg.Warmup = 2 * time.Minute
+	}
+	session := polm2.NewBenchSession(cfg)
+
+	start := time.Now()
+	var err error
+	if *exp == "" {
+		err = session.RunAll(os.Stdout)
+	} else {
+		err = session.RunExperiment(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polm2-bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("\ncompleted in %v wall-clock\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,181 @@
+// Command polm2-inspect examines POLM2 artifacts: allocation profiles
+// (summary, STTree rendering, diffs) and snapshot image directories.
+//
+// Usage:
+//
+//	polm2-inspect profile wi.json            # summary + directives
+//	polm2-inspect tree wi.json               # STTree, the paper's Figure 2
+//	polm2-inspect dot wi.json > tree.dot     # Graphviz rendering
+//	polm2-inspect diff old.json new.json     # directive-level diff
+//	polm2-inspect snapshots ./images         # decode a snapshot image dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/snapshot"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots> <args...>")
+	return 2
+}
+
+func run() int {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		return usage()
+	}
+	var err error
+	switch args[0] {
+	case "profile":
+		err = showProfile(args[1])
+	case "tree":
+		err = renderTree(args[1], false)
+	case "dot":
+		err = renderTree(args[1], true)
+	case "diff":
+		if len(args) < 3 {
+			return usage()
+		}
+		err = diffProfiles(args[1], args[2])
+	case "snapshots":
+		err = showSnapshots(args[1])
+	default:
+		return usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polm2-inspect: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func showProfile(path string) error {
+	p, err := analyzer.LoadProfile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profile %s/%s\n", p.App, p.Workload)
+	fmt.Printf("  generations: %d (+young), instrumented sites: %d, conflicts: %d (unresolved %d)\n",
+		p.Generations, p.InstrumentedSites(), p.Conflicts, p.Unresolved)
+	fmt.Println("  call directives:")
+	for _, c := range p.Calls {
+		fmt.Printf("    setGeneration(%d) around %s\n", c.Gen, c.Loc)
+	}
+	fmt.Println("  alloc directives:")
+	for _, a := range p.Allocs {
+		if a.Direct {
+			fmt.Printf("    @Gen(direct -> %d) at %s\n", a.Gen, a.Loc)
+		} else {
+			fmt.Printf("    @Gen at %s\n", a.Loc)
+		}
+	}
+	if len(p.Sites) > 0 {
+		fmt.Println("  site evidence:")
+		for _, s := range p.Sites {
+			fmt.Printf("    gen=%-3d n=%-9d %s\n", s.Gen, s.Allocated, s.Trace)
+		}
+	}
+	return nil
+}
+
+func renderTree(path string, dot bool) error {
+	p, err := analyzer.LoadProfile(path)
+	if err != nil {
+		return err
+	}
+	if dot {
+		return analyzer.RenderDOT(p, os.Stdout)
+	}
+	return analyzer.RenderSTTree(p, os.Stdout)
+}
+
+func diffProfiles(oldPath, newPath string) error {
+	oldP, err := analyzer.LoadProfile(oldPath)
+	if err != nil {
+		return err
+	}
+	newP, err := analyzer.LoadProfile(newPath)
+	if err != nil {
+		return err
+	}
+	oldCalls := make(map[string]int)
+	for _, c := range oldP.Calls {
+		oldCalls[c.Loc] = c.Gen
+	}
+	newCalls := make(map[string]int)
+	for _, c := range newP.Calls {
+		newCalls[c.Loc] = c.Gen
+	}
+	for _, c := range newP.Calls {
+		if g, ok := oldCalls[c.Loc]; !ok {
+			fmt.Printf("+ call %s -> gen %d\n", c.Loc, c.Gen)
+		} else if g != c.Gen {
+			fmt.Printf("~ call %s: gen %d -> %d\n", c.Loc, g, c.Gen)
+		}
+	}
+	for _, c := range oldP.Calls {
+		if _, ok := newCalls[c.Loc]; !ok {
+			fmt.Printf("- call %s (was gen %d)\n", c.Loc, c.Gen)
+		}
+	}
+	oldAllocs := make(map[string]analyzer.AllocDirective)
+	for _, a := range oldP.Allocs {
+		oldAllocs[a.Loc] = a
+	}
+	newAllocs := make(map[string]analyzer.AllocDirective)
+	for _, a := range newP.Allocs {
+		newAllocs[a.Loc] = a
+	}
+	for _, a := range newP.Allocs {
+		old, ok := oldAllocs[a.Loc]
+		switch {
+		case !ok:
+			fmt.Printf("+ alloc %s (direct=%v gen=%d)\n", a.Loc, a.Direct, a.Gen)
+		case old.Direct != a.Direct || old.Gen != a.Gen:
+			fmt.Printf("~ alloc %s: direct=%v gen=%d -> direct=%v gen=%d\n",
+				a.Loc, old.Direct, old.Gen, a.Direct, a.Gen)
+		}
+	}
+	for _, a := range oldP.Allocs {
+		if _, ok := newAllocs[a.Loc]; !ok {
+			fmt.Printf("- alloc %s\n", a.Loc)
+		}
+	}
+	return nil
+}
+
+func showSnapshots(dir string) error {
+	snaps, err := snapshot.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		fmt.Println("no snapshot images found")
+		return nil
+	}
+	fmt.Printf("%-6s %-8s %-12s %-6s %-8s %-8s %-8s %-10s %-12s\n",
+		"seq", "cycle", "taken", "incr", "regions", "pages", "no-need", "size(MB)", "duration")
+	store := snapshot.NewStore()
+	for _, s := range snaps {
+		if err := store.Apply(s); err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-8d %-12v %-6v %-8d %-8d %-8d %-10.2f %-12v\n",
+			s.Seq, s.Cycle, s.TakenAt.Round(time.Millisecond), s.Incremental,
+			len(s.Regions), len(s.Pages), len(s.NoNeed),
+			float64(s.SizeBytes)/(1<<20), s.Duration.Round(time.Millisecond))
+	}
+	fmt.Printf("reconstructed live view after last snapshot: %d objects\n", len(store.LiveIDs()))
+	return nil
+}

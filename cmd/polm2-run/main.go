@@ -1,0 +1,155 @@
+// Command polm2-run executes the production phase of POLM2 (§3.5): one
+// application workload under a chosen collector, optionally instrumented
+// with a previously generated allocation profile.
+//
+// Usage:
+//
+//	polm2-run -app Cassandra -workload WI -collector G1
+//	polm2-run -app Cassandra -workload WI -collector NG2C -profile profile.json
+//	polm2-run -app Cassandra -workload WI -collector NG2C -manual
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polm2"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		appName     = flag.String("app", "Cassandra", "application model: Cassandra, Lucene or GraphChi")
+		workload    = flag.String("workload", "WI", "workload name")
+		collector   = flag.String("collector", "G1", "collector: G1, NG2C or C4")
+		profilePath = flag.String("profile", "", "POLM2 allocation profile to instrument with (JSON)")
+		storeDir    = flag.String("store", "", "profile repository to select a profile from (by app/workload)")
+		manual      = flag.Bool("manual", false, "use the expert's hand-written NG2C profile instead")
+		onlineMode  = flag.Bool("online", false, "continuous profiling: re-analyze and hot-swap the plan while running")
+		reprofile   = flag.Duration("reprofile", 0, "online re-analysis interval (default 5m)")
+		duration    = flag.Duration("duration", 0, "simulated run duration (default: 30m, the paper's)")
+		warmup      = flag.Duration("warmup", 0, "ignored warmup window (default: 5m, the paper's)")
+		scale       = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
+		seed        = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	app := polm2.AppByName(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "polm2-run: unknown app %q (want Cassandra, Lucene or GraphChi)\n", *appName)
+		return 2
+	}
+	exclusive := 0
+	for _, set := range []bool{*profilePath != "", *manual, *storeDir != "", *onlineMode} {
+		if set {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(os.Stderr, "polm2-run: -profile, -manual, -store and -online are mutually exclusive")
+		return 2
+	}
+
+	if *onlineMode {
+		return runOnline(app, *workload, polm2.OnlineOptions{
+			Duration:  *duration,
+			Warmup:    *warmup,
+			Scale:     *scale,
+			Seed:      *seed,
+			Reprofile: *reprofile,
+		})
+	}
+
+	plan := polm2.PlanNone
+	var profile *polm2.Profile
+	switch {
+	case *profilePath != "":
+		var err error
+		profile, err = polm2.LoadProfile(*profilePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+			return 1
+		}
+		plan = polm2.PlanPOLM2
+	case *storeDir != "":
+		store, err := polm2.OpenProfileStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+			return 1
+		}
+		profile, err = store.Select(app.Name(), *workload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+			return 1
+		}
+		fmt.Printf("selected profile %s/%s from %s\n", profile.App, profile.Workload, *storeDir)
+		plan = polm2.PlanPOLM2
+	case *manual:
+		var err error
+		profile, err = app.ManualProfile(*workload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+			return 1
+		}
+		plan = polm2.PlanManual
+	}
+
+	start := time.Now()
+	res, err := polm2.RunApp(app, *workload, *collector, plan, profile, polm2.RunOptions{
+		Duration: *duration,
+		Warmup:   *warmup,
+		Scale:    *scale,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("ran %s/%s under %s (plan %s): %v simulated in %v wall-clock\n",
+		app.Name(), *workload, *collector, plan,
+		res.SimDuration.Round(time.Second), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  GC cycles: %d, warm pauses: %d\n", res.GCCycles, res.WarmPauses.Len())
+	fmt.Printf("  pause percentiles (ms): p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f worst=%.1f\n",
+		ms(res.WarmPauses.Percentile(50)), ms(res.WarmPauses.Percentile(90)),
+		ms(res.WarmPauses.Percentile(99)), ms(res.WarmPauses.Percentile(99.9)),
+		ms(res.WarmPauses.Max()))
+	fmt.Printf("  warm operations: %d, max memory: %d MB", res.WarmOps, res.MaxMemoryBytes>>20)
+	if res.PreReserved {
+		fmt.Printf(" (pre-reserved)")
+	}
+	fmt.Println()
+	if res.GenSwitches > 0 {
+		fmt.Printf("  dynamic generation switches: %d\n", res.GenSwitches)
+	}
+	return 0
+}
+
+func runOnline(app polm2.App, workload string, opts polm2.OnlineOptions) int {
+	start := time.Now()
+	res, err := polm2.RunOnline(app, workload, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+		return 1
+	}
+	fmt.Printf("ran %s/%s online under NG2C: %v simulated in %v wall-clock\n",
+		app.Name(), workload, res.SimDuration.Round(time.Second), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  plan updates: %d\n", len(res.Updates))
+	for _, u := range res.Updates {
+		fmt.Printf("    at %-10v sites=%d gens=%d conflicts=%d\n",
+			u.At.Round(time.Second), u.Instrumented, u.Generations, u.Conflicts)
+	}
+	fmt.Printf("  pause percentiles (ms): p50=%.1f p99=%.1f worst=%.1f\n",
+		ms(res.WarmPauses.Percentile(50)), ms(res.WarmPauses.Percentile(99)), ms(res.WarmPauses.Max()))
+	fmt.Printf("  warm operations: %d, max memory: %d MB\n", res.WarmOps, res.MaxMemoryBytes>>20)
+	return 0
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

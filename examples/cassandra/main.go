@@ -1,0 +1,81 @@
+// Cassandra example: the paper's key-value-store scenario end to end.
+//
+// For each YCSB mix (write-intensive, balanced, read-intensive) the example
+// profiles the workload, then compares four setups: G1 (unmodified), manual
+// NG2C annotations (the expert's), POLM2, and the C4 concurrent collector —
+// reporting pause percentiles, throughput and memory, i.e. the data behind
+// the paper's Figures 5, 7 and 9 for Cassandra.
+//
+//	go run ./examples/cassandra [-workload WI|WR|RI]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polm2"
+)
+
+func main() {
+	workload := flag.String("workload", "WI", "Cassandra workload: WI, WR or RI")
+	flag.Parse()
+	if err := run(*workload); err != nil {
+		fmt.Fprintf(os.Stderr, "cassandra: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string) error {
+	app := polm2.Cassandra()
+
+	fmt.Printf("profiling Cassandra/%s (Recorder + Dumper + Analyzer) ...\n", workload)
+	prof, err := polm2.ProfileApp(app, workload, polm2.ProfileOptions{})
+	if err != nil {
+		return err
+	}
+	p := prof.Profile
+	fmt.Printf("  instrumented sites: %d, generations: %d, conflicts: %d\n",
+		p.InstrumentedSites(), p.UsedGenerations(), p.Conflicts)
+	for _, c := range p.Calls {
+		fmt.Printf("  setGeneration at %-40s -> gen %d\n", c.Loc, c.Gen)
+	}
+
+	manual, err := app.ManualProfile(workload)
+	if err != nil {
+		return err
+	}
+
+	opts := polm2.RunOptions{Duration: 15 * time.Minute, Warmup: 3 * time.Minute}
+	setups := []struct {
+		label     string
+		collector string
+		plan      polm2.PlanKind
+		profile   *polm2.Profile
+	}{
+		{"G1", polm2.CollectorG1, polm2.PlanNone, nil},
+		{"NG2C(manual)", polm2.CollectorNG2C, polm2.PlanManual, manual},
+		{"POLM2", polm2.CollectorNG2C, polm2.PlanPOLM2, p},
+		{"C4", polm2.CollectorC4, polm2.PlanNone, nil},
+	}
+
+	fmt.Printf("\n%-14s %10s %10s %10s %10s %12s %10s\n",
+		"setup", "p50", "p99", "p99.9", "worst", "ops", "mem(MB)")
+	for _, su := range setups {
+		res, err := polm2.RunApp(app, workload, su.collector, su.plan, su.profile, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %10v %10v %10v %10v %12d %10d\n",
+			su.label,
+			res.WarmPauses.Percentile(50).Round(time.Millisecond),
+			res.WarmPauses.Percentile(99).Round(time.Millisecond),
+			res.WarmPauses.Percentile(99.9).Round(time.Millisecond),
+			res.WarmPauses.Max().Round(time.Millisecond),
+			res.WarmOps,
+			res.MaxMemoryBytes>>20)
+	}
+	fmt.Println("\n(C4's pauses are all tiny, but its barriers cost throughput and it pre-reserves the whole heap)")
+	return nil
+}

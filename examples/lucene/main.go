@@ -1,0 +1,81 @@
+// Lucene example: a walkthrough of POLM2's allocation-path conflict
+// resolution (§3.3, the paper's Listing 1 scenario in a real workload).
+//
+// Lucene's update path and search path draw buffers from the same two pool
+// helpers, so the same allocation sites produce both middle-lived postings
+// and transient scorers. The example shows the evidence the Analyzer
+// gathers, the conflicts it detects, where Algorithm 1 anchors the
+// generation switches — and what it costs to get this wrong, by comparing
+// POLM2 against the expert's manual annotations (which pretenure the pools
+// directly).
+//
+//	go run ./examples/lucene
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"polm2"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lucene: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	app := polm2.Lucene()
+	const workload = "default"
+
+	fmt.Println("profiling Lucene (20000 updates + 5000 searches per second) ...")
+	prof, err := polm2.ProfileApp(app, workload, polm2.ProfileOptions{})
+	if err != nil {
+		return err
+	}
+	p := prof.Profile
+
+	fmt.Println("\nallocation-site evidence (shared pool sites reached via different paths):")
+	for _, s := range p.Sites {
+		if !strings.Contains(s.Trace, "Pool.get") {
+			continue
+		}
+		fmt.Printf("  gen=%d n=%-8d %s\n", s.Gen, s.Allocated, s.Trace)
+	}
+
+	fmt.Printf("\nconflicts detected: %d; Algorithm 1 anchored the generation switches at:\n", p.Conflicts)
+	for _, c := range p.Calls {
+		fmt.Printf("  %-44s -> generation %d\n", c.Loc, c.Gen)
+	}
+	fmt.Println("annotated allocation sites (@Gen):")
+	for _, a := range p.Allocs {
+		fmt.Printf("  %-44s direct=%v\n", a.Loc, a.Direct)
+	}
+
+	// The cost of getting it wrong: the expert pretenured the pools
+	// directly, dragging every transient scorer and result buffer into
+	// the old generation.
+	manual, err := app.ManualProfile(workload)
+	if err != nil {
+		return err
+	}
+	opts := polm2.RunOptions{Duration: 15 * time.Minute, Warmup: 3 * time.Minute}
+	polm2Run, err := polm2.RunApp(app, workload, polm2.CollectorNG2C, polm2.PlanPOLM2, p, opts)
+	if err != nil {
+		return err
+	}
+	manualRun, err := polm2.RunApp(app, workload, polm2.CollectorNG2C, polm2.PlanManual, manual, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npause p99: manual NG2C %v vs POLM2 %v\n",
+		manualRun.WarmPauses.Percentile(99).Round(time.Millisecond),
+		polm2Run.WarmPauses.Percentile(99).Round(time.Millisecond))
+	fmt.Println("(the paper §5.4.1: even experienced developers mis-annotate shared allocation paths;")
+	fmt.Println(" POLM2's STTree finds every path and places the switches automatically)")
+	return nil
+}

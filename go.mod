@@ -1,0 +1,3 @@
+module polm2
+
+go 1.22

@@ -1,0 +1,304 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"polm2/internal/heap"
+	"polm2/internal/jvm"
+	"polm2/internal/snapshot"
+)
+
+// Options tunes the Analyzer. The zero value selects the paper's behaviour.
+type Options struct {
+	// MinSamples is the minimum number of recorded allocations before a
+	// site is considered for instrumentation. Default 12.
+	MinSamples uint64
+	// MinOldFraction is the fraction of a site's objects that must
+	// survive at least one snapshot before the site is pretenured.
+	// Default 0.5: if most objects die young, the weak generational
+	// hypothesis already serves the site well.
+	MinOldFraction float64
+	// MaxGen caps the target generation. Default 32.
+	MaxGen int
+	// ClusterGap merges estimated target generations whose survival
+	// counts differ by at most this amount before the STTree is built,
+	// then renumbers the clusters densely from 1. Two sites whose
+	// objects die three and four snapshots in belong together: NG2C
+	// generations are lifetime groups, not ordered ages, so dense
+	// renumbering is safe and keeps the generation count meaningful
+	// (Table 1). Default 4; negative disables clustering.
+	ClusterGap int
+	// Estimator selects the lifetime estimator. Default EstimatorMode
+	// (the paper's).
+	Estimator Estimator
+	// DisableConflictResolution skips Algorithm 1 (ablation): conflicted
+	// sites collapse to the highest conflicting generation, mimicking
+	// what a programmer annotating the allocation site directly would
+	// get.
+	DisableConflictResolution bool
+	// DisableHoisting skips the §4.4 call-reduction optimization
+	// (ablation): every instrumented site carries its own generation
+	// switch.
+	DisableHoisting bool
+	// App and Workload label the resulting profile.
+	App      string
+	Workload string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSamples == 0 {
+		o.MinSamples = 12
+	}
+	if o.MinOldFraction == 0 {
+		o.MinOldFraction = 0.5
+	}
+	if o.MaxGen == 0 {
+		o.MaxGen = 32
+	}
+	if o.ClusterGap == 0 {
+		o.ClusterGap = 4
+	}
+	if o.Estimator == 0 {
+		o.Estimator = EstimatorMode
+	}
+	return o
+}
+
+// Analyze runs the full §3.3 pipeline: evidence gathering, target-generation
+// estimation, STTree construction, conflict detection and resolution, and
+// directive emission.
+func Analyze(recordsDir string, snaps []*snapshot.Snapshot, opts Options) (*Profile, error) {
+	opts = opts.withDefaults()
+	evidence, err := gatherEvidence(recordsDir, snaps)
+	if err != nil {
+		return nil, err
+	}
+
+	traces := make(map[heap.SiteID]jvm.StackTrace, len(evidence))
+	gens := make(map[heap.SiteID]int, len(evidence))
+	for id, ev := range evidence {
+		traces[id] = ev.trace
+		gens[id] = ev.targetGen(opts.Estimator, opts.MinSamples, opts.MinOldFraction, opts.MaxGen)
+	}
+	clusterGenerations(gens, opts.ClusterGap)
+
+	tree := BuildTree(traces, gens)
+	groups := tree.DetectConflicts()
+
+	p := &Profile{App: opts.App, Workload: opts.Workload, Conflicts: len(groups)}
+
+	conflictedLeaf := make(map[*Node]bool)
+	conflictedLoc := make(map[jvm.CodeLoc]bool)
+	for _, g := range groups {
+		conflictedLoc[g.Loc] = true
+		for _, leaf := range g.Leaves {
+			conflictedLeaf[leaf] = true
+		}
+	}
+
+	taken := make(map[jvm.CodeLoc]int) // call-directive loc -> generation
+	annotated := make(map[jvm.CodeLoc]bool)
+	directGens := make(map[jvm.CodeLoc]int)
+
+	if opts.DisableConflictResolution {
+		// Ablation: collapse each conflicted location to its highest
+		// generation and instrument the allocation site directly.
+		for _, g := range groups {
+			maxGen := 0
+			for _, leaf := range g.Leaves {
+				if leaf.Gen > maxGen {
+					maxGen = leaf.Gen
+				}
+			}
+			if maxGen > 0 {
+				directGens[g.Loc] = maxGen
+			}
+		}
+	} else {
+		resolved, unresolved := ResolveConflicts(groups)
+		p.Unresolved = len(unresolved)
+		for _, r := range resolved {
+			if r.Leaf.Gen == 0 {
+				// A young path through a shared allocation site
+				// needs no switch: the default target
+				// generation is young.
+				continue
+			}
+			taken[r.Anchor.Loc] = r.Leaf.Gen
+			p.Calls = append(p.Calls, CallDirective{Loc: r.Anchor.Loc.String(), Gen: r.Leaf.Gen})
+			annotated[r.Leaf.Loc] = true
+		}
+	}
+
+	// Cover the non-conflicted instrumentable leaves, hoisting uniform
+	// subtrees per §4.4 unless disabled.
+	var cover func(n *Node)
+	cover = func(n *Node) {
+		gens, hasConflict := subtreeSummary(n, conflictedLeaf)
+		if !hasConflict && len(gens) == 1 && !opts.DisableHoisting {
+			g := gens[0]
+			if n.IsLeaf && len(n.children) == 0 {
+				mergeDirect(directGens, n.Loc, g)
+				return
+			}
+			if existing, ok := taken[n.Loc]; !ok || existing == g {
+				taken[n.Loc] = g
+				p.Calls = append(p.Calls, CallDirective{Loc: n.Loc.String(), Gen: g})
+				markAnnotated(n, conflictedLeaf, annotated)
+				return
+			}
+			// The location is already switched to a different
+			// generation on another path: fall through and place
+			// directives deeper.
+		}
+		if n.IsLeaf && !conflictedLeaf[n] && n.Gen > 0 {
+			mergeDirect(directGens, n.Loc, n.Gen)
+		}
+		for _, c := range n.Children() {
+			cover(c)
+		}
+	}
+	for _, root := range tree.Roots() {
+		cover(root)
+	}
+
+	// Emit allocation directives: direct sites carry their generation,
+	// annotate-only sites defer to the enclosing call directive.
+	for loc, g := range directGens {
+		p.Allocs = append(p.Allocs, AllocDirective{Loc: loc.String(), Gen: g, Direct: true})
+	}
+	for loc := range annotated {
+		if _, isDirect := directGens[loc]; isDirect {
+			continue
+		}
+		p.Allocs = append(p.Allocs, AllocDirective{Loc: loc.String(), Gen: 0})
+	}
+
+	// The production phase creates max-generation generations at launch.
+	for _, d := range p.Allocs {
+		if d.Gen > p.Generations {
+			p.Generations = d.Gen
+		}
+	}
+	for _, d := range p.Calls {
+		if d.Gen > p.Generations {
+			p.Generations = d.Gen
+		}
+	}
+
+	// Per-site evidence for diagnostics and Table 1.
+	ids := make([]heap.SiteID, 0, len(evidence))
+	for id := range evidence {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ev := evidence[id]
+		p.Sites = append(p.Sites, SiteStat{
+			Trace:     ev.trace.String(),
+			Allocated: ev.total,
+			Buckets:   trimBuckets(ev.survived),
+			Gen:       gens[id],
+		})
+	}
+
+	p.sortDirectives()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("analyzer: produced invalid profile: %w", err)
+	}
+	return p, nil
+}
+
+// subtreeSummary returns the distinct positive generations of
+// non-conflicted leaves under n (n included) and whether the subtree holds
+// any conflicted leaf.
+func subtreeSummary(n *Node, conflicted map[*Node]bool) (gens []int, hasConflict bool) {
+	set := make(map[int]struct{})
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m.IsLeaf {
+			if conflicted[m] {
+				hasConflict = true
+			} else if m.Gen > 0 {
+				set[m.Gen] = struct{}{}
+			}
+		}
+		for _, c := range m.children {
+			walk(c)
+		}
+	}
+	walk(n)
+	for g := range set {
+		gens = append(gens, g)
+	}
+	sort.Ints(gens)
+	return gens, hasConflict
+}
+
+// markAnnotated annotates every instrumentable leaf location under n.
+func markAnnotated(n *Node, conflicted map[*Node]bool, annotated map[jvm.CodeLoc]bool) {
+	if n.IsLeaf && !conflicted[n] && n.Gen > 0 {
+		annotated[n.Loc] = true
+	}
+	for _, c := range n.children {
+		markAnnotated(c, conflicted, annotated)
+	}
+}
+
+// mergeDirect records a direct allocation directive, keeping the highest
+// generation if the same location is reached with several (non-conflicting
+// groups always agree, so a disagreement here can only come from the
+// conflict-resolution ablation).
+func mergeDirect(directGens map[jvm.CodeLoc]int, loc jvm.CodeLoc, gen int) {
+	if existing, ok := directGens[loc]; !ok || gen > existing {
+		directGens[loc] = gen
+	}
+}
+
+// clusterGenerations merges raw survival-count generations separated by at
+// most gap and renumbers the resulting lifetime clusters densely from 1.
+func clusterGenerations(gens map[heap.SiteID]int, gap int) {
+	if gap < 0 {
+		return
+	}
+	distinct := make(map[int]struct{})
+	for _, g := range gens {
+		if g > 0 {
+			distinct[g] = struct{}{}
+		}
+	}
+	if len(distinct) == 0 {
+		return
+	}
+	sorted := make([]int, 0, len(distinct))
+	for g := range distinct {
+		sorted = append(sorted, g)
+	}
+	sort.Ints(sorted)
+	remap := make(map[int]int, len(sorted))
+	cluster := 1
+	remap[sorted[0]] = cluster
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i]-sorted[i-1] > gap {
+			cluster++
+		}
+		remap[sorted[i]] = cluster
+	}
+	for id, g := range gens {
+		if g > 0 {
+			gens[id] = remap[g]
+		}
+	}
+}
+
+// trimBuckets drops trailing zero buckets to keep profiles compact.
+func trimBuckets(b []uint64) []uint64 {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	out := make([]uint64, end)
+	copy(out, b[:end])
+	return out
+}

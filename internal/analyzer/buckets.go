@@ -1,0 +1,147 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"polm2/internal/heap"
+	"polm2/internal/jvm"
+	"polm2/internal/recorder"
+	"polm2/internal/snapshot"
+)
+
+// Estimator selects how a site's target generation is derived from its
+// survival-count distribution.
+type Estimator int
+
+// Estimators. The paper uses the mode: "the number of collections that most
+// objects allocated in a particular stack trace survive" (§3.3). The 90th
+// percentile variant is an ablation.
+const (
+	EstimatorMode Estimator = iota + 1
+	EstimatorP90
+)
+
+// siteEvidence is the per-site survival evidence assembled by replaying the
+// snapshot sequence against the allocation records.
+type siteEvidence struct {
+	id    heap.SiteID
+	trace jvm.StackTrace
+	// survived[k] counts objects seen live in exactly k snapshots.
+	survived []uint64
+	total    uint64
+}
+
+// gatherEvidence implements the first half of §3.3's algorithm:
+//
+//   - load allocation stack traces, associating a bucket sequence to each;
+//   - load allocated object ids into bucket zero of their stack trace;
+//   - replay snapshots in creation order, moving every object found live
+//     into the next bucket.
+//
+// The result is, per site, the distribution of "number of snapshots
+// survived".
+func gatherEvidence(recordsDir string, snaps []*snapshot.Snapshot) (map[heap.SiteID]*siteEvidence, error) {
+	table, err := recorder.LoadSiteTable(recordsDir)
+	if err != nil {
+		return nil, err
+	}
+
+	evidence := make(map[heap.SiteID]*siteEvidence, len(table))
+	// idSite maps every recorded object to its site; idSurvived counts
+	// snapshots each object was seen in.
+	idSite := make(map[heap.ObjectID]heap.SiteID)
+	idSurvived := make(map[heap.ObjectID]int)
+
+	siteIDs := make([]heap.SiteID, 0, len(table))
+	for id := range table {
+		siteIDs = append(siteIDs, id)
+	}
+	sort.Slice(siteIDs, func(i, j int) bool { return siteIDs[i] < siteIDs[j] })
+	for _, sid := range siteIDs {
+		ids, err := recorder.ReadIDs(recordsDir, sid)
+		if err != nil {
+			return nil, err
+		}
+		ev := &siteEvidence{id: sid, trace: table[sid], total: uint64(len(ids))}
+		evidence[sid] = ev
+		for _, oid := range ids {
+			idSite[oid] = sid
+		}
+	}
+
+	// Replay the snapshot sequence through the store, counting how many
+	// snapshots each recorded object appears in.
+	store := snapshot.NewStore()
+	ordered := make([]*snapshot.Snapshot, len(snaps))
+	copy(ordered, snaps)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Seq < ordered[j].Seq })
+	for _, snap := range ordered {
+		if err := store.Apply(snap); err != nil {
+			return nil, fmt.Errorf("analyzer: replaying snapshots: %w", err)
+		}
+		store.ForEach(func(oid heap.ObjectID) {
+			if _, recorded := idSite[oid]; recorded {
+				idSurvived[oid]++
+			}
+		})
+	}
+
+	maxBucket := len(ordered)
+	for _, ev := range evidence {
+		ev.survived = make([]uint64, maxBucket+1)
+	}
+	for oid, sid := range idSite {
+		evidence[sid].survived[idSurvived[oid]]++
+	}
+	return evidence, nil
+}
+
+// targetGen estimates the site's target generation from its survival
+// distribution: zero keeps the site young (uninstrumented).
+func (ev *siteEvidence) targetGen(est Estimator, minSamples uint64, minOldFraction float64, maxGen int) int {
+	if ev.total < minSamples {
+		return 0
+	}
+	var old uint64
+	for k := 1; k < len(ev.survived); k++ {
+		old += ev.survived[k]
+	}
+	if float64(old) < minOldFraction*float64(ev.total) {
+		// Most objects at this site die before the first snapshot:
+		// they follow the weak generational hypothesis and belong in
+		// the young generation.
+		return 0
+	}
+	var gen int
+	switch est {
+	case EstimatorP90:
+		// Smallest k such that at least 90% of objects survived
+		// fewer than or exactly k snapshots.
+		threshold := (ev.total*9 + 9) / 10
+		var cum uint64
+		for k, n := range ev.survived {
+			cum += n
+			if cum >= threshold {
+				gen = k
+				break
+			}
+		}
+	default: // EstimatorMode
+		// Ties prefer the higher bucket: a site whose objects survive
+		// "at least k" snapshots uniformly (objects that outlive the
+		// whole profiling window produce flat tails) belongs with the
+		// longest-lived generation it reaches.
+		var best uint64
+		for k := 1; k < len(ev.survived); k++ {
+			if ev.survived[k] >= best && ev.survived[k] > 0 {
+				best = ev.survived[k]
+				gen = k
+			}
+		}
+	}
+	if gen > maxGen {
+		gen = maxGen
+	}
+	return gen
+}

@@ -1,0 +1,161 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"polm2/internal/heap"
+	"polm2/internal/jvm"
+)
+
+// RenderSTTree rebuilds the stack-trace tree from a profile's site evidence
+// and renders it as text — the paper's Figure 2, with each node's code
+// location, each leaf's estimated target generation, and the installed
+// directives marked:
+//
+//	Main.run:1
+//	├─ Class1.methodB:21  [setGen -> 2]
+//	│  └─ Class1.methodC:8
+//	│     └─ Class1.methodD:4  gen=2 @Gen (conflict)
+//	└─ Class1.methodB:26
+//	   └─ ...
+func RenderSTTree(p *Profile, w io.Writer) error {
+	tree, conflicted, err := rebuildTree(p)
+	if err != nil {
+		return err
+	}
+	callGens := make(map[string]int, len(p.Calls))
+	for _, c := range p.Calls {
+		callGens[c.Loc] = c.Gen
+	}
+	directs := make(map[string]AllocDirective, len(p.Allocs))
+	for _, a := range p.Allocs {
+		directs[a.Loc] = a
+	}
+
+	var render func(n *Node, prefix string, last bool) error
+	render = func(n *Node, prefix string, last bool) error {
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		line := prefix + connector + n.Loc.String()
+		if gen, ok := callGens[n.Loc.String()]; ok && !n.IsLeaf {
+			line += fmt.Sprintf("  [setGen -> %d]", gen)
+		}
+		if n.IsLeaf {
+			line += fmt.Sprintf("  gen=%d", n.Gen)
+			if d, ok := directs[n.Loc.String()]; ok {
+				if d.Direct {
+					line += fmt.Sprintf(" @Gen(direct -> %d)", d.Gen)
+				} else {
+					line += " @Gen"
+				}
+			}
+			if conflicted[n] {
+				line += " (conflict)"
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		children := n.Children()
+		for i, c := range children {
+			if err := render(c, childPrefix, i == len(children)-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	roots := tree.Roots()
+	for i, root := range roots {
+		if err := render(root, "", i == len(roots)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderDOT renders the same tree in Graphviz DOT form, coloring subtrees
+// by target generation the way the paper's Figure 2 does.
+func RenderDOT(p *Profile, w io.Writer) error {
+	tree, conflicted, err := rebuildTree(p)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "digraph sttree {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  node [shape=box, fontname="monospace"];`) //nolint:errcheck // single writer, checked at end
+
+	palette := []string{"white", "lightblue", "lightyellow", "salmon", "palegreen", "plum", "khaki", "lightgray"}
+	id := 0
+	var emit func(n *Node) (string, error)
+	emit = func(n *Node) (string, error) {
+		name := fmt.Sprintf("n%d", id)
+		id++
+		label := n.Loc.String()
+		color := "white"
+		if n.IsLeaf {
+			label += fmt.Sprintf("\\ngen=%d", n.Gen)
+			color = palette[n.Gen%len(palette)]
+			if conflicted[n] {
+				label += " (conflict)"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %s [label=\"%s\", style=filled, fillcolor=%s];\n", name, label, color); err != nil {
+			return "", err
+		}
+		for _, c := range n.Children() {
+			childName, err := emit(c)
+			if err != nil {
+				return "", err
+			}
+			if _, err := fmt.Fprintf(w, "  %s -> %s;\n", name, childName); err != nil {
+				return "", err
+			}
+		}
+		return name, nil
+	}
+	for _, root := range tree.Roots() {
+		if _, err := emit(root); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "}"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// rebuildTree reconstructs the STTree from a profile's per-site evidence.
+func rebuildTree(p *Profile) (*Tree, map[*Node]bool, error) {
+	if len(p.Sites) == 0 {
+		return nil, nil, fmt.Errorf("analyzer: profile carries no site evidence to render")
+	}
+	traces := make(map[heap.SiteID]jvm.StackTrace, len(p.Sites))
+	gens := make(map[heap.SiteID]int, len(p.Sites))
+	for i, site := range p.Sites {
+		var trace jvm.StackTrace
+		for _, frameStr := range strings.Split(site.Trace, ";") {
+			loc, err := jvm.ParseCodeLoc(frameStr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analyzer: site %d: %w", i, err)
+			}
+			trace = append(trace, loc)
+		}
+		id := heap.SiteID(i + 1)
+		traces[id] = trace
+		gens[id] = site.Gen
+	}
+	tree := BuildTree(traces, gens)
+	conflicted := make(map[*Node]bool)
+	for _, g := range tree.DetectConflicts() {
+		for _, leaf := range g.Leaves {
+			conflicted[leaf] = true
+		}
+	}
+	return tree, conflicted, nil
+}

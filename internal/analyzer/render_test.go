@@ -1,0 +1,76 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderableProfile() *Profile {
+	return &Profile{
+		App:         "demo",
+		Workload:    "w",
+		Generations: 2,
+		Conflicts:   1,
+		Calls: []CallDirective{
+			{Loc: "Class1.methodC:8", Gen: 2},
+		},
+		Allocs: []AllocDirective{
+			{Loc: "Class1.methodD:4", Gen: 0},
+		},
+		Sites: []SiteStat{
+			{Trace: "Main.run:1;Class1.methodB:21;Class1.methodC:8;Class1.methodD:4", Gen: 2, Allocated: 100},
+			{Trace: "Main.run:1;Class1.methodB:26;Class1.methodC:10;Class1.methodD:4", Gen: 0, Allocated: 100},
+		},
+	}
+}
+
+func TestRenderSTTree(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSTTree(renderableProfile(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Main.run:1",
+		"Class1.methodB:21",
+		"Class1.methodD:4  gen=2 @Gen (conflict)",
+		"Class1.methodD:4  gen=0 @Gen (conflict)",
+		"[setGen -> 2]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderDOT(renderableProfile(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph sttree", "->", "gen=2", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT rendering missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT output not closed")
+	}
+}
+
+func TestRenderEmptyProfileFails(t *testing.T) {
+	if err := RenderSTTree(&Profile{}, &strings.Builder{}); err == nil {
+		t.Fatal("rendering without site evidence should fail")
+	}
+	if err := RenderDOT(&Profile{}, &strings.Builder{}); err == nil {
+		t.Fatal("rendering without site evidence should fail")
+	}
+}
+
+func TestRenderMalformedTraceFails(t *testing.T) {
+	p := &Profile{Sites: []SiteStat{{Trace: "garbage-without-colon"}}}
+	if err := RenderSTTree(p, &strings.Builder{}); err == nil {
+		t.Fatal("malformed trace should fail")
+	}
+}

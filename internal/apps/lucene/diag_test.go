@@ -1,0 +1,93 @@
+package lucene
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/core"
+)
+
+// TestDiagProfile prints profiling metrics for calibration and checks the
+// Table 1 shape for Lucene: 2 instrumented sites, 2 generations, 2
+// conflicts.
+func TestDiagProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling run skipped in -short mode")
+	}
+	start := time.Now()
+	res, err := core.ProfileApp(New(), Workload, core.ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	t.Logf("wall=%v cycles=%d snaps=%d", time.Since(start).Round(time.Millisecond), res.GCCycles, len(res.Snapshots))
+	t.Logf("instrumented=%d usedGens=%d conflicts=%d unresolved=%d",
+		p.InstrumentedSites(), p.UsedGenerations(), p.Conflicts, p.Unresolved)
+	// Table 1 regression: 2 instrumented sites (of the expert's 8), 2
+	// generations, 2 conflicts.
+	if got := p.InstrumentedSites(); got != 2 {
+		t.Errorf("instrumented sites = %d, want 2", got)
+	}
+	if got := p.UsedGenerations(); got != 2 {
+		t.Errorf("used generations = %d, want 2", got)
+	}
+	if p.Conflicts != 2 {
+		t.Errorf("conflicts = %d, want 2", p.Conflicts)
+	}
+	if p.Unresolved != 0 {
+		t.Errorf("unresolved = %d, want 0", p.Unresolved)
+	}
+	for _, s := range p.Sites {
+		b := s.Buckets
+		if len(b) > 16 {
+			b = b[:16]
+		}
+		t.Logf("  site %-60s gen=%d n=%-8d buckets[:16]=%v", s.Trace, s.Gen, s.Allocated, b)
+	}
+	for _, c := range p.Calls {
+		t.Logf("  call %-40s gen=%d", c.Loc, c.Gen)
+	}
+	for _, a := range p.Allocs {
+		t.Logf("  alloc %-40s gen=%d direct=%v", a.Loc, a.Gen, a.Direct)
+	}
+}
+
+// TestDiagProduction compares collectors on the Lucene workload.
+func TestDiagProduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("production run skipped in -short mode")
+	}
+	app := New()
+	prof, err := core.ProfileApp(app, Workload, core.ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := app.ManualProfile(Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		collector string
+		plan      core.PlanKind
+	}{
+		{core.CollectorG1, core.PlanNone},
+		{core.CollectorNG2C, core.PlanManual},
+		{core.CollectorNG2C, core.PlanPOLM2},
+	} {
+		profile := prof.Profile
+		switch r.plan {
+		case core.PlanNone:
+			profile = nil
+		case core.PlanManual:
+			profile = manual
+		}
+		res, err := core.RunApp(app, Workload, r.collector, r.plan, profile, core.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-5s %-7s pauses=%-5d p50=%-12v p99=%-12v max=%-12v ops=%-8d maxMem=%dMB gcs=%d",
+			r.collector, r.plan, res.WarmPauses.Len(),
+			res.WarmPauses.Percentile(50), res.WarmPauses.Percentile(99),
+			res.WarmPauses.Max(), res.WarmOps, res.MaxMemoryBytes>>20, res.GCCycles)
+	}
+}

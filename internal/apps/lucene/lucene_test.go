@@ -1,0 +1,91 @@
+package lucene
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/core"
+)
+
+func TestBasics(t *testing.T) {
+	app := New()
+	if app.Name() != "Lucene" {
+		t.Fatalf("Name = %q", app.Name())
+	}
+	if got := app.Workloads(); len(got) != 1 || got[0] != Workload {
+		t.Fatalf("Workloads = %v", got)
+	}
+}
+
+func TestUnknownWorkloadFails(t *testing.T) {
+	app := New()
+	if _, err := core.RunApp(app, "nope", core.CollectorG1, core.PlanNone, nil,
+		core.RunOptions{Duration: time.Minute}); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+	if _, err := app.ManualProfile("nope"); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestManualProfileMatchesPaper(t *testing.T) {
+	p, err := New().ManualProfile(Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: the expert instrumented 8 sites, used 2 generations, and
+	// found no conflicts.
+	if got := p.InstrumentedSites(); got != 8 {
+		t.Errorf("manual sites = %d, want 8", got)
+	}
+	if got := p.UsedGenerations(); got != 2 {
+		t.Errorf("manual generations = %d, want 2", got)
+	}
+	if p.Conflicts != 0 {
+		t.Errorf("manual conflicts = %d, want 0", p.Conflicts)
+	}
+	// The misplacement: the shared pools are pretenured directly.
+	foundDirectPool := 0
+	for _, a := range p.Allocs {
+		if (a.Loc == "PostingsPool.get:2" || a.Loc == "BufferPool.get:2") && a.Direct {
+			foundDirectPool++
+		}
+	}
+	if foundDirectPool != 2 {
+		t.Errorf("expected both pools pretenured directly, found %d", foundDirectPool)
+	}
+}
+
+// TestManualMisplacementHurts verifies the paper's §5.4.1 observation: the
+// expert's direct pool annotations drag transient search objects into the
+// old generations, so POLM2's pauses beat the manual ones.
+func TestManualMisplacementHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("run skipped in -short mode")
+	}
+	app := New()
+	prof, err := core.ProfileApp(app, Workload, core.ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := app.ManualProfile(Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.RunOptions{Duration: 10 * time.Minute, Warmup: 2 * time.Minute}
+	polm2Run, err := core.RunApp(app, Workload, core.CollectorNG2C, core.PlanPOLM2, prof.Profile, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manualRun, err := core.RunApp(app, Workload, core.CollectorNG2C, core.PlanManual, manual, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polm2Run.WarmPauses.Percentile(99) >= manualRun.WarmPauses.Percentile(99) {
+		t.Errorf("POLM2 p99 %v should beat misplaced manual %v",
+			polm2Run.WarmPauses.Percentile(99), manualRun.WarmPauses.Percentile(99))
+	}
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/core"
+)
+
+// ablationTarget is the workload used for the single-workload ablations:
+// Cassandra-WI exercises every mechanism (conflicts, hoisting, dumps).
+func ablationTarget() Target {
+	for _, t := range Targets() {
+		if t.Key() == "Cassandra-WI" {
+			return t
+		}
+	}
+	panic("bench: Cassandra-WI missing from targets")
+}
+
+// AblationDump toggles the Dumper's two snapshot optimizations (§3.2)
+// independently and reports time/size against the fully optimized dumper.
+func (s *Session) AblationDump(w io.Writer) error {
+	fmt.Fprintln(w, "=== Ablation: Dumper optimizations (Cassandra-WI, averages over first 20 snapshots) ===")
+	t := ablationTarget()
+	variants := []struct {
+		label              string
+		disableNoNeed      bool
+		disableIncremental bool
+	}{
+		{label: "both optimizations (paper)", disableNoNeed: false, disableIncremental: false},
+		{label: "no no-need elision", disableNoNeed: true, disableIncremental: false},
+		{label: "no incrementality", disableNoNeed: false, disableIncremental: true},
+		{label: "neither optimization", disableNoNeed: true, disableIncremental: true},
+	}
+	fmt.Fprintf(w, "%-28s %-14s %-14s\n", "Variant", "avg time(ms)", "avg size(MB)")
+	for _, v := range variants {
+		res, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+			Scale:                  s.cfg.Scale,
+			Duration:               s.cfg.ProfileDuration,
+			Seed:                   s.cfg.Seed,
+			DumpDisableNoNeed:      v.disableNoNeed,
+			DumpDisableIncremental: v.disableIncremental,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: dump ablation %q: %w", v.label, err)
+		}
+		snaps := res.Snapshots
+		if len(snaps) > 20 {
+			snaps = snaps[:20]
+		}
+		var timeMS, sizeMB float64
+		for _, sn := range snaps {
+			timeMS += float64(sn.Duration.Milliseconds())
+			sizeMB += float64(sn.SizeBytes) / (1 << 20)
+		}
+		n := float64(len(snaps))
+		if n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "%-28s %-14.1f %-14.2f\n", v.label, timeMS/n, sizeMB/n)
+	}
+	return nil
+}
+
+// AblationConflict disables STTree conflict resolution (Algorithm 1) and
+// compares the resulting pause times: without it, conflicted sites collapse
+// to one generation and transient objects pollute the old generations.
+func (s *Session) AblationConflict(w io.Writer) error {
+	fmt.Fprintln(w, "=== Ablation: STTree conflict resolution (Cassandra-RI) ===")
+	fmt.Fprintln(w, "(mispretenured transients shift cost from pauses to memory and mutator overhead)")
+	var t Target
+	for _, cand := range Targets() {
+		if cand.Key() == "Cassandra-RI" {
+			t = cand
+		}
+	}
+	rows := []struct {
+		label   string
+		disable bool
+	}{
+		{label: "with Algorithm 1 (paper)", disable: false},
+		{label: "conflict resolution off", disable: true},
+	}
+	fmt.Fprintf(w, "%-28s %-10s %-12s %-12s %-12s %-10s %-10s\n",
+		"Variant", "pauses", "p50(ms)", "p99(ms)", "worst(ms)", "mem(MB)", "ops")
+	for _, row := range rows {
+		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+			Scale:    s.cfg.Scale,
+			Duration: s.cfg.ProfileDuration,
+			Seed:     s.cfg.Seed,
+			Analyzer: analyzer.Options{DisableConflictResolution: row.disable},
+		})
+		if err != nil {
+			return fmt.Errorf("bench: conflict ablation: %w", err)
+		}
+		res, err := core.RunApp(t.App, t.Workload, core.CollectorNG2C, core.PlanPOLM2, prof.Profile, core.RunOptions{
+			Scale:    s.cfg.Scale,
+			Duration: s.cfg.RunDuration,
+			Warmup:   s.cfg.Warmup,
+			Seed:     s.cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: conflict ablation run: %w", err)
+		}
+		fmt.Fprintf(w, "%-28s %-10d %-12s %-12s %-12s %-10d %-10d\n",
+			row.label, res.WarmPauses.Len(),
+			fmtMS(res.WarmPauses.Percentile(50)),
+			fmtMS(res.WarmPauses.Percentile(99)),
+			fmtMS(res.WarmPauses.Max()),
+			res.MaxMemoryBytes>>20, res.WarmOps)
+	}
+	return nil
+}
+
+// AblationHoist disables the §4.4 generation-hoisting optimization and
+// reports the dynamic setGeneration call counts with and without it.
+// GraphChi is the interesting case: a single hoisted switch at the
+// batch-load call site covers thousands of chunk allocations.
+func (s *Session) AblationHoist(w io.Writer) error {
+	fmt.Fprintln(w, "=== Ablation: generation hoisting (§4.4, GraphChi-PR) ===")
+	var t Target
+	for _, cand := range Targets() {
+		if cand.Key() == "GraphChi-PR" {
+			t = cand
+		}
+	}
+	rows := []struct {
+		label   string
+		disable bool
+	}{
+		{label: "hoisting on (paper)", disable: false},
+		{label: "hoisting off", disable: true},
+	}
+	fmt.Fprintf(w, "%-24s %-16s %-16s %-12s\n", "Variant", "gen switches", "switch/op", "ops")
+	for _, row := range rows {
+		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+			Scale:    s.cfg.Scale,
+			Duration: s.cfg.ProfileDuration,
+			Seed:     s.cfg.Seed,
+			Analyzer: analyzer.Options{DisableHoisting: row.disable},
+		})
+		if err != nil {
+			return fmt.Errorf("bench: hoist ablation: %w", err)
+		}
+		res, err := core.RunApp(t.App, t.Workload, core.CollectorNG2C, core.PlanPOLM2, prof.Profile, core.RunOptions{
+			Scale:    s.cfg.Scale,
+			Duration: s.cfg.RunDuration,
+			Warmup:   s.cfg.Warmup,
+			Seed:     s.cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: hoist ablation run: %w", err)
+		}
+		perOp := 0.0
+		if res.WarmOps > 0 {
+			perOp = float64(res.GenSwitches) / float64(res.WarmOps)
+		}
+		fmt.Fprintf(w, "%-24s %-16d %-16.2f %-12d\n", row.label, res.GenSwitches, perOp, res.WarmOps)
+	}
+	return nil
+}
+
+// AblationEstimator compares the paper's mode estimator against a
+// 90th-percentile survival estimator.
+func (s *Session) AblationEstimator(w io.Writer) error {
+	fmt.Fprintln(w, "=== Ablation: target-generation estimator (Cassandra-WI) ===")
+	t := ablationTarget()
+	rows := []struct {
+		label string
+		est   analyzer.Estimator
+	}{
+		{label: "bucket mode (paper)", est: analyzer.EstimatorMode},
+		{label: "90th percentile", est: analyzer.EstimatorP90},
+	}
+	fmt.Fprintf(w, "%-24s %-14s %-12s %-12s\n", "Variant", "instrumented", "gens", "conflicts")
+	for _, row := range rows {
+		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+			Scale:    s.cfg.Scale,
+			Duration: s.cfg.ProfileDuration,
+			Seed:     s.cfg.Seed,
+			Analyzer: analyzer.Options{Estimator: row.est},
+		})
+		if err != nil {
+			return fmt.Errorf("bench: estimator ablation: %w", err)
+		}
+		fmt.Fprintf(w, "%-24s %-14d %-12d %-12d\n",
+			row.label, prof.Profile.InstrumentedSites(),
+			prof.Profile.UsedGenerations(), prof.Profile.Conflicts)
+	}
+	return nil
+}
+
+// AblationCadence varies the snapshot cadence (every k-th GC cycle) and
+// reports the profiling cost against the resulting profile.
+func (s *Session) AblationCadence(w io.Writer) error {
+	fmt.Fprintln(w, "=== Ablation: snapshot cadence (Cassandra-WI) ===")
+	t := ablationTarget()
+	fmt.Fprintf(w, "%-10s %-10s %-14s %-14s %-10s\n", "every k", "snapshots", "dump time(ms)", "instrumented", "gens")
+	for _, k := range []int{1, 2, 4} {
+		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+			Scale:         s.cfg.Scale,
+			Duration:      s.cfg.ProfileDuration,
+			Seed:          s.cfg.Seed,
+			SnapshotEvery: k,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: cadence ablation: %w", err)
+		}
+		var dumpMS float64
+		for _, sn := range prof.Snapshots {
+			dumpMS += float64(sn.Duration.Milliseconds())
+		}
+		fmt.Fprintf(w, "%-10d %-10d %-14.0f %-14d %-10d\n",
+			k, len(prof.Snapshots), dumpMS,
+			prof.Profile.InstrumentedSites(), prof.Profile.UsedGenerations())
+	}
+	fmt.Fprintln(w, "(sparser snapshots cut profiling cost but coarsen lifetime resolution)")
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package bench is the evaluation harness of the POLM2 reproduction: one
+// runner per table and figure of the paper's §5, plus the ablations listed
+// in DESIGN.md §5.
+//
+// The harness caches profiling and production runs, so regenerating all
+// figures performs each run once. All output is plain text tables; the
+// paper's expected values are printed alongside the measured ones where the
+// paper states them.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/apps/cassandra"
+	"polm2/internal/apps/graphchi"
+	"polm2/internal/apps/lucene"
+	"polm2/internal/core"
+)
+
+// Target names one evaluated (application, workload) pair.
+type Target struct {
+	App      core.App
+	Workload string
+}
+
+// Key returns the target's display key, e.g. "Cassandra-WI".
+func (t Target) Key() string {
+	if len(t.App.Workloads()) == 1 {
+		return t.App.Name()
+	}
+	return t.App.Name() + "-" + t.Workload
+}
+
+// Targets returns the paper's six evaluation workloads in its order.
+func Targets() []Target {
+	cass, luc, gr := cassandra.New(), lucene.New(), graphchi.New()
+	return []Target{
+		{App: cass, Workload: cassandra.WorkloadWI},
+		{App: cass, Workload: cassandra.WorkloadWR},
+		{App: cass, Workload: cassandra.WorkloadRI},
+		{App: luc, Workload: lucene.Workload},
+		{App: gr, Workload: graphchi.WorkloadCC},
+		{App: gr, Workload: graphchi.WorkloadPR},
+	}
+}
+
+// Config parameterizes a benchmark session.
+type Config struct {
+	// Scale divides the paper's heap geometry. Default core.DefaultScale.
+	Scale uint64
+	// ProfileDuration overrides the profiling window (default
+	// core.DefaultProfilingDuration).
+	ProfileDuration time.Duration
+	// RunDuration and Warmup override the production run window
+	// (defaults: the paper's 30 minutes with 5 ignored).
+	RunDuration time.Duration
+	Warmup      time.Duration
+	// Seed drives every run's randomness. Default 1.
+	Seed int64
+}
+
+// Session caches profiles and runs across experiments.
+type Session struct {
+	cfg      Config
+	profiles map[string]*core.ProfileResult
+	compare  map[string]*core.ProfileResult // with jmap comparison dumps
+	runs     map[string]*core.RunResult
+}
+
+// NewSession builds an empty session.
+func NewSession(cfg Config) *Session {
+	return &Session{
+		cfg:      cfg,
+		profiles: make(map[string]*core.ProfileResult),
+		compare:  make(map[string]*core.ProfileResult),
+		runs:     make(map[string]*core.RunResult),
+	}
+}
+
+// Profile returns the (cached) POLM2 profiling result for a target.
+func (s *Session) Profile(t Target) (*core.ProfileResult, error) {
+	key := t.Key()
+	if res, ok := s.profiles[key]; ok {
+		return res, nil
+	}
+	res, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+		Scale:    s.cfg.Scale,
+		Duration: s.cfg.ProfileDuration,
+		Seed:     s.cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: profiling %s: %w", key, err)
+	}
+	s.profiles[key] = res
+	return res, nil
+}
+
+// ProfileWithJmap returns the (cached) profiling result that also took
+// jmap-style comparison dumps (Figures 3 and 4).
+func (s *Session) ProfileWithJmap(t Target) (*core.ProfileResult, error) {
+	key := t.Key()
+	if res, ok := s.compare[key]; ok {
+		return res, nil
+	}
+	res, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+		Scale:       s.cfg.Scale,
+		Duration:    s.cfg.ProfileDuration,
+		Seed:        s.cfg.Seed,
+		CompareJmap: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: comparison profiling %s: %w", key, err)
+	}
+	s.compare[key] = res
+	return res, nil
+}
+
+// Run returns the (cached) production run of a target under the named
+// collector and plan.
+func (s *Session) Run(t Target, collectorName string, plan core.PlanKind) (*core.RunResult, error) {
+	key := fmt.Sprintf("%s/%s/%s", t.Key(), collectorName, plan)
+	if res, ok := s.runs[key]; ok {
+		return res, nil
+	}
+	var profile *analyzer.Profile
+	switch plan {
+	case core.PlanPOLM2:
+		pr, err := s.Profile(t)
+		if err != nil {
+			return nil, err
+		}
+		profile = pr.Profile
+	case core.PlanManual:
+		var err error
+		profile, err = t.App.ManualProfile(t.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("bench: manual profile for %s: %w", t.Key(), err)
+		}
+	case core.PlanNone:
+		// unmodified application
+	default:
+		return nil, fmt.Errorf("bench: unknown plan kind %q", plan)
+	}
+	res, err := core.RunApp(t.App, t.Workload, collectorName, plan, profile, core.RunOptions{
+		Scale:    s.cfg.Scale,
+		Duration: s.cfg.RunDuration,
+		Warmup:   s.cfg.Warmup,
+		Seed:     s.cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: running %s under %s/%s: %w", t.Key(), collectorName, plan, err)
+	}
+	s.runs[key] = res
+	return res, nil
+}
+
+// setups are the three pause-time comparison configurations of Figure 5/6.
+type setup struct {
+	label     string
+	collector string
+	plan      core.PlanKind
+}
+
+func pauseSetups() []setup {
+	return []setup{
+		{label: "G1", collector: core.CollectorG1, plan: core.PlanNone},
+		{label: "NG2C", collector: core.CollectorNG2C, plan: core.PlanManual},
+		{label: "POLM2", collector: core.CollectorNG2C, plan: core.PlanPOLM2},
+	}
+}
+
+// ExperimentNames lists the runnable experiments in paper order.
+func ExperimentNames() []string {
+	return []string{
+		"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"ablation-dump", "ablation-conflict", "ablation-hoist",
+		"ablation-estimator", "ablation-cadence",
+	}
+}
+
+// RunExperiment dispatches one experiment by name.
+func (s *Session) RunExperiment(name string, w io.Writer) error {
+	switch name {
+	case "table1":
+		return s.Table1(w)
+	case "fig3":
+		return s.Figure3(w)
+	case "fig4":
+		return s.Figure4(w)
+	case "fig5":
+		return s.Figure5(w)
+	case "fig6":
+		return s.Figure6(w)
+	case "fig7":
+		return s.Figure7(w)
+	case "fig8":
+		return s.Figure8(w)
+	case "fig9":
+		return s.Figure9(w)
+	case "ablation-dump":
+		return s.AblationDump(w)
+	case "ablation-conflict":
+		return s.AblationConflict(w)
+	case "ablation-hoist":
+		return s.AblationHoist(w)
+	case "ablation-estimator":
+		return s.AblationEstimator(w)
+	case "ablation-cadence":
+		return s.AblationCadence(w)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", name, ExperimentNames())
+	}
+}
+
+// RunAll regenerates every table and figure.
+func (s *Session) RunAll(w io.Writer) error {
+	for _, name := range ExperimentNames() {
+		if err := s.RunExperiment(name, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// fmtMS renders a duration as fractional milliseconds.
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}

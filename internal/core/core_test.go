@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/gc"
+	"polm2/internal/simclock"
+	"polm2/internal/snapshot"
+)
+
+func TestScaledGeometry(t *testing.T) {
+	g := ScaledGeometry(0)
+	if g.HeapBytes != PaperHeapBytes/DefaultScale {
+		t.Fatalf("default heap = %d", g.HeapBytes)
+	}
+	if g.YoungBytes != PaperYoungBytes/DefaultScale {
+		t.Fatalf("default young = %d", g.YoungBytes)
+	}
+	if g.HeapBytes%uint64(g.RegionSize) != 0 {
+		t.Fatal("heap not a whole number of regions")
+	}
+	g2 := ScaledGeometry(128)
+	if g2.HeapBytes != PaperHeapBytes/128 {
+		t.Fatalf("scale 128 heap = %d", g2.HeapBytes)
+	}
+}
+
+func TestScaledCostModel(t *testing.T) {
+	base := gc.DefaultCostModel()
+	scaled := ScaledCostModel(DefaultScale)
+	if scaled.PerCopiedByte != base.PerCopiedByte*DefaultScale {
+		t.Fatal("PerCopiedByte not scaled")
+	}
+	if scaled.PerRegion != base.PerRegion {
+		t.Fatal("PerRegion must not scale (regions represent proportionally more memory)")
+	}
+	if scaled.Base != base.Base {
+		t.Fatal("Base must not scale")
+	}
+}
+
+func TestPretenureCostPerByte(t *testing.T) {
+	if got := PretenureCostPerByte(0); got <= 0 {
+		t.Fatalf("default pretenure cost = %v", got)
+	}
+	if PretenureCostPerByte(128) <= PretenureCostPerByte(64) {
+		t.Fatal("pretenure cost should grow with scale")
+	}
+}
+
+func TestNewCollectorNames(t *testing.T) {
+	geom := ScaledGeometry(0)
+	cost := ScaledCostModel(0)
+	for _, name := range Collectors() {
+		col, err := NewCollector(name, simclock.New(), geom, cost)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if col.Name() != name {
+			t.Fatalf("collector %s reports name %s", name, col.Name())
+		}
+	}
+	if _, err := NewCollector("ZGC", simclock.New(), geom, cost); err == nil {
+		t.Fatal("unknown collector should fail")
+	}
+}
+
+func TestRunOptionsDefaults(t *testing.T) {
+	o := RunOptions{}.withDefaults()
+	if o.Duration != PaperRunDuration || o.Warmup != PaperWarmup || o.Seed != 1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	short := RunOptions{Duration: 2 * time.Minute}.withDefaults()
+	if short.Warmup > time.Minute {
+		t.Fatalf("warmup not clamped for short runs: %v", short.Warmup)
+	}
+}
+
+func TestProfileOptionsDefaults(t *testing.T) {
+	o := ProfileOptions{}.withDefaults()
+	if o.Duration != DefaultProfilingDuration || o.Seed != 1 || o.Scale != DefaultScale {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestRunAppRejectsPlanOnNonPretenuring(t *testing.T) {
+	app := &stubApp{}
+	profile := stubProfile()
+	if _, err := RunApp(app, "w", CollectorG1, PlanPOLM2, profile, RunOptions{Duration: time.Minute}); err == nil {
+		t.Fatal("G1 cannot apply a pretenuring profile")
+	}
+	if _, err := RunApp(app, "w", CollectorC4, PlanPOLM2, profile, RunOptions{Duration: time.Minute}); err == nil {
+		t.Fatal("C4 cannot apply a pretenuring profile")
+	}
+}
+
+func TestRunAppStubEndToEnd(t *testing.T) {
+	app := &stubApp{}
+	res, err := RunApp(app, "w", CollectorG1, PlanNone, nil, RunOptions{
+		Duration: 2 * time.Minute,
+		Warmup:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "stub" || res.Workload != "w" || res.Collector != CollectorG1 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	if res.WarmOps == 0 {
+		t.Fatal("stub app counted no warm ops")
+	}
+	if res.SimDuration < 2*time.Minute {
+		t.Fatalf("run stopped early at %v", res.SimDuration)
+	}
+}
+
+func TestProfileAppStubEndToEnd(t *testing.T) {
+	app := &stubApp{}
+	res, err := ProfileApp(app, "w", ProfileOptions{Duration: 3 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("no profile produced")
+	}
+	if res.GCCycles == 0 {
+		t.Fatal("profiling run triggered no collections")
+	}
+	if len(res.Snapshots) == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	// The stub's retained site must be instrumented; its transient site
+	// must not.
+	if res.Profile.InstrumentedSites() == 0 {
+		t.Fatalf("stub profile instrumented nothing: %+v", res.Profile)
+	}
+}
+
+func TestProfileAppPersistsSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	app := &stubApp{}
+	res, err := ProfileApp(app, "w", ProfileOptions{
+		Duration:    3 * time.Minute,
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := snapshot.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(res.Snapshots) {
+		t.Fatalf("persisted %d snapshots, took %d", len(loaded), len(res.Snapshots))
+	}
+	// Re-running the Analyzer from the persisted images must produce the
+	// same profile.
+	reanalyzed, err := analyzer.Analyze(res.RecordsDir, loaded, analyzer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reanalyzed.InstrumentedSites() != res.Profile.InstrumentedSites() ||
+		reanalyzed.Generations != res.Profile.Generations {
+		t.Fatalf("off-line re-analysis diverged: %d/%d sites, %d/%d gens",
+			reanalyzed.InstrumentedSites(), res.Profile.InstrumentedSites(),
+			reanalyzed.Generations, res.Profile.Generations)
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/dumper"
+	"polm2/internal/gc"
+	"polm2/internal/gc/c4"
+	"polm2/internal/instrument"
+	"polm2/internal/jvm"
+	"polm2/internal/metrics"
+	"polm2/internal/recorder"
+	"polm2/internal/simclock"
+	"polm2/internal/snapshot"
+	"polm2/internal/workload"
+)
+
+// ProfileOptions parameterizes the profiling phase.
+type ProfileOptions struct {
+	// Scale divides the paper's heap geometry. Default DefaultScale.
+	Scale uint64
+	// Duration is the simulated profiling run length. Default
+	// PaperProfilingDuration.
+	Duration time.Duration
+	// Seed drives the workload's randomness. Default 1.
+	Seed int64
+	// SnapshotEvery takes a snapshot every k-th GC cycle. Default 1.
+	SnapshotEvery int
+	// Analyzer tunes the Analyzer.
+	Analyzer analyzer.Options
+	// RecordsDir receives the allocation records; a temporary directory
+	// is created when empty.
+	RecordsDir string
+	// SnapshotDir, when set, persists every heap snapshot as a binary
+	// image (snap-NNNNNN.img) so the Analyzer can be re-run off-line
+	// from the images alone (polm2-inspect snapshots <dir>).
+	SnapshotDir string
+	// CompareJmap additionally takes a jmap-style dump at every snapshot
+	// point, for the Figure 3/4 comparison.
+	CompareJmap bool
+	// Dump carries the CRIU ablation toggles.
+	DumpDisableNoNeed      bool
+	DumpDisableIncremental bool
+}
+
+func (o ProfileOptions) withDefaults() ProfileOptions {
+	if o.Scale == 0 {
+		o.Scale = DefaultScale
+	}
+	if o.Duration == 0 {
+		o.Duration = DefaultProfilingDuration
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ProfileResult is the outcome of the profiling phase.
+type ProfileResult struct {
+	// Profile is the application allocation profile.
+	Profile *analyzer.Profile
+	// Snapshots are the Dumper's incremental snapshots.
+	Snapshots []*snapshot.Snapshot
+	// JmapSnapshots are the baseline dumps (when CompareJmap was set).
+	JmapSnapshots []*snapshot.Snapshot
+	// RecordsDir is where the allocation records were written.
+	RecordsDir string
+	// GCCycles is the number of GC cycles during profiling.
+	GCCycles uint64
+	// SimDuration is the simulated length of the profiling run.
+	SimDuration time.Duration
+}
+
+// ProfileApp runs the profiling phase (§3.5) for one workload: the
+// application executes under NG2C (uninstrumented, so young-only behaviour)
+// with the Recorder streaming allocation records and the Dumper taking a
+// snapshot after every GC cycle; the Analyzer then produces the profile.
+func ProfileApp(app App, workloadName string, opts ProfileOptions) (*ProfileResult, error) {
+	opts = opts.withDefaults()
+	clock := simclock.New()
+	geom := ScaledGeometry(opts.Scale)
+	col, err := NewCollector(CollectorNG2C, clock, geom, ScaledCostModel(opts.Scale))
+	if err != nil {
+		return nil, err
+	}
+	vm := jvm.New(col)
+
+	recordsDir := opts.RecordsDir
+	if recordsDir == "" {
+		recordsDir, err = os.MkdirTemp("", "polm2-records-*")
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling records dir: %w", err)
+		}
+	}
+
+	dumpCost := ScaledDumpCostModel(opts.Scale)
+	criu := dumper.New(vm.Heap(), clock, dumper.Config{
+		Cost:               dumpCost,
+		ChargeClock:        true,
+		DisableNoNeed:      opts.DumpDisableNoNeed,
+		DisableIncremental: opts.DumpDisableIncremental,
+	})
+	var sink recorder.SnapshotSink = criu
+	var jmap *dumper.Jmap
+	if opts.CompareJmap {
+		jmap = dumper.NewJmap(vm.Heap(), clock, dumpCost)
+		sink = dumper.NewTee(criu, jmap)
+	}
+	rec, err := recorder.New(recorder.Config{Dir: recordsDir, SnapshotEvery: opts.SnapshotEvery},
+		vm.Heap(), vm.Sites(), sink)
+	if err != nil {
+		return nil, err
+	}
+	rec.Attach(vm)
+
+	env := &Env{
+		vm:       vm,
+		clock:    clock,
+		rand:     workload.NewRand(opts.Seed),
+		ops:      mustTimeSeries(),
+		deadline: opts.Duration,
+	}
+	if err := app.Run(env, workloadName); err != nil {
+		return nil, fmt.Errorf("core: profiling run of %s/%s: %w", app.Name(), workloadName, err)
+	}
+	if err := rec.Close(); err != nil {
+		return nil, err
+	}
+
+	aOpts := opts.Analyzer
+	aOpts.App = app.Name()
+	aOpts.Workload = workloadName
+	profile, err := analyzer.Analyze(recordsDir, criu.Snapshots(), aOpts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SnapshotDir != "" {
+		if err := snapshot.WriteDir(opts.SnapshotDir, criu.Snapshots()); err != nil {
+			return nil, err
+		}
+	}
+	result := &ProfileResult{
+		Profile:     profile,
+		Snapshots:   criu.Snapshots(),
+		RecordsDir:  recordsDir,
+		GCCycles:    col.Cycles(),
+		SimDuration: clock.Now(),
+	}
+	if jmap != nil {
+		result.JmapSnapshots = jmap.Snapshots()
+	}
+	return result, nil
+}
+
+// PlanKind names how a production run was instrumented.
+type PlanKind string
+
+// Plan kinds.
+const (
+	PlanNone   PlanKind = "none"   // unmodified application
+	PlanPOLM2  PlanKind = "polm2"  // profile from the profiling phase
+	PlanManual PlanKind = "manual" // the expert's hand-written profile
+)
+
+// RunOptions parameterizes a production run.
+type RunOptions struct {
+	// Scale divides the paper's heap geometry. Default DefaultScale.
+	Scale uint64
+	// Duration is the simulated run length. Default PaperRunDuration.
+	Duration time.Duration
+	// Warmup is ignored at the start of the run when deriving the
+	// warm metrics. Default PaperWarmup, clamped to Duration/2 for very
+	// short runs.
+	Warmup time.Duration
+	// Seed drives the workload's randomness. Default 1.
+	Seed int64
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Scale == 0 {
+		o.Scale = DefaultScale
+	}
+	if o.Duration == 0 {
+		o.Duration = PaperRunDuration
+	}
+	if o.Warmup == 0 {
+		o.Warmup = PaperWarmup
+	}
+	if o.Warmup > o.Duration/2 {
+		o.Warmup = o.Duration / 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RunResult is the outcome of one production run.
+type RunResult struct {
+	App       string
+	Workload  string
+	Collector string
+	Plan      PlanKind
+
+	// Pauses are all stop-the-world pauses; WarmPauses excludes the
+	// warmup window, matching the paper's measurement discipline (§5.1).
+	Pauses     []gc.Pause
+	WarmPauses *metrics.Sample
+
+	// Ops is the per-second completed-operation series; WarmOps is the
+	// total over the measured window.
+	Ops     *metrics.TimeSeries
+	WarmOps int64
+
+	// MaxMemoryBytes is the committed-memory high-water mark, or the
+	// pre-reserved size for C4 (Figure 9's discussion).
+	MaxMemoryBytes uint64
+	PreReserved    bool
+
+	// GenSwitches counts dynamic generation switches (§4.4 metric).
+	GenSwitches uint64
+	// GCCycles is the number of collections.
+	GCCycles uint64
+	// SimDuration and Warmup document the measurement window.
+	SimDuration time.Duration
+	Warmup      time.Duration
+}
+
+// RunApp executes the production phase (§3.5): the workload runs under the
+// named collector, optionally instrumented with a profile (POLM2's or the
+// expert's). A nil profile runs the unmodified application.
+func RunApp(app App, workloadName, collectorName string, plan PlanKind, profile *analyzer.Profile, opts RunOptions) (*RunResult, error) {
+	opts = opts.withDefaults()
+	clock := simclock.New()
+	geom := ScaledGeometry(opts.Scale)
+	col, err := NewCollector(collectorName, clock, geom, ScaledCostModel(opts.Scale))
+	if err != nil {
+		return nil, err
+	}
+	vm := jvm.New(col)
+
+	if profile != nil {
+		pret, ok := col.(gc.Pretenuring)
+		if !ok {
+			return nil, fmt.Errorf("core: collector %s cannot apply a pretenuring profile", collectorName)
+		}
+		instrPlan, err := instrument.Apply(profile, pret)
+		if err != nil {
+			return nil, err
+		}
+		vm.SetPlan(instrPlan)
+		vm.SetPretenureCostPerByte(PretenureCostPerByte(opts.Scale))
+	}
+
+	env := &Env{
+		vm:       vm,
+		clock:    clock,
+		rand:     workload.NewRand(opts.Seed),
+		ops:      mustTimeSeries(),
+		deadline: opts.Duration,
+	}
+	if err := app.Run(env, workloadName); err != nil {
+		return nil, fmt.Errorf("core: production run of %s/%s under %s: %w",
+			app.Name(), workloadName, collectorName, err)
+	}
+
+	result := &RunResult{
+		App:         app.Name(),
+		Workload:    workloadName,
+		Collector:   collectorName,
+		Plan:        plan,
+		Pauses:      col.Pauses(),
+		WarmPauses:  &metrics.Sample{},
+		Ops:         env.ops,
+		GenSwitches: vm.GenSwitches(),
+		GCCycles:    col.Cycles(),
+		SimDuration: clock.Now(),
+		Warmup:      opts.Warmup,
+	}
+	for _, p := range result.Pauses {
+		if p.Start >= opts.Warmup {
+			result.WarmPauses.Add(p.Duration)
+		}
+	}
+	for _, n := range env.ops.Slice(opts.Warmup, opts.Duration) {
+		result.WarmOps += n
+	}
+	st := vm.Heap().Stats()
+	result.MaxMemoryBytes = st.MaxCommittedBytes
+	if c4col, ok := col.(*c4.Collector); ok {
+		result.MaxMemoryBytes = c4col.PreReservedBytes()
+		result.PreReserved = true
+	}
+	return result, nil
+}
+
+func mustTimeSeries() *metrics.TimeSeries {
+	ts, err := metrics.NewTimeSeries(time.Second)
+	if err != nil {
+		panic(err) // one-second width is statically valid
+	}
+	return ts
+}

@@ -1,0 +1,324 @@
+package dumper
+
+import (
+	"errors"
+	"testing"
+
+	"polm2/internal/heap"
+	"polm2/internal/simclock"
+	"polm2/internal/snapshot"
+)
+
+func newHeap(t *testing.T) *heap.Heap {
+	t.Helper()
+	h, err := heap.New(heap.Config{RegionSize: 64 * 1024, PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestIncrementalSnapshotShrinksWhenClean(t *testing.T) {
+	h := newHeap(t)
+	clk := simclock.New()
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []*heap.Object
+	for i := 0; i < 32; i++ {
+		obj, err := h.Allocate(r, 2048, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddRoot(obj.ID); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	d := New(h, clk, Config{})
+	if err := d.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing written since the last dump: the next snapshot must be
+	// (nearly) empty.
+	if err := d.Snapshot(2); err != nil {
+		t.Fatal(err)
+	}
+	snaps := d.Snapshots()
+	if len(snaps[0].Pages) == 0 {
+		t.Fatal("first snapshot captured nothing")
+	}
+	if len(snaps[1].Pages) != 0 {
+		t.Fatalf("second snapshot captured %d clean pages", len(snaps[1].Pages))
+	}
+	if snaps[1].SizeBytes >= snaps[0].SizeBytes {
+		t.Fatal("incremental snapshot not smaller")
+	}
+	// A single mutation re-dirties one page.
+	if err := h.Link(objs[0].ID, objs[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Snapshot(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Snapshots()[2].Pages); got != 1 {
+		t.Fatalf("third snapshot captured %d pages, want 1", got)
+	}
+}
+
+func TestNoNeedPagesExcluded(t *testing.T) {
+	h := newHeap(t)
+	clk := simclock.New()
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveObj, err := h.Allocate(r, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(liveObj.ID); err != nil {
+		t.Fatal(err)
+	}
+	// A dead object filling pages 1..3.
+	if _, err := h.Allocate(r, 12*1024, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.MarkNoNeedPages(h.Trace())
+
+	d := New(h, clk, Config{})
+	if err := d.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshots()[0]
+	if len(snap.NoNeed) == 0 {
+		t.Fatal("no-need pages not reported")
+	}
+	for _, pr := range snap.Pages {
+		for _, key := range snap.NoNeed {
+			if pr.Key == key {
+				t.Fatal("no-need page included in snapshot")
+			}
+		}
+	}
+
+	// Ablation: with DisableNoNeed the dead pages are captured.
+	h2 := newHeap(t)
+	r2, err := h2.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := h2.Allocate(r2, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.AddRoot(obj2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Allocate(r2, 12*1024, 1); err != nil {
+		t.Fatal(err)
+	}
+	h2.MarkNoNeedPages(h2.Trace())
+	d2 := New(h2, simclock.New(), Config{DisableNoNeed: true})
+	if err := d2.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+	// With the optimization on, only the one live page is captured; with
+	// it off, the three dirty dead-only pages are captured as well.
+	if got := len(d2.Snapshots()[0].Pages); got <= len(snap.Pages) {
+		t.Fatalf("DisableNoNeed snapshot has %d pages, want more than %d", got, len(snap.Pages))
+	}
+}
+
+func TestDisableIncrementalCapturesEverythingEveryTime(t *testing.T) {
+	h := newHeap(t)
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := h.Allocate(r, 2048, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(obj.ID); err != nil {
+		t.Fatal(err)
+	}
+	d := New(h, simclock.New(), Config{DisableIncremental: true})
+	if err := d.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Snapshot(2); err != nil {
+		t.Fatal(err)
+	}
+	snaps := d.Snapshots()
+	if len(snaps[0].Pages) != len(snaps[1].Pages) || len(snaps[1].Pages) == 0 {
+		t.Fatalf("non-incremental snapshots differ: %d vs %d pages",
+			len(snaps[0].Pages), len(snaps[1].Pages))
+	}
+}
+
+func TestChargeClock(t *testing.T) {
+	h := newHeap(t)
+	clk := simclock.New()
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := h.Allocate(r, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(obj.ID); err != nil {
+		t.Fatal(err)
+	}
+	d := New(h, clk, Config{ChargeClock: true})
+	if err := d.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() == 0 {
+		t.Fatal("ChargeClock did not advance the clock")
+	}
+	uncharged := New(h, simclock.New(), Config{})
+	if err := uncharged.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJmapDumpsOnlyLiveObjects(t *testing.T) {
+	h := newHeap(t)
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveObj, err := h.Allocate(r, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadObj, err := h.Allocate(r, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(liveObj.ID); err != nil {
+		t.Fatal(err)
+	}
+	j := NewJmap(h, simclock.New(), CostModel{})
+	if err := j.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+	snap := j.Snapshots()[0]
+	store := snapshot.NewStore()
+	if err := store.Apply(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Contains(liveObj.ID) {
+		t.Fatal("live object missing from jmap dump")
+	}
+	if store.Contains(deadObj.ID) {
+		t.Fatal("dead object present in jmap dump")
+	}
+	if snap.Incremental {
+		t.Fatal("jmap dump marked incremental")
+	}
+}
+
+func TestJmapCostsExceedCRIU(t *testing.T) {
+	h := newHeap(t)
+	clk := simclock.New()
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		obj, err := h.Allocate(r, 2048, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddRoot(obj.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.MarkNoNeedPages(h.Trace())
+	criu := New(h, clk, Config{})
+	jmap := NewJmap(h, clk, CostModel{})
+	tee := NewTee(criu, jmap)
+	if err := tee.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+	cs, js := criu.Snapshots()[0], jmap.Snapshots()[0]
+	if cs.Duration >= js.Duration {
+		t.Fatalf("CRIU dump (%v) not faster than jmap (%v)", cs.Duration, js.Duration)
+	}
+}
+
+type failSink struct{}
+
+func (failSink) Snapshot(uint64) error { return errInjected }
+
+var errInjected = errors.New("dumper_test: injected failure")
+
+func TestTeePropagatesErrors(t *testing.T) {
+	tee := NewTee(failSink{})
+	if err := tee.Snapshot(1); err == nil {
+		t.Fatal("tee swallowed sink error")
+	}
+}
+
+// TestCRIUAndStoreRoundTrip drives allocation, GC-style region churn and
+// mutation through incremental snapshots, checking that the reconstructed
+// view matches ground truth at the end.
+func TestCRIUAndStoreRoundTrip(t *testing.T) {
+	h := newHeap(t)
+	clk := simclock.New()
+	d := New(h, clk, Config{})
+	store := snapshot.NewStore()
+
+	r1, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.Allocate(r1, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	h.MarkNoNeedPages(h.Trace())
+	if err := d.Snapshot(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evacuate a to a new region and free the old one (young GC).
+	r2, err := h.NewRegion(heap.GenID(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Evacuate(a, r2); err != nil {
+		t.Fatal(err)
+	}
+	h.FreeRegion(r1)
+	b, err := h.Allocate(r2, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	h.MarkNoNeedPages(h.Trace())
+	if err := d.Snapshot(2); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, snap := range d.Snapshots() {
+		if err := store.Apply(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !store.Contains(a.ID) || !store.Contains(b.ID) {
+		t.Fatalf("reconstructed view missing live objects: %v", store.LiveIDs())
+	}
+	if got := len(store.LiveIDs()); got != 2 {
+		t.Fatalf("reconstructed view has %d ids, want 2", got)
+	}
+}

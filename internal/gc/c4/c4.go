@@ -1,0 +1,213 @@
+// Package c4 models the Continuously Concurrent Compacting Collector (Tene
+// et al., ISMM '11), which the paper uses as a throughput and memory
+// comparison point (§5.5): C4's pauses all fall under 10 ms, so the paper
+// omits it from the pause-time figures, but its read/write barriers cost
+// throughput (it is the slowest collector in Figure 7) and it pre-reserves
+// all available memory at launch (≈2× footprint in Figure 9's discussion).
+package c4
+
+import (
+	"fmt"
+	"time"
+
+	"polm2/internal/gc"
+	"polm2/internal/heap"
+	"polm2/internal/simclock"
+)
+
+// Config parameterizes the collector model.
+type Config struct {
+	// Heap sizes the underlying simulated heap. MaxBytes must be set:
+	// C4 pre-reserves it all.
+	Heap heap.Config
+	// Cost is kept for interface symmetry; C4 charges only small
+	// checkpoint pauses.
+	Cost gc.CostModel
+	// TriggerFraction is the committed-heap fraction that starts a
+	// concurrent cycle. Default 0.5.
+	TriggerFraction float64
+	// BarrierFactor is the mutator slowdown from C4's loaded value
+	// barrier and write barriers. Default 1.5, calibrated so C4 lands
+	// where the paper's Figure 7 puts it: the worst throughput of the
+	// evaluated collectors.
+	BarrierFactor float64
+	// CheckpointPause is the per-cycle stop-the-world checkpoint pause.
+	// Default 3 ms (the paper reports all C4 pauses under 10 ms).
+	CheckpointPause time.Duration
+	// EvacuateBelow is the live fraction under which a region is
+	// compacted during a cycle. Default 0.5.
+	EvacuateBelow float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cost == (gc.CostModel{}) {
+		c.Cost = gc.DefaultCostModel()
+	}
+	if c.TriggerFraction == 0 {
+		c.TriggerFraction = 0.5
+	}
+	if c.BarrierFactor == 0 {
+		c.BarrierFactor = 1.5
+	}
+	if c.CheckpointPause == 0 {
+		c.CheckpointPause = 3 * time.Millisecond
+	}
+	if c.EvacuateBelow == 0 {
+		c.EvacuateBelow = 0.5
+	}
+	return c
+}
+
+// Collector is the C4-like concurrent collector model.
+type Collector struct {
+	h     *heap.Heap
+	clock *simclock.Clock
+	cfg   Config
+
+	cur     *heap.Region
+	regions []*heap.Region
+
+	pauses    []gc.Pause
+	cycles    uint64
+	listeners []gc.CycleFunc
+}
+
+var _ gc.Collector = (*Collector)(nil)
+
+// New builds a C4-like collector over a fresh heap.
+func New(clock *simclock.Clock, cfg Config) (*Collector, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Heap.MaxBytes == 0 {
+		return nil, fmt.Errorf("c4: Heap.MaxBytes must be set (C4 pre-reserves all memory)")
+	}
+	h, err := heap.New(cfg.Heap)
+	if err != nil {
+		return nil, fmt.Errorf("c4: %w", err)
+	}
+	return &Collector{h: h, clock: clock, cfg: cfg}, nil
+}
+
+// Name implements gc.Collector.
+func (c *Collector) Name() string { return "C4" }
+
+// Heap implements gc.Collector.
+func (c *Collector) Heap() *heap.Heap { return c.h }
+
+// Clock implements gc.Collector.
+func (c *Collector) Clock() *simclock.Clock { return c.clock }
+
+// Pauses implements gc.Collector.
+func (c *Collector) Pauses() []gc.Pause {
+	out := make([]gc.Pause, len(c.pauses))
+	copy(out, c.pauses)
+	return out
+}
+
+// Cycles implements gc.Collector.
+func (c *Collector) Cycles() uint64 { return c.cycles }
+
+// MutatorFactor implements gc.Collector: the barrier tax.
+func (c *Collector) MutatorFactor() float64 { return c.cfg.BarrierFactor }
+
+// OnCycleEnd implements gc.Collector.
+func (c *Collector) OnCycleEnd(fn gc.CycleFunc) {
+	c.listeners = append(c.listeners, fn)
+}
+
+// PreReservedBytes returns the memory C4 reserves at launch: the entire
+// configured heap. The evaluation harness reports this instead of the
+// committed high-water mark (Figure 9's discussion).
+func (c *Collector) PreReservedBytes() uint64 { return c.cfg.Heap.MaxBytes }
+
+// Allocate implements gc.Collector.
+func (c *Collector) Allocate(size uint32, site heap.SiteID, _ heap.GenID) (*heap.Object, error) {
+	regionSize := c.h.Config().RegionSize
+	if uint64(size) > uint64(regionSize) {
+		return nil, fmt.Errorf("c4: humongous allocation of %d bytes unsupported (region size %d)", size, regionSize)
+	}
+	if c.cur == nil || c.cur.Used()+size > regionSize {
+		if float64(c.h.Stats().CommittedBytes+uint64(regionSize)) > c.cfg.TriggerFraction*float64(c.cfg.Heap.MaxBytes) {
+			if err := c.cycle(); err != nil {
+				return nil, err
+			}
+		}
+		r, err := c.h.NewRegion(heap.Young)
+		if err != nil {
+			// Allocation outpaced the concurrent collector: run
+			// another cycle synchronously.
+			if err := c.cycle(); err != nil {
+				return nil, err
+			}
+			r, err = c.h.NewRegion(heap.Young)
+			if err != nil {
+				return nil, fmt.Errorf("c4: heap exhausted: %w", err)
+			}
+		}
+		c.regions = append(c.regions, r)
+		c.cur = r
+	}
+	obj, err := c.h.Allocate(c.cur, size, site)
+	if err != nil {
+		return nil, fmt.Errorf("c4: %w", err)
+	}
+	return obj, nil
+}
+
+// ForceCollect implements gc.Collector.
+func (c *Collector) ForceCollect() error { return c.cycle() }
+
+// cycle runs one concurrent mark-compact cycle. Marking, sweeping and
+// compaction happen concurrently with the mutator, so none of that work is
+// charged to pause time — only the fixed checkpoint pause is. The
+// throughput cost of concurrency is carried by MutatorFactor instead.
+func (c *Collector) cycle() error {
+	start := c.clock.Now()
+	live := c.h.Trace()
+
+	regionSize := c.h.Config().RegionSize
+	cursor := gc.NewCursor(c.h, heap.Young)
+	kept := make([]*heap.Region, 0, len(c.regions))
+	freed := 0
+	for _, r := range c.regions {
+		rl := live.Region(r.ID())
+		liveFrac := float64(rl.Bytes) / float64(regionSize)
+		if rl.Objects == 0 {
+			gc.SweepRegion(c.h, r, live)
+			c.h.FreeRegion(r)
+			freed++
+			continue
+		}
+		if liveFrac < c.cfg.EvacuateBelow && r != c.cur {
+			if _, _, err := gc.EvacuateAndFree(c.h, r, live, cursor.Place); err != nil {
+				return fmt.Errorf("c4: cycle: %w", err)
+			}
+			freed++
+			continue
+		}
+		// Sweep dead objects in place (concurrent free).
+		gc.SweepRegion(c.h, r, live)
+		kept = append(kept, r)
+	}
+	c.regions = append(kept, cursor.Regions()...)
+	if c.cur != nil && c.cur.Freed() {
+		c.cur = nil
+	}
+
+	dur := c.cfg.CheckpointPause
+	c.clock.Advance(dur)
+	c.cycles++
+	c.pauses = append(c.pauses, gc.Pause{
+		Start:            start,
+		Duration:         dur,
+		Kind:             gc.PauseConcurrent,
+		Cycle:            c.cycles,
+		BytesCopied:      cursor.Bytes(),
+		ObjectsCopied:    cursor.Objects(),
+		RegionsCollected: len(c.regions) + freed,
+		RegionsFreed:     freed,
+	})
+	for _, fn := range c.listeners {
+		fn(c.cycles, live)
+	}
+	return nil
+}

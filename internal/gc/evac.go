@@ -1,0 +1,122 @@
+package gc
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"polm2/internal/heap"
+)
+
+// Cursor places evacuated objects into destination regions of one
+// generation, committing fresh regions as the current one fills. It is the
+// shared building block of every copying collection in this reproduction.
+type Cursor struct {
+	h       *heap.Heap
+	gen     heap.GenID
+	regions []*heap.Region
+	cur     *heap.Region
+	bytes   uint64
+	objects int
+}
+
+// NewCursor returns a cursor that evacuates into generation gen.
+func NewCursor(h *heap.Heap, gen heap.GenID) *Cursor {
+	return &Cursor{h: h, gen: gen}
+}
+
+// Place evacuates obj into the cursor's generation.
+func (c *Cursor) Place(obj *heap.Object) error {
+	if c.cur == nil || c.cur.Used()+obj.Size > c.h.Config().RegionSize {
+		r, err := c.h.NewRegion(c.gen)
+		if err != nil {
+			return fmt.Errorf("gc: acquiring evacuation region: %w", err)
+		}
+		c.regions = append(c.regions, r)
+		c.cur = r
+	}
+	if err := c.h.Evacuate(obj, c.cur); err != nil {
+		return fmt.Errorf("gc: evacuating %v: %w", obj, err)
+	}
+	c.bytes += uint64(obj.Size)
+	c.objects++
+	return nil
+}
+
+// Regions returns the destination regions committed so far.
+func (c *Cursor) Regions() []*heap.Region {
+	out := make([]*heap.Region, len(c.regions))
+	copy(out, c.regions)
+	return out
+}
+
+// Bytes returns the total bytes evacuated through the cursor.
+func (c *Cursor) Bytes() uint64 { return c.bytes }
+
+// Objects returns the number of objects evacuated through the cursor.
+func (c *Cursor) Objects() int { return c.objects }
+
+// Gen returns the cursor's destination generation.
+func (c *Cursor) Gen() heap.GenID { return c.gen }
+
+// LiveResidents returns the live residents of region r in ascending id
+// order. Deterministic ordering keeps every simulation bit-reproducible.
+func LiveResidents(h *heap.Heap, r *heap.Region, live *heap.LiveSet) []*heap.Object {
+	ids := r.Residents()
+	slices.Sort(ids)
+	out := make([]*heap.Object, 0, len(ids))
+	for _, id := range ids {
+		if obj := h.Object(id); obj != nil && live.Marked(obj) {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// SweepRegion removes every dead resident of r and returns the count and
+// bytes of removed garbage. After a sweep of all its live objects'
+// evacuation, the region is empty and can be freed.
+func SweepRegion(h *heap.Heap, r *heap.Region, live *heap.LiveSet) (objects int, bytes uint64) {
+	ids := r.Residents()
+	slices.Sort(ids)
+	for _, id := range ids {
+		obj := h.Object(id)
+		if obj == nil || live.Marked(obj) {
+			continue
+		}
+		bytes += uint64(obj.Size)
+		objects++
+		h.Remove(obj)
+	}
+	return objects, bytes
+}
+
+// EvacuateAndFree evacuates each live resident of r via place, sweeps the
+// dead ones, and frees the region. It returns the garbage statistics from
+// the sweep.
+func EvacuateAndFree(h *heap.Heap, r *heap.Region, live *heap.LiveSet, place func(*heap.Object) error) (deadObjects int, deadBytes uint64, err error) {
+	for _, obj := range LiveResidents(h, r, live) {
+		if err := place(obj); err != nil {
+			return 0, 0, err
+		}
+	}
+	deadObjects, deadBytes = SweepRegion(h, r, live)
+	h.FreeRegion(r)
+	return deadObjects, deadBytes, nil
+}
+
+// SortRegionsByGarbage orders regions by descending dead-byte count under
+// the given live set — G1's "garbage first" mixed-collection heuristic.
+// Ties break on region id for determinism.
+func SortRegionsByGarbage(regions []*heap.Region, live *heap.LiveSet) {
+	garbage := func(r *heap.Region) uint64 {
+		return uint64(r.Used()) - live.Region(r.ID()).Bytes
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		gi, gj := garbage(regions[i]), garbage(regions[j])
+		if gi != gj {
+			return gi > gj
+		}
+		return regions[i].ID() < regions[j].ID()
+	})
+}

@@ -1,0 +1,417 @@
+// Package g1 implements the baseline collector of the POLM2 reproduction: a
+// region-based, two-generation, stop-the-world copying collector modeled on
+// Garbage First (Detlefs et al., ISMM '04), the default OpenJDK collector
+// the paper compares against.
+//
+// The collector exhibits exactly the pathology the paper attacks (§1, §2.1):
+// every object is allocated young; middle- and long-lived objects are copied
+// between survivor spaces until the tenuring threshold and then promoted en
+// masse into the old generation, and old regions are later compacted by
+// mixed collections. All of that copying is charged to stop-the-world pause
+// time through the gc.CostModel.
+package g1
+
+import (
+	"fmt"
+	"time"
+
+	"polm2/internal/gc"
+	"polm2/internal/heap"
+	"polm2/internal/simclock"
+)
+
+// Old is the old generation of the two-generation heap.
+const Old heap.GenID = 1
+
+// Config parameterizes the collector.
+type Config struct {
+	// Heap sizes the underlying simulated heap.
+	Heap heap.Config
+	// Cost converts collection work into pause time. Zero value means
+	// gc.DefaultCostModel.
+	Cost gc.CostModel
+	// YoungBytes caps the young generation (eden + survivor), mirroring
+	// the paper's fixed 2 GB young generation (§5.1), scaled.
+	YoungBytes uint64
+	// SurvivorFraction is the share of YoungBytes reserved for survivor
+	// space; overflow is promoted prematurely (en masse). Default 0.15.
+	SurvivorFraction float64
+	// TenuringThreshold is the number of young collections an object
+	// survives before promotion. Default 4.
+	TenuringThreshold uint8
+	// IHOP is the fraction of total heap occupancy that arms mixed
+	// collections. Default 0.45 (the G1 default).
+	IHOP float64
+	// MaxMixedRegions caps how many old regions one mixed collection
+	// evacuates. Default 8.
+	MaxMixedRegions int
+	// MinMixedGarbage is the minimum garbage fraction a region must
+	// have to be evacuated by a mixed collection (G1's liveness
+	// threshold: mostly-live regions are not worth copying).
+	// Default 0.25.
+	MinMixedGarbage float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cost == (gc.CostModel{}) {
+		c.Cost = gc.DefaultCostModel()
+	}
+	if c.SurvivorFraction == 0 {
+		c.SurvivorFraction = 0.15
+	}
+	if c.TenuringThreshold == 0 {
+		c.TenuringThreshold = 4
+	}
+	if c.IHOP == 0 {
+		c.IHOP = 0.45
+	}
+	if c.MaxMixedRegions == 0 {
+		c.MaxMixedRegions = 8
+	}
+	if c.MinMixedGarbage == 0 {
+		c.MinMixedGarbage = 0.25
+	}
+	return c
+}
+
+// Collector is the G1-like baseline collector.
+type Collector struct {
+	h     *heap.Heap
+	clock *simclock.Clock
+	cfg   Config
+
+	edenCur   *heap.Region
+	eden      []*heap.Region
+	survivors []*heap.Region
+	old       []*heap.Region
+	// humongous marks dedicated single-object regions; they are never
+	// evacuated, only reclaimed whole when their object dies.
+	humongous map[heap.RegionID]bool
+
+	pauses       []gc.Pause
+	cycles       uint64
+	listeners    []gc.CycleFunc
+	mixedPending bool
+}
+
+var _ gc.Collector = (*Collector)(nil)
+
+// New builds a G1-like collector over a fresh heap.
+func New(clock *simclock.Clock, cfg Config) (*Collector, error) {
+	cfg = cfg.withDefaults()
+	h, err := heap.New(cfg.Heap)
+	if err != nil {
+		return nil, fmt.Errorf("g1: %w", err)
+	}
+	if cfg.YoungBytes == 0 {
+		return nil, fmt.Errorf("g1: YoungBytes must be set")
+	}
+	if cfg.YoungBytes < uint64(h.Config().RegionSize)*2 {
+		return nil, fmt.Errorf("g1: YoungBytes %d must hold at least two regions", cfg.YoungBytes)
+	}
+	return &Collector{h: h, clock: clock, cfg: cfg, humongous: make(map[heap.RegionID]bool)}, nil
+}
+
+// Name implements gc.Collector.
+func (c *Collector) Name() string { return "G1" }
+
+// Heap implements gc.Collector.
+func (c *Collector) Heap() *heap.Heap { return c.h }
+
+// Clock implements gc.Collector.
+func (c *Collector) Clock() *simclock.Clock { return c.clock }
+
+// Pauses implements gc.Collector.
+func (c *Collector) Pauses() []gc.Pause {
+	out := make([]gc.Pause, len(c.pauses))
+	copy(out, c.pauses)
+	return out
+}
+
+// Cycles implements gc.Collector.
+func (c *Collector) Cycles() uint64 { return c.cycles }
+
+// MutatorFactor implements gc.Collector. G1's write barriers are already
+// priced into the mutator cost baseline, so the factor is 1.
+func (c *Collector) MutatorFactor() float64 { return 1.0 }
+
+// OnCycleEnd implements gc.Collector.
+func (c *Collector) OnCycleEnd(fn gc.CycleFunc) {
+	c.listeners = append(c.listeners, fn)
+}
+
+// youngBytes returns committed young-generation bytes.
+func (c *Collector) youngBytes() uint64 {
+	return uint64(len(c.eden)+len(c.survivors)) * uint64(c.h.Config().RegionSize)
+}
+
+// Allocate implements gc.Collector. The target generation is ignored: G1
+// has no pretenuring support, which is precisely why the paper needs NG2C.
+func (c *Collector) Allocate(size uint32, site heap.SiteID, _ heap.GenID) (*heap.Object, error) {
+	regionSize := c.h.Config().RegionSize
+	if uint64(size) > uint64(regionSize) {
+		return nil, fmt.Errorf("g1: allocation of %d bytes exceeds the region size (%d)", size, regionSize)
+	}
+	if size > regionSize/2 {
+		// Humongous allocation: a dedicated old region, as in G1.
+		// The object is never copied; the region is reclaimed whole
+		// at cleanup when the object dies.
+		r, err := c.h.NewRegion(Old)
+		if err != nil {
+			if err := c.fullCollect(); err != nil {
+				return nil, err
+			}
+			r, err = c.h.NewRegion(Old)
+			if err != nil {
+				return nil, fmt.Errorf("g1: heap exhausted after full GC: %w", err)
+			}
+		}
+		c.old = append(c.old, r)
+		c.humongous[r.ID()] = true
+		obj, err := c.h.Allocate(r, size, site)
+		if err != nil {
+			return nil, fmt.Errorf("g1: %w", err)
+		}
+		return obj, nil
+	}
+	if c.edenCur == nil || c.edenCur.Used()+size > regionSize {
+		// Current eden region exhausted: collect if acquiring another
+		// would exceed the young cap.
+		if c.youngBytes()+uint64(regionSize) > c.cfg.YoungBytes {
+			if err := c.collect(); err != nil {
+				return nil, err
+			}
+		}
+		r, err := c.h.NewRegion(heap.Young)
+		if err != nil {
+			// Evacuation space exhausted: fall back to a full
+			// collection, as G1 does.
+			if err := c.fullCollect(); err != nil {
+				return nil, err
+			}
+			r, err = c.h.NewRegion(heap.Young)
+			if err != nil {
+				return nil, fmt.Errorf("g1: heap exhausted after full GC: %w", err)
+			}
+		}
+		c.eden = append(c.eden, r)
+		c.edenCur = r
+	}
+	obj, err := c.h.Allocate(c.edenCur, size, site)
+	if err != nil {
+		return nil, fmt.Errorf("g1: %w", err)
+	}
+	return obj, nil
+}
+
+// ForceCollect implements gc.Collector.
+func (c *Collector) ForceCollect() error { return c.collect() }
+
+// collect runs a young or mixed collection depending on whether a mixed
+// cycle is armed.
+func (c *Collector) collect() error {
+	c.armMixedIfNeeded() // occupancy check at collection start, like G1's IHOP
+	start := c.clock.Now()
+	live := c.h.Trace()
+
+	// Fix the collection set before evacuating: all young regions, plus
+	// the most garbage-rich old regions when a mixed cycle is armed.
+	cs := make([]*heap.Region, 0, len(c.eden)+len(c.survivors)+c.cfg.MaxMixedRegions)
+	cs = append(cs, c.eden...)
+	cs = append(cs, c.survivors...)
+	kind := gc.PauseYoung
+
+	// Cleanup phase: completely empty old regions are reclaimed without
+	// evacuation, as in G1's cleanup pause.
+	var emptyCS []*heap.Region
+	keptOld := make([]*heap.Region, 0, len(c.old))
+	for _, r := range c.old {
+		if live.Region(r.ID()).Objects == 0 {
+			emptyCS = append(emptyCS, r)
+		} else {
+			keptOld = append(keptOld, r)
+		}
+	}
+	c.old = keptOld
+
+	var oldCS []*heap.Region
+	if c.mixedPending && len(c.old) > 0 {
+		kind = gc.PauseMixed
+		source := c.old
+		candidates := make([]*heap.Region, 0, len(source))
+		regionSize := float64(c.h.Config().RegionSize)
+		for _, r := range source {
+			if c.humongous[r.ID()] {
+				continue // humongous objects are never copied
+			}
+			garbage := float64(r.Used()) - float64(live.Region(r.ID()).Bytes)
+			if garbage >= c.cfg.MinMixedGarbage*regionSize {
+				candidates = append(candidates, r)
+			}
+		}
+		gc.SortRegionsByGarbage(candidates, live)
+		n := c.cfg.MaxMixedRegions
+		if n > len(candidates) {
+			n = len(candidates)
+		}
+		oldCS = candidates[:n]
+		cs = append(cs, oldCS...)
+	}
+
+	remset := 0
+	for _, r := range cs {
+		remset += r.RemsetEntries()
+	}
+
+	survivorCap := uint64(float64(c.cfg.YoungBytes) * c.cfg.SurvivorFraction)
+	survivorCursor := gc.NewCursor(c.h, heap.Young)
+	oldCursor := gc.NewCursor(c.h, Old)
+
+	inOldCS := make(map[heap.RegionID]bool, len(oldCS))
+	for _, r := range oldCS {
+		inOldCS[r.ID()] = true
+	}
+
+	var promotedBytes uint64
+	place := func(obj *heap.Object) error {
+		if inOldCS[obj.Region] {
+			// Old-region compaction: stays old.
+			return oldCursor.Place(obj)
+		}
+		obj.Age++
+		if obj.Age >= c.cfg.TenuringThreshold ||
+			survivorCursor.Bytes()+uint64(obj.Size) > survivorCap {
+			// Tenured — or survivor space overflow, the paper's
+			// "premature en masse promotion" (§5.1).
+			promotedBytes += uint64(obj.Size)
+			return oldCursor.Place(obj)
+		}
+		return survivorCursor.Place(obj)
+	}
+
+	freed := 0
+	for _, r := range cs {
+		if _, _, err := gc.EvacuateAndFree(c.h, r, live, place); err != nil {
+			return fmt.Errorf("g1: %s collection: %w", kind, err)
+		}
+		freed++
+	}
+	for _, r := range emptyCS {
+		gc.SweepRegion(c.h, r, live)
+		c.h.FreeRegion(r)
+		delete(c.humongous, r.ID())
+		freed++
+	}
+
+	// Rebuild space bookkeeping.
+	c.eden = nil
+	c.edenCur = nil
+	c.survivors = survivorCursor.Regions()
+	if len(oldCS) > 0 {
+		kept := c.old[:0]
+		for _, r := range c.old {
+			if !inOldCS[r.ID()] {
+				kept = append(kept, r)
+			}
+		}
+		c.old = kept
+		c.mixedPending = false
+	}
+	c.old = append(c.old, oldCursor.Regions()...)
+
+	copiedBytes := survivorCursor.Bytes() + oldCursor.Bytes()
+	copiedObjects := survivorCursor.Objects() + oldCursor.Objects()
+	dur := c.cfg.Cost.EvacuationCost(len(cs)+len(emptyCS), remset, copiedBytes, copiedObjects)
+	c.clock.Advance(dur)
+	c.cycles++
+	c.pauses = append(c.pauses, gc.Pause{
+		Start:            start,
+		Duration:         dur,
+		Kind:             kind,
+		Cycle:            c.cycles,
+		BytesCopied:      copiedBytes,
+		ObjectsCopied:    copiedObjects,
+		RegionsCollected: len(cs) + len(emptyCS),
+		RegionsFreed:     freed,
+		PromotedBytes:    promotedBytes,
+	})
+	c.armMixedIfNeeded()
+	c.notify(live)
+	return nil
+}
+
+// fullCollect compacts the entire heap into fresh old regions. It is the
+// collector's response to evacuation failure.
+func (c *Collector) fullCollect() error {
+	start := c.clock.Now()
+	live := c.h.Trace()
+	cursor := gc.NewCursor(c.h, Old)
+	regions := c.h.ActiveRegions()
+	remset := 0
+	for _, r := range regions {
+		remset += r.RemsetEntries()
+	}
+	var keptHumongous []*heap.Region
+	for _, r := range regions {
+		if c.humongous[r.ID()] {
+			// Humongous objects stay in place; dead ones free
+			// their region whole.
+			gc.SweepRegion(c.h, r, live)
+			if r.ResidentCount() == 0 {
+				c.h.FreeRegion(r)
+				delete(c.humongous, r.ID())
+			} else {
+				keptHumongous = append(keptHumongous, r)
+			}
+			continue
+		}
+		if _, _, err := gc.EvacuateAndFree(c.h, r, live, cursor.Place); err != nil {
+			return fmt.Errorf("g1: full collection: %w", err)
+		}
+	}
+	c.eden = nil
+	c.edenCur = nil
+	c.survivors = nil
+	c.old = append(cursor.Regions(), keptHumongous...)
+	c.mixedPending = false
+
+	dur := c.cfg.Cost.EvacuationCost(len(regions), remset, cursor.Bytes(), cursor.Objects()) +
+		time.Duration(live.Objects)*c.cfg.Cost.PerTracedObject
+	c.clock.Advance(dur)
+	c.cycles++
+	c.pauses = append(c.pauses, gc.Pause{
+		Start:            start,
+		Duration:         dur,
+		Kind:             gc.PauseFull,
+		Cycle:            c.cycles,
+		BytesCopied:      cursor.Bytes(),
+		ObjectsCopied:    cursor.Objects(),
+		RegionsCollected: len(regions),
+		RegionsFreed:     len(regions),
+	})
+	c.armMixedIfNeeded()
+	c.notify(live)
+	return nil
+}
+
+func (c *Collector) armMixedIfNeeded() {
+	max := c.h.Config().MaxBytes
+	if max == 0 {
+		return
+	}
+	if float64(c.h.Stats().CommittedBytes) > c.cfg.IHOP*float64(max) {
+		c.mixedPending = true
+	}
+}
+
+func (c *Collector) notify(live *heap.LiveSet) {
+	for _, fn := range c.listeners {
+		fn(c.cycles, live)
+	}
+}
+
+// OldRegions returns the number of old-generation regions (test hook).
+func (c *Collector) OldRegions() int { return len(c.old) }
+
+// SurvivorRegions returns the number of survivor regions (test hook).
+func (c *Collector) SurvivorRegions() int { return len(c.survivors) }

@@ -1,0 +1,191 @@
+package gc
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/heap"
+)
+
+func TestPauseKindString(t *testing.T) {
+	tests := []struct {
+		kind PauseKind
+		want string
+	}{
+		{PauseYoung, "young"},
+		{PauseMixed, "mixed"},
+		{PauseFull, "full"},
+		{PauseConcurrent, "concurrent"},
+		{PauseKind(0), "invalid"},
+	}
+	for _, tc := range tests {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("PauseKind(%d).String() = %q, want %q", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestEvacuationCost(t *testing.T) {
+	m := CostModel{
+		Base:            time.Millisecond,
+		PerRegion:       10 * time.Microsecond,
+		PerRemsetEntry:  100 * time.Nanosecond,
+		PerCopiedByte:   1 * time.Nanosecond,
+		PerCopiedObject: 200 * time.Nanosecond,
+	}
+	got := m.EvacuationCost(2, 10, 1000, 5)
+	want := time.Millisecond + 20*time.Microsecond + time.Microsecond + time.Microsecond + time.Microsecond
+	if got != want {
+		t.Fatalf("EvacuationCost = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultCostModelNonZero(t *testing.T) {
+	m := DefaultCostModel()
+	if m.Base <= 0 || m.PerCopiedByte <= 0 || m.PerRemsetEntry <= 0 {
+		t.Fatalf("default cost model has zero components: %+v", m)
+	}
+}
+
+func newHeap(t *testing.T) *heap.Heap {
+	t.Helper()
+	h, err := heap.New(heap.Config{RegionSize: 16 * 1024, PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCursorSpillsAcrossRegions(t *testing.T) {
+	h := newHeap(t)
+	var objs []*heap.Object
+	for i := 0; i < 3; i++ {
+		src, err := h.NewRegion(heap.Young)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := h.Allocate(src, 6000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	cur := NewCursor(h, heap.GenID(2))
+	for _, obj := range objs {
+		if err := cur.Place(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 x 6000 bytes do not fit one 16 KiB region: the cursor must have
+	// committed a second one.
+	if len(cur.Regions()) != 2 {
+		t.Fatalf("cursor regions = %d, want 2", len(cur.Regions()))
+	}
+	if cur.Bytes() != 18000 || cur.Objects() != 3 {
+		t.Fatalf("cursor stats = %d bytes / %d objects", cur.Bytes(), cur.Objects())
+	}
+	if cur.Gen() != 2 {
+		t.Fatalf("cursor gen = %d, want 2", cur.Gen())
+	}
+	for _, obj := range objs {
+		if obj.Gen != 2 {
+			t.Fatalf("object not regenerated: %v", obj)
+		}
+	}
+}
+
+func TestSweepAndEvacuateAndFree(t *testing.T) {
+	h := newHeap(t)
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveObj, err := h.Allocate(r, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Allocate(r, 200, 1); err != nil { // dead
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(liveObj.ID); err != nil {
+		t.Fatal(err)
+	}
+	live := h.Trace()
+
+	cur := NewCursor(h, heap.GenID(1))
+	deadObjects, deadBytes, err := EvacuateAndFree(h, r, live, cur.Place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deadObjects != 1 || deadBytes != 200 {
+		t.Fatalf("dead = %d objects / %d bytes, want 1/200", deadObjects, deadBytes)
+	}
+	if !r.Freed() {
+		t.Fatal("source region not freed")
+	}
+	if h.Object(liveObj.ID) == nil {
+		t.Fatal("live object lost")
+	}
+	if liveObj.Gen != 1 {
+		t.Fatal("live object not evacuated")
+	}
+}
+
+func TestLiveResidentsDeterministicOrder(t *testing.T) {
+	h := newHeap(t)
+	r, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		obj, err := h.Allocate(r, 64, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddRoot(obj.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := h.Trace()
+	a := LiveResidents(h, r, live)
+	b := LiveResidents(h, r, live)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("LiveResidents order not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].ID >= a[i].ID {
+			t.Fatal("LiveResidents not sorted by id")
+		}
+	}
+}
+
+func TestSortRegionsByGarbage(t *testing.T) {
+	h := newHeap(t)
+	mostlyDead, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mostlyLive, err := h.NewRegion(heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mostlyDead: 8000 dead bytes; mostlyLive: 8000 live bytes.
+	if _, err := h.Allocate(mostlyDead, 8000, 1); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := h.Allocate(mostlyLive, 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(obj.ID); err != nil {
+		t.Fatal(err)
+	}
+	live := h.Trace()
+	regions := []*heap.Region{mostlyLive, mostlyDead}
+	SortRegionsByGarbage(regions, live)
+	if regions[0] != mostlyDead {
+		t.Fatal("garbage-first ordering wrong")
+	}
+}

@@ -1,0 +1,547 @@
+// Package ng2c implements the pretenuring, multi-generational collector the
+// paper builds on (Bruno et al., "NG2C: Pretenuring Garbage Collection with
+// Dynamic Generations", ISMM '17 — §2.2 of the POLM2 paper).
+//
+// NG2C extends the two-generation heap with an arbitrary number of
+// dynamically created generations and an API for allocating ("pretenuring")
+// objects directly into any of them:
+//
+//   - NewGeneration creates a generation at runtime;
+//   - Allocate with a non-zero target places the object straight into that
+//     generation, bypassing eden, survivor copying and promotion entirely.
+//
+// Objects with similar lifetimes pretenured into the same generation die
+// together; their regions become fully dead and are reclaimed during the
+// cleanup phase without any copying. That is the entire mechanism behind
+// the paper's pause-time reductions, and it emerges here from the cost
+// model rather than being scripted.
+package ng2c
+
+import (
+	"fmt"
+	"time"
+
+	"polm2/internal/gc"
+	"polm2/internal/heap"
+	"polm2/internal/simclock"
+)
+
+// Old is the promotion target for objects that tenure out of the young
+// generation without having been pretenured.
+const Old heap.GenID = 1
+
+// firstDynamicGen is the id of the first generation NewGeneration hands out.
+const firstDynamicGen heap.GenID = 2
+
+// Config parameterizes the collector. The young-generation machinery is
+// identical to the G1 baseline by construction, so that the only difference
+// measured by the evaluation is pretenuring itself.
+type Config struct {
+	// Heap sizes the underlying simulated heap.
+	Heap heap.Config
+	// Cost converts collection work into pause time. Zero value means
+	// gc.DefaultCostModel.
+	Cost gc.CostModel
+	// YoungBytes caps the young generation (eden + survivor).
+	YoungBytes uint64
+	// SurvivorFraction is the share of YoungBytes reserved for survivor
+	// space. Default 0.15.
+	SurvivorFraction float64
+	// TenuringThreshold is the promotion age for non-pretenured objects.
+	// Default 4.
+	TenuringThreshold uint8
+	// IHOP is the occupancy fraction that arms mixed collections.
+	// Default 0.45.
+	IHOP float64
+	// MaxMixedRegions caps old/dynamic regions evacuated per mixed
+	// collection. Default 8.
+	MaxMixedRegions int
+	// MinMixedGarbage is the minimum garbage fraction a region must
+	// have to be evacuated by a mixed collection (G1's liveness
+	// threshold: mostly-live regions are not worth copying).
+	// Default 0.25.
+	MinMixedGarbage float64
+	// PressureFraction triggers a collection when committing a mature
+	// region pushes heap occupancy past this fraction. Pretenured
+	// allocation bypasses eden and would otherwise never trigger the
+	// cleanup that reclaims dead pretenured regions. Default 0.45.
+	PressureFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cost == (gc.CostModel{}) {
+		c.Cost = gc.DefaultCostModel()
+	}
+	if c.SurvivorFraction == 0 {
+		c.SurvivorFraction = 0.15
+	}
+	if c.TenuringThreshold == 0 {
+		c.TenuringThreshold = 4
+	}
+	if c.IHOP == 0 {
+		c.IHOP = 0.45
+	}
+	if c.MaxMixedRegions == 0 {
+		c.MaxMixedRegions = 8
+	}
+	if c.MinMixedGarbage == 0 {
+		c.MinMixedGarbage = 0.25
+	}
+	if c.PressureFraction == 0 {
+		c.PressureFraction = 0.45
+	}
+	return c
+}
+
+// Collector is the NG2C-like pretenuring collector.
+type Collector struct {
+	h     *heap.Heap
+	clock *simclock.Clock
+	cfg   Config
+
+	edenCur   *heap.Region
+	eden      []*heap.Region
+	survivors []*heap.Region
+	// mature holds the regions of every generation >= Old, including the
+	// dynamic pretenuring generations.
+	mature []*heap.Region
+	// allocCur is the current allocation region per pretenuring
+	// generation (Old is only filled by promotion, never direct
+	// allocation without a plan).
+	allocCur map[heap.GenID]*heap.Region
+
+	nextGen heap.GenID
+	// humongous marks dedicated single-object regions; they are never
+	// evacuated, only reclaimed whole when their object dies.
+	humongous map[heap.RegionID]bool
+
+	pauses       []gc.Pause
+	cycles       uint64
+	listeners    []gc.CycleFunc
+	mixedPending bool
+	// pressureArmed allows one pressure-triggered collection per
+	// threshold crossing.
+	pressureArmed bool
+}
+
+var (
+	_ gc.Collector   = (*Collector)(nil)
+	_ gc.Pretenuring = (*Collector)(nil)
+)
+
+// New builds an NG2C-like collector over a fresh heap.
+func New(clock *simclock.Clock, cfg Config) (*Collector, error) {
+	cfg = cfg.withDefaults()
+	h, err := heap.New(cfg.Heap)
+	if err != nil {
+		return nil, fmt.Errorf("ng2c: %w", err)
+	}
+	if cfg.YoungBytes == 0 {
+		return nil, fmt.Errorf("ng2c: YoungBytes must be set")
+	}
+	if cfg.YoungBytes < uint64(h.Config().RegionSize)*2 {
+		return nil, fmt.Errorf("ng2c: YoungBytes %d must hold at least two regions", cfg.YoungBytes)
+	}
+	return &Collector{
+		h:         h,
+		clock:     clock,
+		cfg:       cfg,
+		allocCur:  make(map[heap.GenID]*heap.Region),
+		nextGen:   firstDynamicGen,
+		humongous: make(map[heap.RegionID]bool),
+	}, nil
+}
+
+// Name implements gc.Collector.
+func (c *Collector) Name() string { return "NG2C" }
+
+// Heap implements gc.Collector.
+func (c *Collector) Heap() *heap.Heap { return c.h }
+
+// Clock implements gc.Collector.
+func (c *Collector) Clock() *simclock.Clock { return c.clock }
+
+// Pauses implements gc.Collector.
+func (c *Collector) Pauses() []gc.Pause {
+	out := make([]gc.Pause, len(c.pauses))
+	copy(out, c.pauses)
+	return out
+}
+
+// Cycles implements gc.Collector.
+func (c *Collector) Cycles() uint64 { return c.cycles }
+
+// MutatorFactor implements gc.Collector. NG2C's barriers match G1's
+// (§5.5 of the NG2C paper reports no throughput cost).
+func (c *Collector) MutatorFactor() float64 { return 1.0 }
+
+// OnCycleEnd implements gc.Collector.
+func (c *Collector) OnCycleEnd(fn gc.CycleFunc) {
+	c.listeners = append(c.listeners, fn)
+}
+
+// NewGeneration implements gc.Pretenuring: it creates a fresh dynamic
+// generation and returns its id (System.newGeneration in the paper's API).
+func (c *Collector) NewGeneration() heap.GenID {
+	id := c.nextGen
+	c.nextGen++
+	return id
+}
+
+// Generations implements gc.Pretenuring: young + old + dynamic generations
+// created so far.
+func (c *Collector) Generations() int {
+	return 2 + int(c.nextGen-firstDynamicGen)
+}
+
+func (c *Collector) youngBytes() uint64 {
+	return uint64(len(c.eden)+len(c.survivors)) * uint64(c.h.Config().RegionSize)
+}
+
+// Allocate implements gc.Collector. A zero target allocates young exactly
+// like the G1 baseline; a non-zero target pretenures the object directly
+// into that generation (the @Gen + setGeneration path of §3.4).
+func (c *Collector) Allocate(size uint32, site heap.SiteID, target heap.GenID) (*heap.Object, error) {
+	regionSize := c.h.Config().RegionSize
+	if uint64(size) > uint64(regionSize) {
+		return nil, fmt.Errorf("ng2c: allocation of %d bytes exceeds the region size (%d)", size, regionSize)
+	}
+	if target != heap.Young && (target >= c.nextGen || target < Old) {
+		return nil, fmt.Errorf("ng2c: allocation into nonexistent generation %d", target)
+	}
+	if size > regionSize/2 {
+		// Humongous allocation: a dedicated mature region (in the
+		// target generation, or Old for young-path humongous objects,
+		// as in G1). Never copied; reclaimed whole at cleanup.
+		gen := target
+		if gen == heap.Young {
+			gen = Old
+		}
+		r, err := c.newMatureRegion(gen)
+		if err != nil {
+			return nil, err
+		}
+		c.humongous[r.ID()] = true
+		obj, err := c.h.Allocate(r, size, site)
+		if err != nil {
+			return nil, fmt.Errorf("ng2c: %w", err)
+		}
+		return obj, nil
+	}
+	if target == heap.Young {
+		return c.allocateYoung(size, site)
+	}
+	cur := c.allocCur[target]
+	if cur == nil || cur.Used()+size > regionSize {
+		r, err := c.newMatureRegion(target)
+		if err != nil {
+			return nil, err
+		}
+		c.allocCur[target] = r
+		cur = r
+	}
+	obj, err := c.h.Allocate(cur, size, site)
+	if err != nil {
+		return nil, fmt.Errorf("ng2c: %w", err)
+	}
+	return obj, nil
+}
+
+// newMatureRegion commits a region for a generation >= Old, falling back to
+// a full collection on exhaustion. Crossing the pressure threshold triggers
+// one collection so that dead pretenured regions are reclaimed even when
+// eden sees little traffic.
+func (c *Collector) newMatureRegion(gen heap.GenID) (*heap.Region, error) {
+	max := c.h.Config().MaxBytes
+	if max != 0 && c.pressureArmed &&
+		float64(c.h.Stats().CommittedBytes) > c.cfg.PressureFraction*float64(max) {
+		c.pressureArmed = false
+		if err := c.collect(); err != nil {
+			return nil, err
+		}
+	}
+	r, err := c.h.NewRegion(gen)
+	if err != nil {
+		if err := c.fullCollect(); err != nil {
+			return nil, err
+		}
+		r, err = c.h.NewRegion(gen)
+		if err != nil {
+			return nil, fmt.Errorf("ng2c: heap exhausted after full GC: %w", err)
+		}
+	}
+	c.mature = append(c.mature, r)
+	return r, nil
+}
+
+func (c *Collector) allocateYoung(size uint32, site heap.SiteID) (*heap.Object, error) {
+	regionSize := c.h.Config().RegionSize
+	if c.edenCur == nil || c.edenCur.Used()+size > regionSize {
+		if c.youngBytes()+uint64(regionSize) > c.cfg.YoungBytes {
+			if err := c.collect(); err != nil {
+				return nil, err
+			}
+		}
+		r, err := c.h.NewRegion(heap.Young)
+		if err != nil {
+			if err := c.fullCollect(); err != nil {
+				return nil, err
+			}
+			r, err = c.h.NewRegion(heap.Young)
+			if err != nil {
+				return nil, fmt.Errorf("ng2c: heap exhausted after full GC: %w", err)
+			}
+		}
+		c.eden = append(c.eden, r)
+		c.edenCur = r
+	}
+	obj, err := c.h.Allocate(c.edenCur, size, site)
+	if err != nil {
+		return nil, fmt.Errorf("ng2c: %w", err)
+	}
+	return obj, nil
+}
+
+// ForceCollect implements gc.Collector.
+func (c *Collector) ForceCollect() error { return c.collect() }
+
+// collect runs a young collection, extended into a mixed collection when
+// armed. Fully dead mature regions are reclaimed in the cleanup phase at
+// per-region cost and no copying — the payoff of pretenuring.
+func (c *Collector) collect() error {
+	c.armMixedIfNeeded() // occupancy check at collection start, like G1's IHOP
+	start := c.clock.Now()
+	live := c.h.Trace()
+
+	cs := make([]*heap.Region, 0, len(c.eden)+len(c.survivors)+c.cfg.MaxMixedRegions)
+	cs = append(cs, c.eden...)
+	cs = append(cs, c.survivors...)
+	kind := gc.PauseYoung
+
+	// Cleanup phase: fully dead mature regions are freed without
+	// evacuation.
+	var emptyCS []*heap.Region
+	keptMature := make([]*heap.Region, 0, len(c.mature))
+	for _, r := range c.mature {
+		if live.Region(r.ID()).Objects == 0 {
+			emptyCS = append(emptyCS, r)
+		} else {
+			keptMature = append(keptMature, r)
+		}
+	}
+	c.mature = keptMature
+
+	// Mixed extension: evacuate the most garbage-rich surviving mature
+	// regions.
+	var oldCS []*heap.Region
+	if c.mixedPending && len(c.mature) > 0 {
+		kind = gc.PauseMixed
+		source := c.mature
+		candidates := make([]*heap.Region, 0, len(source))
+		regionSize := float64(c.h.Config().RegionSize)
+		for _, r := range source {
+			if c.humongous[r.ID()] {
+				continue // humongous objects are never copied
+			}
+			garbage := float64(r.Used()) - float64(live.Region(r.ID()).Bytes)
+			if garbage >= c.cfg.MinMixedGarbage*regionSize {
+				candidates = append(candidates, r)
+			}
+		}
+		gc.SortRegionsByGarbage(candidates, live)
+		n := c.cfg.MaxMixedRegions
+		if n > len(candidates) {
+			n = len(candidates)
+		}
+		oldCS = candidates[:n]
+		cs = append(cs, oldCS...)
+	}
+
+	remset := 0
+	for _, r := range cs {
+		remset += r.RemsetEntries()
+	}
+
+	survivorCap := uint64(float64(c.cfg.YoungBytes) * c.cfg.SurvivorFraction)
+	survivorCursor := gc.NewCursor(c.h, heap.Young)
+	promoCursor := gc.NewCursor(c.h, Old)
+	// Mixed-evacuated mature regions compact within their own
+	// generation, preserving lifetime segregation.
+	genCursors := make(map[heap.GenID]*gc.Cursor)
+
+	inOldCS := make(map[heap.RegionID]heap.GenID, len(oldCS))
+	for _, r := range oldCS {
+		inOldCS[r.ID()] = r.Gen()
+	}
+
+	var promotedBytes uint64
+	place := func(obj *heap.Object) error {
+		if gen, ok := inOldCS[obj.Region]; ok {
+			cur := genCursors[gen]
+			if cur == nil {
+				cur = gc.NewCursor(c.h, gen)
+				genCursors[gen] = cur
+			}
+			return cur.Place(obj)
+		}
+		obj.Age++
+		if obj.Age >= c.cfg.TenuringThreshold ||
+			survivorCursor.Bytes()+uint64(obj.Size) > survivorCap {
+			promotedBytes += uint64(obj.Size)
+			return promoCursor.Place(obj)
+		}
+		return survivorCursor.Place(obj)
+	}
+
+	freed := 0
+	for _, r := range cs {
+		if _, _, err := gc.EvacuateAndFree(c.h, r, live, place); err != nil {
+			return fmt.Errorf("ng2c: %s collection: %w", kind, err)
+		}
+		freed++
+	}
+	for _, r := range emptyCS {
+		gc.SweepRegion(c.h, r, live)
+		c.h.FreeRegion(r)
+		delete(c.humongous, r.ID())
+		freed++
+	}
+	// Dropped allocation cursors for freed/evacuated regions.
+	for gen, cur := range c.allocCur {
+		if cur.Freed() {
+			delete(c.allocCur, gen)
+		}
+	}
+
+	c.eden = nil
+	c.edenCur = nil
+	c.survivors = survivorCursor.Regions()
+	if len(oldCS) > 0 {
+		kept := c.mature[:0]
+		for _, r := range c.mature {
+			if _, ok := inOldCS[r.ID()]; !ok {
+				kept = append(kept, r)
+			}
+		}
+		c.mature = kept
+		c.mixedPending = false
+	}
+	c.mature = append(c.mature, promoCursor.Regions()...)
+	copiedBytes := survivorCursor.Bytes() + promoCursor.Bytes()
+	copiedObjects := survivorCursor.Objects() + promoCursor.Objects()
+	for _, cur := range genCursors {
+		c.mature = append(c.mature, cur.Regions()...)
+		copiedBytes += cur.Bytes()
+		copiedObjects += cur.Objects()
+	}
+
+	dur := c.cfg.Cost.EvacuationCost(len(cs)+len(emptyCS), remset, copiedBytes, copiedObjects)
+	c.clock.Advance(dur)
+	c.cycles++
+	c.pauses = append(c.pauses, gc.Pause{
+		Start:            start,
+		Duration:         dur,
+		Kind:             kind,
+		Cycle:            c.cycles,
+		BytesCopied:      copiedBytes,
+		ObjectsCopied:    copiedObjects,
+		RegionsCollected: len(cs) + len(emptyCS),
+		RegionsFreed:     freed,
+		PromotedBytes:    promotedBytes,
+	})
+	c.armMixedIfNeeded()
+	c.pressureArmed = true
+	c.notify(live)
+	return nil
+}
+
+// fullCollect compacts the whole heap, preserving each object's generation.
+func (c *Collector) fullCollect() error {
+	start := c.clock.Now()
+	live := c.h.Trace()
+	regions := c.h.ActiveRegions()
+	remset := 0
+	for _, r := range regions {
+		remset += r.RemsetEntries()
+	}
+	cursors := make(map[heap.GenID]*gc.Cursor)
+	var copiedBytes uint64
+	var copiedObjects int
+	place := func(obj *heap.Object) error {
+		gen := obj.Gen
+		if gen == heap.Young {
+			gen = Old // full GC tenures everything, as in HotSpot
+		}
+		cur := cursors[gen]
+		if cur == nil {
+			cur = gc.NewCursor(c.h, gen)
+			cursors[gen] = cur
+		}
+		return cur.Place(obj)
+	}
+	var keptHumongous []*heap.Region
+	for _, r := range regions {
+		if c.humongous[r.ID()] {
+			gc.SweepRegion(c.h, r, live)
+			if r.ResidentCount() == 0 {
+				c.h.FreeRegion(r)
+				delete(c.humongous, r.ID())
+			} else {
+				keptHumongous = append(keptHumongous, r)
+			}
+			continue
+		}
+		if _, _, err := gc.EvacuateAndFree(c.h, r, live, place); err != nil {
+			return fmt.Errorf("ng2c: full collection: %w", err)
+		}
+	}
+	c.eden = nil
+	c.edenCur = nil
+	c.survivors = nil
+	c.mature = keptHumongous
+	c.allocCur = make(map[heap.GenID]*heap.Region)
+	for _, cur := range cursors {
+		c.mature = append(c.mature, cur.Regions()...)
+		copiedBytes += cur.Bytes()
+		copiedObjects += cur.Objects()
+	}
+	c.mixedPending = false
+
+	dur := c.cfg.Cost.EvacuationCost(len(regions), remset, copiedBytes, copiedObjects) +
+		time.Duration(live.Objects)*c.cfg.Cost.PerTracedObject
+	c.clock.Advance(dur)
+	c.cycles++
+	c.pauses = append(c.pauses, gc.Pause{
+		Start:            start,
+		Duration:         dur,
+		Kind:             gc.PauseFull,
+		Cycle:            c.cycles,
+		BytesCopied:      copiedBytes,
+		ObjectsCopied:    copiedObjects,
+		RegionsCollected: len(regions),
+		RegionsFreed:     len(regions),
+	})
+	c.armMixedIfNeeded()
+	c.notify(live)
+	return nil
+}
+
+func (c *Collector) armMixedIfNeeded() {
+	max := c.h.Config().MaxBytes
+	if max == 0 {
+		return
+	}
+	if float64(c.h.Stats().CommittedBytes) > c.cfg.IHOP*float64(max) {
+		c.mixedPending = true
+	}
+}
+
+func (c *Collector) notify(live *heap.LiveSet) {
+	for _, fn := range c.listeners {
+		fn(c.cycles, live)
+	}
+}
+
+// MatureRegions returns the number of regions in generations >= Old (test
+// hook).
+func (c *Collector) MatureRegions() int { return len(c.mature) }

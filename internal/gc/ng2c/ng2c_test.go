@@ -1,0 +1,320 @@
+package ng2c
+
+import (
+	"testing"
+
+	"polm2/internal/gc"
+	"polm2/internal/heap"
+	"polm2/internal/simclock"
+)
+
+func testConfig() Config {
+	return Config{
+		Heap: heap.Config{
+			RegionSize: 16 * 1024,
+			PageSize:   4096,
+			MaxBytes:   64 * 16 * 1024,
+		},
+		YoungBytes:        8 * 16 * 1024,
+		SurvivorFraction:  0.25,
+		TenuringThreshold: 2,
+		IHOP:              0.45,
+		MaxMixedRegions:   4,
+	}
+}
+
+func newCollector(t *testing.T) *Collector {
+	t.Helper()
+	c, err := New(simclock.New(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewGeneration(t *testing.T) {
+	c := newCollector(t)
+	if got := c.Generations(); got != 2 {
+		t.Fatalf("initial generations = %d, want 2 (young+old)", got)
+	}
+	g1 := c.NewGeneration()
+	g2 := c.NewGeneration()
+	if g1 == g2 || g1 < firstDynamicGen || g2 < firstDynamicGen {
+		t.Fatalf("dynamic generation ids wrong: %d, %d", g1, g2)
+	}
+	if got := c.Generations(); got != 4 {
+		t.Fatalf("generations after two NewGeneration = %d, want 4", got)
+	}
+}
+
+func TestPretenuredAllocationBypassesYoung(t *testing.T) {
+	c := newCollector(t)
+	gen := c.NewGeneration()
+	obj, err := c.Allocate(512, 1, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Gen != gen {
+		t.Fatalf("pretenured object in gen %d, want %d", obj.Gen, gen)
+	}
+	if err := c.Heap().AddRoot(obj.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ForceCollect(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Age != 0 {
+		t.Fatal("pretenured object was aged by a young collection")
+	}
+	if obj.Gen != gen {
+		t.Fatal("pretenured object moved by a young collection")
+	}
+}
+
+func TestAllocateIntoUnknownGenerationFails(t *testing.T) {
+	c := newCollector(t)
+	if _, err := c.Allocate(512, 1, heap.GenID(7)); err == nil {
+		t.Fatal("allocation into never-created generation should fail")
+	}
+}
+
+// TestPretenuredRegionsDieCheap is the core NG2C mechanism (§2.2): a batch
+// of same-lifetime objects pretenured together is reclaimed with no copying,
+// whereas the same batch allocated young under the same collector gets
+// copied to survivor space and promoted.
+func TestPretenuredRegionsDieCheap(t *testing.T) {
+	run := func(pretenure bool) (copied uint64) {
+		c := newCollector(t)
+		h := c.Heap()
+		target := heap.Young
+		if pretenure {
+			target = c.NewGeneration()
+		}
+		var batch []*heap.Object
+		for i := 0; i < 100; i++ {
+			obj, err := c.Allocate(512, 1, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.AddRoot(obj.ID); err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, obj)
+		}
+		// Two collections while the batch lives (copying pressure).
+		for i := 0; i < 2; i++ {
+			if err := c.ForceCollect(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Batch dies together; one more collection reclaims.
+		for _, obj := range batch {
+			if err := h.RemoveRoot(obj.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.ForceCollect(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range c.Pauses() {
+			copied += p.BytesCopied
+		}
+		return copied
+	}
+	young := run(false)
+	pretenured := run(true)
+	if pretenured >= young {
+		t.Fatalf("pretenuring did not reduce copying: pretenured=%d young=%d", pretenured, young)
+	}
+	if pretenured != 0 {
+		t.Fatalf("same-lifetime pretenured batch should copy nothing, copied %d", pretenured)
+	}
+}
+
+func TestEmptyMatureRegionsFreedAtCleanup(t *testing.T) {
+	c := newCollector(t)
+	h := c.Heap()
+	gen := c.NewGeneration()
+	var batch []*heap.Object
+	for i := 0; i < 100; i++ {
+		obj, err := c.Allocate(512, 1, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddRoot(obj.ID); err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, obj)
+	}
+	before := c.MatureRegions()
+	if before == 0 {
+		t.Fatal("pretenured allocations committed no mature regions")
+	}
+	for _, obj := range batch {
+		if err := h.RemoveRoot(obj.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.ForceCollect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MatureRegions(); got != 0 {
+		t.Fatalf("dead mature regions not reclaimed: %d remain (was %d)", got, before)
+	}
+	if h.Stats().Objects != 0 {
+		t.Fatalf("dead pretenured objects not removed: %d remain", h.Stats().Objects)
+	}
+}
+
+func TestMixedCollectionCompactsWithinGeneration(t *testing.T) {
+	cfg := testConfig()
+	cfg.IHOP = 0.05
+	c, err := New(simclock.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Heap()
+	gen := c.NewGeneration()
+	var objs []*heap.Object
+	for i := 0; i < 120; i++ {
+		obj, err := c.Allocate(512, 1, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddRoot(obj.ID); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	// Kill most of each region's objects so regions are garbage-rich but
+	// not empty.
+	for i, obj := range objs {
+		if i%8 != 0 {
+			if err := h.RemoveRoot(obj.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sawMixed := false
+	for i := 0; i < 10 && !sawMixed; i++ {
+		if err := c.ForceCollect(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range c.Pauses() {
+			if p.Kind == gc.PauseMixed {
+				sawMixed = true
+			}
+		}
+	}
+	if !sawMixed {
+		t.Fatal("mixed collection never ran")
+	}
+	// Survivors of mixed compaction stay in their generation.
+	for _, obj := range objs {
+		if h.Object(obj.ID) != nil && obj.Gen != gen {
+			t.Fatalf("mixed compaction changed generation: %v", obj)
+		}
+	}
+	if bad := h.CheckRemsetInvariant(); len(bad) != 0 {
+		t.Fatalf("remset invariant broken: %v", bad)
+	}
+}
+
+func TestFullCollectPreservesGenerations(t *testing.T) {
+	cfg := testConfig()
+	cfg.Heap.MaxBytes = 12 * 16 * 1024
+	cfg.YoungBytes = 4 * 16 * 1024
+	c, err := New(simclock.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Heap()
+	gen := c.NewGeneration()
+	pre, err := c.Allocate(512, 1, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(pre.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Pressure the heap into a full collection.
+	for i := 0; i < 1000; i++ {
+		if _, err := c.Allocate(512, 1, heap.Young); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sawFull := false
+	for _, p := range c.Pauses() {
+		if p.Kind == gc.PauseFull {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Skip("heap pressure did not force a full collection at this geometry")
+	}
+	if pre.Gen != gen {
+		t.Fatalf("full GC moved pretenured object to gen %d, want %d", pre.Gen, gen)
+	}
+}
+
+func TestYoungPathMatchesG1Semantics(t *testing.T) {
+	c := newCollector(t)
+	h := c.Heap()
+	obj, err := c.Allocate(256, 1, heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoot(obj.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ForceCollect(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Age != 1 || obj.Gen != heap.Young {
+		t.Fatalf("young object after 1 GC: %v", obj)
+	}
+	if err := c.ForceCollect(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Gen != Old {
+		t.Fatalf("young object not promoted at threshold: %v", obj)
+	}
+}
+
+func TestHumongousAllocationYoungAndPretenured(t *testing.T) {
+	c := newCollector(t)
+	h := c.Heap()
+	// Young-path humongous goes to Old.
+	a, err := c.Allocate(10*1024, 1, heap.Young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Gen != Old {
+		t.Fatalf("young-path humongous in gen %d, want old", a.Gen)
+	}
+	// Pretenured humongous goes to its target generation.
+	gen := c.NewGeneration()
+	b, err := c.Allocate(10*1024, 1, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Gen != gen {
+		t.Fatalf("pretenured humongous in gen %d, want %d", b.Gen, gen)
+	}
+	if err := h.AddRoot(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	offset := b.Offset
+	for i := 0; i < 3; i++ {
+		if err := c.ForceCollect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Offset != offset || b.Gen != gen {
+		t.Fatalf("humongous object was moved: %v", b)
+	}
+	// a was unrooted: its region must be reclaimed whole.
+	if h.Object(a.ID) != nil {
+		t.Fatal("dead humongous object not reclaimed")
+	}
+}

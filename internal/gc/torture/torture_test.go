@@ -1,0 +1,157 @@
+// Package torture stress-tests every collector with a randomized mutator:
+// objects of random sizes and lifetimes, random reference graphs, forced
+// and allocation-triggered collections — asserting after every phase that
+// no live object is lost, no dead object survives forever, and the heap's
+// incremental bookkeeping invariants hold.
+package torture
+
+import (
+	"math/rand"
+	"testing"
+
+	"polm2/internal/gc"
+	"polm2/internal/gc/c4"
+	"polm2/internal/gc/g1"
+	"polm2/internal/gc/ng2c"
+	"polm2/internal/heap"
+	"polm2/internal/simclock"
+)
+
+func collectors(t *testing.T) map[string]gc.Collector {
+	t.Helper()
+	heapCfg := heap.Config{
+		RegionSize: 32 * 1024,
+		PageSize:   4096,
+		MaxBytes:   256 * 32 * 1024,
+	}
+	g1Col, err := g1.New(simclock.New(), g1.Config{Heap: heapCfg, YoungBytes: 8 * 32 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng2cCol, err := ng2c.New(simclock.New(), ng2c.Config{Heap: heapCfg, YoungBytes: 8 * 32 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4Col, err := c4.New(simclock.New(), c4.Config{Heap: heapCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]gc.Collector{"G1": g1Col, "NG2C": ng2cCol, "C4": c4Col}
+}
+
+// torture runs the randomized mutator against one collector.
+func torture(t *testing.T, name string, col gc.Collector, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := col.Heap()
+
+	type tracked struct {
+		obj *heap.Object
+		ttl int // steps until unrooted
+	}
+	var live []tracked
+	var dynamicGens []heap.GenID
+	if pret, ok := col.(gc.Pretenuring); ok {
+		for i := 0; i < 3; i++ {
+			dynamicGens = append(dynamicGens, pret.NewGeneration())
+		}
+	}
+
+	const steps = 30000
+	for step := 0; step < steps; step++ {
+		target := heap.Young
+		if len(dynamicGens) > 0 && rng.Intn(4) == 0 {
+			target = dynamicGens[rng.Intn(len(dynamicGens))]
+		}
+		size := uint32(32 + rng.Intn(2048))
+		if rng.Intn(200) == 0 {
+			size = uint32(17*1024 + rng.Intn(8*1024)) // humongous
+		}
+		obj, err := col.Allocate(size, heap.SiteID(rng.Intn(20)+1), target)
+		if err != nil {
+			t.Fatalf("%s: step %d: %v", name, step, err)
+		}
+		// ~20% of objects are retained for a random while; the rest
+		// die immediately.
+		if rng.Intn(5) == 0 {
+			if err := h.AddRoot(obj.ID); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			live = append(live, tracked{obj: obj, ttl: 10 + rng.Intn(4000)})
+			// Random edges between retained objects.
+			if len(live) > 1 && rng.Intn(2) == 0 {
+				other := live[rng.Intn(len(live))]
+				if h.Object(other.obj.ID) != nil {
+					if err := h.Link(obj.ID, other.obj.ID); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+				}
+			}
+		}
+		// Age the retained set.
+		if step%64 == 0 {
+			kept := live[:0]
+			for _, tr := range live {
+				tr.ttl -= 64
+				if tr.ttl <= 0 {
+					if err := h.RemoveRoot(tr.obj.ID); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					continue
+				}
+				kept = append(kept, tr)
+			}
+			live = kept
+		}
+		if rng.Intn(5000) == 0 {
+			if err := col.ForceCollect(); err != nil {
+				t.Fatalf("%s: forced collection: %v", name, err)
+			}
+		}
+	}
+
+	// Every rooted object must have survived.
+	for _, tr := range live {
+		if h.Object(tr.obj.ID) == nil {
+			t.Fatalf("%s: live object %#x lost", name, uint64(tr.obj.ID))
+		}
+	}
+	// Invariants hold.
+	if bad := h.CheckRemsetInvariant(); len(bad) != 0 {
+		t.Fatalf("%s: remset invariant broken in %v", name, bad)
+	}
+	if bad := h.CheckPageInvariant(); len(bad) != 0 {
+		t.Fatalf("%s: page invariant broken in %v", name, bad)
+	}
+	// After unrooting everything and collecting, the heap drains.
+	for _, tr := range live {
+		if err := h.RemoveRoot(tr.obj.ID); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := col.ForceCollect(); err != nil {
+			t.Fatalf("%s: drain collection: %v", name, err)
+		}
+	}
+	if got := h.Stats().Objects; got != 0 {
+		t.Fatalf("%s: %d objects survived a full drain", name, got)
+	}
+	if got := h.RootCount(); got != 0 {
+		t.Fatalf("%s: %d roots leaked", name, got)
+	}
+}
+
+func TestTortureAllCollectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture skipped in -short mode")
+	}
+	for _, seed := range []int64{1, 42} {
+		for name, col := range collectors(t) {
+			name, col, seed := name, col, seed
+			t.Run(name, func(t *testing.T) {
+				torture(t, name, col, seed)
+			})
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultRegionSize is the default region size: 1 MiB, the G1 default for
+// heaps in the low-gigabyte range.
+const DefaultRegionSize = 1 << 20
+
+// DefaultPageSize is the simulated kernel page size the Dumper operates on.
+const DefaultPageSize = 4096
+
+// ErrOutOfMemory is returned when committing one more region would exceed
+// the heap's configured maximum, mirroring a fixed -Xmx setting (§5.1 of the
+// paper fixes the heap at 12 GB).
+var ErrOutOfMemory = errors.New("heap: out of memory")
+
+// Config sizes a simulated heap.
+type Config struct {
+	// RegionSize is the size of each region in bytes. Must be a positive
+	// multiple of PageSize.
+	RegionSize uint32
+	// PageSize is the simulated kernel page size. Must be positive.
+	PageSize uint32
+	// MaxBytes caps committed memory (regions in use times region size).
+	// Zero means unlimited.
+	MaxBytes uint64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.RegionSize == 0 {
+		c.RegionSize = DefaultRegionSize
+	}
+	if c.PageSize == 0 {
+		c.PageSize = DefaultPageSize
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.PageSize == 0 {
+		return fmt.Errorf("heap: page size must be positive")
+	}
+	if c.RegionSize == 0 || c.RegionSize%c.PageSize != 0 {
+		return fmt.Errorf("heap: region size %d must be a positive multiple of page size %d",
+			c.RegionSize, c.PageSize)
+	}
+	if c.MaxBytes != 0 && c.MaxBytes < uint64(c.RegionSize) {
+		return fmt.Errorf("heap: max bytes %d smaller than one region (%d)", c.MaxBytes, c.RegionSize)
+	}
+	return nil
+}
+
+// Stats summarizes heap occupancy.
+type Stats struct {
+	// CommittedBytes is regions currently in use times region size.
+	CommittedBytes uint64
+	// MaxCommittedBytes is the high-water mark of CommittedBytes — the
+	// paper's "max memory usage" metric (Figure 9).
+	MaxCommittedBytes uint64
+	// UsedBytes is the sum of region bump pointers (includes garbage not
+	// yet collected).
+	UsedBytes uint64
+	// LiveRegions is the number of regions currently in use.
+	LiveRegions int
+	// Objects is the number of resident objects (reachable or not).
+	Objects int
+	// TotalAllocatedObjects and TotalAllocatedBytes count every
+	// allocation ever made.
+	TotalAllocatedObjects uint64
+	TotalAllocatedBytes   uint64
+}
+
+// Heap is the simulated managed heap. It owns objects, regions and the page
+// table; collectors implement policy on top of it. A Heap is not safe for
+// concurrent use: the simulation is single-threaded, as a stop-the-world
+// collector's heap effectively is.
+type Heap struct {
+	cfg Config
+
+	objects map[ObjectID]*Object
+	regions map[RegionID]*Region
+	pages   map[RegionID]*regionPages
+	roots   map[ObjectID]struct{}
+
+	nextRegion RegionID
+	idCounter  uint64
+	epoch      uint64
+
+	committed    uint64
+	maxCommitted uint64
+	totalObjects uint64
+	totalBytes   uint64
+}
+
+// New builds a heap from cfg, applying defaults for unset fields.
+func New(cfg Config) (*Heap, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Heap{
+		cfg:     cfg,
+		objects: make(map[ObjectID]*Object),
+		regions: make(map[RegionID]*Region),
+		pages:   make(map[RegionID]*regionPages),
+		roots:   make(map[ObjectID]struct{}),
+	}, nil
+}
+
+// Config returns the heap's effective configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of heap occupancy.
+func (h *Heap) Stats() Stats {
+	var used uint64
+	live := 0
+	for _, r := range h.regions {
+		if r.freed {
+			continue
+		}
+		used += uint64(r.used)
+		live++
+	}
+	return Stats{
+		CommittedBytes:        h.committed,
+		MaxCommittedBytes:     h.maxCommitted,
+		UsedBytes:             used,
+		LiveRegions:           live,
+		Objects:               len(h.objects),
+		TotalAllocatedObjects: h.totalObjects,
+		TotalAllocatedBytes:   h.totalBytes,
+	}
+}
+
+// Object returns the object with the given id, or nil if it does not exist
+// (was never allocated, or has been collected).
+func (h *Heap) Object(id ObjectID) *Object { return h.objects[id] }
+
+// Region returns the region with the given id, or nil.
+func (h *Heap) Region(id RegionID) *Region { return h.regions[id] }
+
+// NewRegion commits a fresh region for generation gen. It fails with
+// ErrOutOfMemory when the configured maximum would be exceeded.
+func (h *Heap) NewRegion(gen GenID) (*Region, error) {
+	if h.cfg.MaxBytes != 0 && h.committed+uint64(h.cfg.RegionSize) > h.cfg.MaxBytes {
+		return nil, fmt.Errorf("committing region for gen %d: %w", gen, ErrOutOfMemory)
+	}
+	r := &Region{
+		id:        h.nextRegion,
+		gen:       gen,
+		residents: make(map[ObjectID]struct{}),
+	}
+	h.nextRegion++
+	h.regions[r.id] = r
+	h.pages[r.id] = newRegionPages(h.cfg.RegionSize / h.cfg.PageSize)
+	h.committed += uint64(h.cfg.RegionSize)
+	if h.committed > h.maxCommitted {
+		h.maxCommitted = h.committed
+	}
+	return r, nil
+}
+
+// FreeRegion returns an empty region to the system. Freeing a region that
+// still has residents is a collector bug and panics: it would leak objects
+// whose ids remain in the object table.
+func (h *Heap) FreeRegion(r *Region) {
+	if r.freed {
+		panic(fmt.Sprintf("heap: double free of %v", r))
+	}
+	if len(r.residents) != 0 {
+		panic(fmt.Sprintf("heap: freeing non-empty %v", r))
+	}
+	r.freed = true
+	r.used = 0
+	h.committed -= uint64(h.cfg.RegionSize)
+	// The region's memory is unmapped: drop it from the heap's tables
+	// entirely (region ids are never reused). Snapshots communicate the
+	// disappearance through their active-region list.
+	delete(h.regions, r.id)
+	delete(h.pages, r.id)
+}
+
+// Allocate places a new object of the given size into region r on behalf of
+// a collector and returns it. The object's identity hash is assigned here
+// and never changes. Allocation dirties the touched pages.
+func (h *Heap) Allocate(r *Region, size uint32, site SiteID) (*Object, error) {
+	if r.freed {
+		return nil, fmt.Errorf("heap: allocating %d bytes in freed region %d", size, r.id)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("heap: zero-size allocation at site %d", site)
+	}
+	if !r.fits(size, h.cfg.RegionSize) {
+		return nil, fmt.Errorf("heap: %d bytes do not fit in %v (region size %d)", size, r, h.cfg.RegionSize)
+	}
+	h.idCounter++
+	obj := &Object{
+		ID:     ObjectID(mix64(h.idCounter)),
+		Size:   size,
+		Site:   site,
+		Gen:    r.gen,
+		Region: r.id,
+		Offset: r.used,
+	}
+	r.used += size
+	r.residents[obj.ID] = struct{}{}
+	h.objects[obj.ID] = obj
+	h.totalObjects++
+	h.totalBytes += uint64(size)
+	rp := h.pages[r.id]
+	first, last := obj.pageSpan(h.cfg.PageSize)
+	rp.touch(first, last)
+	rp.place(obj, h.cfg.PageSize)
+	return obj, nil
+}
+
+// mix64 is the SplitMix64 finalizer: a bijection on uint64 that turns the
+// sequential allocation counter into hash-looking identity values while
+// guaranteeing uniqueness.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AddRoot pins the object with the given id as a GC root. Pins are counted:
+// an object added twice must be removed twice.
+func (h *Heap) AddRoot(id ObjectID) error {
+	obj := h.objects[id]
+	if obj == nil {
+		return fmt.Errorf("heap: AddRoot of unknown object %#x", uint64(id))
+	}
+	obj.rootPins++
+	h.roots[id] = struct{}{}
+	return nil
+}
+
+// RemoveRoot releases one root pin of the object.
+func (h *Heap) RemoveRoot(id ObjectID) error {
+	obj := h.objects[id]
+	if obj == nil {
+		return fmt.Errorf("heap: RemoveRoot of unknown object %#x", uint64(id))
+	}
+	if obj.rootPins == 0 {
+		return fmt.Errorf("heap: RemoveRoot of unpinned object %v", obj)
+	}
+	obj.rootPins--
+	if obj.rootPins == 0 {
+		delete(h.roots, id)
+	}
+	return nil
+}
+
+// PinRoot pins an already-resolved object as a GC root, skipping the id
+// lookup of AddRoot on the engine's per-allocation pinning path.
+func (h *Heap) PinRoot(obj *Object) {
+	obj.rootPins++
+	if obj.rootPins == 1 {
+		h.roots[obj.ID] = struct{}{}
+	}
+}
+
+// UnpinRoot releases one root pin of an already-resolved object. Unpinning
+// an unpinned object is a bug in the engine and panics.
+func (h *Heap) UnpinRoot(obj *Object) {
+	if obj.rootPins == 0 {
+		panic(fmt.Sprintf("heap: UnpinRoot of unpinned %v", obj))
+	}
+	obj.rootPins--
+	if obj.rootPins == 0 {
+		delete(h.roots, obj.ID)
+	}
+}
+
+// RootCount returns the number of distinct rooted objects.
+func (h *Heap) RootCount() int { return len(h.roots) }
+
+// Link records a reference from parent to child (a reference-field store).
+// The store dirties the parent's header page; a cross-region edge grows the
+// child region's remembered set.
+func (h *Heap) Link(parent, child ObjectID) error {
+	p, c := h.objects[parent], h.objects[child]
+	if p == nil || c == nil {
+		return fmt.Errorf("heap: Link %#x -> %#x with unknown endpoint", uint64(parent), uint64(child))
+	}
+	if p.refs == nil {
+		p.refs = make(map[ObjectID]int, 4)
+	}
+	if c.in == nil {
+		c.in = make(map[ObjectID]int, 4)
+	}
+	p.refs[child]++
+	c.in[parent]++
+	if p.Region != c.Region {
+		h.regions[c.Region].remsetEntries++
+	}
+	hp := p.headerPage(h.cfg.PageSize)
+	h.pages[p.Region].touch(hp, hp)
+	return nil
+}
+
+// Unlink removes one reference from parent to child (a field overwrite or
+// clear). It also dirties the parent's header page.
+func (h *Heap) Unlink(parent, child ObjectID) error {
+	p, c := h.objects[parent], h.objects[child]
+	if p == nil || c == nil {
+		return fmt.Errorf("heap: Unlink %#x -> %#x with unknown endpoint", uint64(parent), uint64(child))
+	}
+	if p.refs[child] == 0 {
+		return fmt.Errorf("heap: Unlink of absent edge %v -> %v", p, c)
+	}
+	decEdge(p.refs, child)
+	decEdge(c.in, parent)
+	if p.Region != c.Region {
+		h.regions[c.Region].remsetEntries--
+	}
+	hp := p.headerPage(h.cfg.PageSize)
+	h.pages[p.Region].touch(hp, hp)
+	return nil
+}
+
+func decEdge(m map[ObjectID]int, k ObjectID) {
+	if m[k] == 1 {
+		delete(m, k)
+	} else {
+		m[k]--
+	}
+}
+
+// Evacuate moves obj into region dst (promotion, survivor copying, or
+// compaction). The object's identity hash is preserved; remembered sets of
+// all affected regions are updated; the destination pages are dirtied.
+func (h *Heap) Evacuate(obj *Object, dst *Region) error {
+	if dst.freed {
+		return fmt.Errorf("heap: evacuating %v into freed region %d", obj, dst.id)
+	}
+	src := h.regions[obj.Region]
+	if src == dst {
+		return fmt.Errorf("heap: evacuating %v into its own region", obj)
+	}
+	if !dst.fits(obj.Size, h.cfg.RegionSize) {
+		return fmt.Errorf("heap: %v does not fit in %v", obj, dst)
+	}
+
+	// Remembered-set deltas for edges incident to obj. Self-edges stay
+	// intra-region before and after the move and contribute nothing.
+	for parent, n := range obj.in {
+		if parent == obj.ID {
+			continue
+		}
+		pr := h.objects[parent].Region
+		if pr != src.id {
+			src.remsetEntries -= n
+		}
+		if pr != dst.id {
+			dst.remsetEntries += n
+		}
+	}
+	for child, n := range obj.refs {
+		if child == obj.ID {
+			continue
+		}
+		c := h.objects[child]
+		cr := h.regions[c.Region]
+		if c.Region != src.id {
+			// Was cross-region; still cross-region unless the child
+			// lives in dst.
+			if c.Region == dst.id {
+				cr.remsetEntries -= n
+			}
+		} else {
+			// Was intra-region; becomes cross-region.
+			cr.remsetEntries += n
+		}
+	}
+
+	delete(src.residents, obj.ID)
+	h.pages[src.id].displace(obj, h.cfg.PageSize)
+	obj.Region = dst.id
+	obj.Offset = dst.used
+	obj.Gen = dst.gen
+	dst.used += obj.Size
+	dst.residents[obj.ID] = struct{}{}
+	dstPages := h.pages[dst.id]
+	first, last := obj.pageSpan(h.cfg.PageSize)
+	dstPages.touch(first, last)
+	dstPages.place(obj, h.cfg.PageSize)
+	return nil
+}
+
+// Remove deletes a dead object from the heap on behalf of a collector.
+// Removing a rooted object is a collector bug and panics. Edges incident to
+// the object are torn down with their remembered-set contributions.
+func (h *Heap) Remove(obj *Object) {
+	if obj.rootPins > 0 {
+		panic(fmt.Sprintf("heap: removing rooted %v", obj))
+	}
+	if _, ok := h.objects[obj.ID]; !ok {
+		panic(fmt.Sprintf("heap: double remove of %v", obj))
+	}
+	myRegion := h.regions[obj.Region]
+	for parent, n := range obj.in {
+		if parent == obj.ID {
+			continue
+		}
+		p := h.objects[parent]
+		if p == nil {
+			continue // parent removed earlier in the same sweep
+		}
+		delete(p.refs, obj.ID)
+		if p.Region != obj.Region {
+			myRegion.remsetEntries -= n
+		}
+	}
+	for child, n := range obj.refs {
+		if child == obj.ID {
+			continue
+		}
+		c := h.objects[child]
+		if c == nil {
+			continue
+		}
+		delete(c.in, obj.ID)
+		if c.Region != obj.Region {
+			h.regions[c.Region].remsetEntries -= n
+		}
+	}
+	delete(myRegion.residents, obj.ID)
+	h.pages[obj.Region].displace(obj, h.cfg.PageSize)
+	delete(h.objects, obj.ID)
+}
+
+// ActiveRegions returns all non-freed regions in unspecified order.
+func (h *Heap) ActiveRegions() []*Region {
+	out := make([]*Region, 0, len(h.regions))
+	for _, r := range h.regions {
+		if !r.freed {
+			out = append(out, r)
+		}
+	}
+	return out
+}

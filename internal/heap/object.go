@@ -1,0 +1,103 @@
+// Package heap implements the simulated managed heap that replaces the
+// HotSpot JVM heap in this reproduction of POLM2 (Middleware '17).
+//
+// The heap is organized exactly the way the collectors in the paper need it
+// to be:
+//
+//   - memory is split into fixed-size regions (as in G1 and NG2C), each
+//     owned by one generation and bump-allocated;
+//   - regions are split into 4 KiB pages tracked by a page table with a
+//     dirty bit (set on mutation) and a no-need bit (set by the GC for pages
+//     holding no reachable object), mirroring the kernel page-table bits the
+//     paper's Dumper relies on through CRIU (§4.2);
+//   - objects carry a stable 64-bit identity hash in their header that
+//     survives promotion and compaction, mirroring
+//     System.identityHashCode (§4.3);
+//   - liveness is discovered by tracing from an explicit root set over
+//     explicit reference edges — workloads never declare lifetimes, so the
+//     profiler faces the same estimation problem it faces on a JVM.
+package heap
+
+import "fmt"
+
+// ObjectID is the stable identity of a simulated object. It doubles as the
+// object's identity hash: it is assigned at allocation and never changes,
+// even when the object is moved by the collector (§4.3 of the paper).
+type ObjectID uint64
+
+// SiteID identifies an interned allocation stack trace. Zero is reserved
+// for "unknown site".
+type SiteID uint32
+
+// GenID identifies a generation. Generation 0 is always the young
+// generation; pretenuring collectors add generations 1..N at runtime.
+type GenID int32
+
+// Young is the generation every non-pretenured allocation lands in.
+const Young GenID = 0
+
+// Object is a simulated heap object. Only the heap and the collectors
+// mutate objects; mutator code goes through the Heap's graph API.
+type Object struct {
+	// ID is the object's stable identity hash.
+	ID ObjectID
+	// Size is the object's size in simulated bytes, header included.
+	Size uint32
+	// Site is the allocation site (interned stack trace) that produced
+	// the object.
+	Site SiteID
+	// Gen is the generation the object currently resides in.
+	Gen GenID
+	// Age counts the young collections the object has survived; the
+	// 2-generation collector promotes at a configured tenuring threshold.
+	Age uint8
+	// Region and Offset locate the object's current storage.
+	Region RegionID
+	Offset uint32
+
+	// refs holds outgoing reference edges with multiplicity; in holds the
+	// mirror incoming edges so remembered sets can be maintained
+	// incrementally when objects move. Both are nil until first use:
+	// most simulated objects are leaves.
+	refs map[ObjectID]int
+	in   map[ObjectID]int
+	// rootPins counts how many times the object has been registered as a
+	// GC root.
+	rootPins int
+	// mark is the trace epoch that last reached this object; the heap
+	// compares it against its current epoch instead of building a
+	// live-set map on every collection.
+	mark uint64
+}
+
+// headerPage returns the index (within the object's region) of the page
+// holding the object's header. The analyzer can only recover an object's
+// identity hash from a snapshot when this page is included (§4.3).
+func (o *Object) headerPage(pageSize uint32) uint32 {
+	return o.Offset / pageSize
+}
+
+// pageSpan returns the inclusive page-index range [first, last] the object's
+// storage covers within its region.
+func (o *Object) pageSpan(pageSize uint32) (first, last uint32) {
+	first = o.Offset / pageSize
+	last = (o.Offset + o.Size - 1) / pageSize
+	return first, last
+}
+
+// RefCount returns the multiplicity of the edge from o to child.
+func (o *Object) RefCount(child ObjectID) int { return o.refs[child] }
+
+// OutDegree returns the number of distinct outgoing references.
+func (o *Object) OutDegree() int { return len(o.refs) }
+
+// InDegree returns the number of distinct incoming references.
+func (o *Object) InDegree() int { return len(o.in) }
+
+// IsRoot reports whether the object is currently pinned as a GC root.
+func (o *Object) IsRoot() bool { return o.rootPins > 0 }
+
+func (o *Object) String() string {
+	return fmt.Sprintf("obj{id=%#x size=%d site=%d gen=%d age=%d r%d+%d}",
+		uint64(o.ID), o.Size, o.Site, o.Gen, o.Age, o.Region, o.Offset)
+}

@@ -1,0 +1,65 @@
+package heap
+
+import "fmt"
+
+// RegionID identifies a heap region. Region ids are never reused within one
+// heap so that page keys remain unambiguous across the whole run.
+type RegionID uint32
+
+// Region is a fixed-size, bump-allocated slab of simulated memory owned by
+// exactly one generation, as in G1 and NG2C.
+type Region struct {
+	id  RegionID
+	gen GenID
+	// used is the bump pointer: bytes allocated so far.
+	used uint32
+	// residents holds every object currently stored in the region,
+	// whether reachable or not; liveness is only known after a trace.
+	residents map[ObjectID]struct{}
+	// remsetEntries counts incoming reference edges whose source object
+	// resides in a different region — the region's remembered set size,
+	// which the collectors charge scanning cost for.
+	remsetEntries int
+	// freed marks a region returned to the free pool.
+	freed bool
+}
+
+// ID returns the region's identifier.
+func (r *Region) ID() RegionID { return r.id }
+
+// Gen returns the generation that owns the region.
+func (r *Region) Gen() GenID { return r.gen }
+
+// Used returns the number of allocated bytes.
+func (r *Region) Used() uint32 { return r.used }
+
+// ResidentCount returns the number of objects stored in the region
+// (reachable or not).
+func (r *Region) ResidentCount() int { return len(r.residents) }
+
+// RemsetEntries returns the current remembered-set size: the number of
+// reference edges pointing into this region from objects in other regions.
+func (r *Region) RemsetEntries() int { return r.remsetEntries }
+
+// Freed reports whether the region has been returned to the free pool.
+func (r *Region) Freed() bool { return r.freed }
+
+// Residents returns the ids of all objects stored in the region. The slice
+// is freshly allocated; callers may keep it across heap mutations.
+func (r *Region) Residents() []ObjectID {
+	out := make([]ObjectID, 0, len(r.residents))
+	for id := range r.residents {
+		out = append(out, id)
+	}
+	return out
+}
+
+// fits reports whether size more bytes fit in the region.
+func (r *Region) fits(size, regionSize uint32) bool {
+	return r.used+size <= regionSize && size <= regionSize
+}
+
+func (r *Region) String() string {
+	return fmt.Sprintf("region{id=%d gen=%d used=%d residents=%d remset=%d freed=%v}",
+		r.id, r.gen, r.used, len(r.residents), r.remsetEntries, r.freed)
+}

@@ -1,0 +1,236 @@
+package heap
+
+import "sort"
+
+// RegionLiveness summarizes what a trace found live inside one region.
+type RegionLiveness struct {
+	Objects int
+	Bytes   uint64
+}
+
+// LiveSet is the result of tracing the heap from its roots. Membership is
+// implemented with per-object epoch marks rather than a hash set, so
+// building a LiveSet allocates almost nothing; a LiveSet is only valid
+// until the next Trace call on the same heap.
+type LiveSet struct {
+	h         *Heap
+	epoch     uint64
+	ids       []ObjectID
+	perRegion map[RegionID]RegionLiveness
+
+	// Objects, Bytes and Edges describe the traversal: reachable object
+	// count, their total size, and the number of reference edges scanned
+	// (counting multiplicity). The collectors' cost models charge for
+	// these quantities.
+	Objects int
+	Bytes   uint64
+	Edges   uint64
+}
+
+// Contains reports whether the object with the given id was reachable.
+func (ls *LiveSet) Contains(id ObjectID) bool {
+	obj := ls.h.objects[id]
+	return obj != nil && obj.mark == ls.epoch
+}
+
+// Marked reports whether an already-resolved object was reachable, skipping
+// the id lookup on hot collector paths.
+func (ls *LiveSet) Marked(obj *Object) bool { return obj.mark == ls.epoch }
+
+// Region returns the liveness summary for one region.
+func (ls *LiveSet) Region(id RegionID) RegionLiveness { return ls.perRegion[id] }
+
+// IDs returns the reachable object ids in ascending order. The slice is
+// freshly allocated.
+func (ls *LiveSet) IDs() []ObjectID {
+	out := make([]ObjectID, len(ls.ids))
+	copy(out, ls.ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Trace performs a full breadth-first traversal from the root set and
+// returns the live set. The simulation traces the whole heap on every
+// collection (cheap at simulation scale); the collectors charge pause cost
+// only for the work their collection set implies, so policy realism is
+// preserved without remembered-set-limited tracing.
+//
+// Tracing invalidates any LiveSet from a previous Trace of this heap.
+func (h *Heap) Trace() *LiveSet {
+	h.epoch++
+	ls := &LiveSet{
+		h:         h,
+		epoch:     h.epoch,
+		perRegion: make(map[RegionID]RegionLiveness),
+	}
+	queue := make([]ObjectID, 0, len(h.roots))
+	for id := range h.roots {
+		h.objects[id].mark = h.epoch
+		queue = append(queue, id)
+	}
+	for head := 0; head < len(queue); head++ {
+		obj := h.objects[queue[head]]
+		ls.Objects++
+		ls.Bytes += uint64(obj.Size)
+		rl := ls.perRegion[obj.Region]
+		rl.Objects++
+		rl.Bytes += uint64(obj.Size)
+		ls.perRegion[obj.Region] = rl
+		for child, n := range obj.refs {
+			ls.Edges += uint64(n)
+			c := h.objects[child]
+			if c.mark != h.epoch {
+				c.mark = h.epoch
+				queue = append(queue, child)
+			}
+		}
+	}
+	ls.ids = queue
+	return ls
+}
+
+// MarkNoNeedPages sets the no-need bit on every page of every active region
+// that is not covered by any live object's storage. This is the paper's
+// §4.2 madvise pass the Recorder triggers before asking the Dumper for a
+// snapshot; the Dumper skips no-need pages entirely.
+func (h *Heap) MarkNoNeedPages(live *LiveSet) {
+	covered := make([]uint64, 0, 64)
+	for _, r := range h.regions {
+		rp := h.pages[r.id]
+		words := (rp.n + 63) / 64
+		covered = covered[:0]
+		for i := uint32(0); i < words; i++ {
+			covered = append(covered, 0)
+		}
+		cv := bitset(covered)
+		for id := range r.residents {
+			obj := h.objects[id]
+			if !live.Marked(obj) {
+				continue
+			}
+			first, last := obj.pageSpan(h.cfg.PageSize)
+			for i := first; i <= last && i < rp.n; i++ {
+				cv.set(i)
+			}
+		}
+		for i := uint32(0); i < rp.n; i++ {
+			if !cv.get(i) {
+				rp.flags.noNeed.set(i)
+			}
+		}
+	}
+}
+
+// Pages calls f for every page of every active region, in ascending
+// (region, index) order. Freed regions are skipped: their memory is
+// unmapped from the dumper's point of view.
+func (h *Heap) Pages(f func(PageState)) {
+	regionIDs := h.ActiveRegionIDs()
+	for _, rid := range regionIDs {
+		rp := h.pages[rid]
+		for i := uint32(0); i < rp.n; i++ {
+			var ids []ObjectID
+			if stored := rp.headers[i]; len(stored) > 0 {
+				ids = make([]ObjectID, len(stored))
+				copy(ids, stored)
+				sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			}
+			f(PageState{
+				Key:       PageKey{Region: rid, Index: i},
+				Dirty:     rp.flags.dirty.get(i),
+				NoNeed:    rp.flags.noNeed.get(i),
+				HeaderIDs: ids,
+				Occupied:  rp.coverage[i] > 0,
+			})
+		}
+	}
+}
+
+// ClearDirtyPages clears the dirty bit of every page of every active
+// region. The Dumper calls this after completing a snapshot, exactly as
+// CRIU resets the kernel soft-dirty bit (§4.2).
+func (h *Heap) ClearDirtyPages() {
+	for _, rp := range h.pages {
+		rp.flags.dirty.clearAll()
+	}
+}
+
+// ActiveRegionIDs returns the ids of all non-freed regions in ascending
+// order.
+func (h *Heap) ActiveRegionIDs() []RegionID {
+	out := make([]RegionID, 0, len(h.regions))
+	for id := range h.regions {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckRemsetInvariant recomputes every active region's remembered-set size
+// from scratch and compares it with the incrementally maintained counter.
+// It returns the ids of regions whose counters disagree; an empty result
+// means the invariant holds. Tests use this to validate the incremental
+// maintenance in Link/Unlink/Evacuate/Remove.
+func (h *Heap) CheckRemsetInvariant() []RegionID {
+	want := make(map[RegionID]int)
+	for _, obj := range h.objects {
+		for child, n := range obj.refs {
+			c := h.objects[child]
+			if c.Region != obj.Region {
+				want[c.Region] += n
+			}
+		}
+	}
+	var bad []RegionID
+	for id, r := range h.regions {
+		if r.remsetEntries != want[id] {
+			bad = append(bad, id)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	return bad
+}
+
+// CheckPageInvariant recomputes every active region's page coverage and
+// header lists from its residents and compares them with the incrementally
+// maintained page tables, returning the regions that disagree. Tests use
+// it to validate the bookkeeping in Allocate/Evacuate/Remove.
+func (h *Heap) CheckPageInvariant() []RegionID {
+	var bad []RegionID
+	for id, r := range h.regions {
+		rp := h.pages[id]
+		coverage := make([]uint16, rp.n)
+		headers := make(map[uint32]map[ObjectID]struct{})
+		for resident := range r.residents {
+			obj := h.objects[resident]
+			first, last := obj.pageSpan(h.cfg.PageSize)
+			for i := first; i <= last && i < rp.n; i++ {
+				coverage[i]++
+			}
+			hp := obj.headerPage(h.cfg.PageSize)
+			if headers[hp] == nil {
+				headers[hp] = make(map[ObjectID]struct{})
+			}
+			headers[hp][obj.ID] = struct{}{}
+		}
+		ok := true
+		for i := uint32(0); i < rp.n && ok; i++ {
+			if coverage[i] != rp.coverage[i] {
+				ok = false
+			}
+			if len(headers[i]) != len(rp.headers[i]) {
+				ok = false
+			}
+			for _, hid := range rp.headers[i] {
+				if _, present := headers[i][hid]; !present {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			bad = append(bad, id)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	return bad
+}

@@ -1,0 +1,248 @@
+package jvm
+
+import (
+	"fmt"
+	"time"
+
+	"polm2/internal/heap"
+)
+
+// frame is one method invocation on a thread's call stack.
+type frame struct {
+	class  string
+	method string
+	// line is the code location within this method where execution
+	// currently is (the call site of the frame above, or the allocation
+	// line).
+	line int
+	// restoreGen, when set, is the target generation to restore when
+	// this frame returns — the setAllocGen(saved) call the Instrumenter
+	// emits after an instrumented call site (§3.4, Listing 2).
+	restoreGen    heap.GenID
+	hasRestoreGen bool
+	// pinned holds the objects this frame's locals reference. Stack
+	// locals are GC roots on a real JVM; the engine pins every allocated
+	// object to the allocating frame and transfers the pins to the
+	// caller on return (a returned reference is conservatively assumed
+	// to escape). ReleaseLocals drops a frame's pins at operation
+	// boundaries.
+	pinned []*heap.Object
+	// pathHash fingerprints the ancestor call path up to and including
+	// this frame's (class, method) and the caller's call line; it lets
+	// Alloc intern allocation sites without rebuilding the stack trace.
+	pathHash uint64
+}
+
+// Thread is a simulated application thread. Threads are not safe for
+// concurrent use; the simulation interleaves them deterministically.
+type Thread struct {
+	vm    *VM
+	name  string
+	stack []frame
+	// targetGen is the thread-local current target generation of NG2C's
+	// API (§2.2).
+	targetGen heap.GenID
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Depth returns the current call-stack depth.
+func (t *Thread) Depth() int { return len(t.stack) }
+
+// TargetGen returns the thread's current target generation
+// (System.getGeneration in NG2C's API).
+func (t *Thread) TargetGen() heap.GenID { return t.targetGen }
+
+// SetTargetGen sets the thread's target generation and returns the previous
+// one (System.setGeneration). Workload code never calls this directly —
+// instrumentation plans do it through Call — but manual-annotation
+// experiments and tests may.
+func (t *Thread) SetTargetGen(gen heap.GenID) heap.GenID {
+	old := t.targetGen
+	t.targetGen = gen
+	return old
+}
+
+// Enter pushes a method invocation frame with no caller context — the
+// thread's entry point (e.g. run()).
+func (t *Thread) Enter(class, method string) {
+	t.stack = append(t.stack, frame{
+		class:    class,
+		method:   method,
+		pathHash: hashFrame(fnvOffset, class, method),
+	})
+}
+
+// FNV-1a constants for the path fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashFrame(seed uint64, class, method string) uint64 {
+	h := seed
+	for i := 0; i < len(class); i++ {
+		h = (h ^ uint64(class[i])) * fnvPrime
+	}
+	h = (h ^ '.') * fnvPrime
+	for i := 0; i < len(method); i++ {
+		h = (h ^ uint64(method[i])) * fnvPrime
+	}
+	return h
+}
+
+func hashLine(seed uint64, line int) uint64 {
+	h := seed
+	v := uint64(line)
+	for i := 0; i < 4; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Call records that the current method, at the given line, invokes
+// class.method, and pushes the callee frame. If the installed
+// instrumentation plan wraps this call site in a generation switch, the
+// thread's target generation changes for the dynamic extent of the call.
+func (t *Thread) Call(line int, class, method string) {
+	if len(t.stack) == 0 {
+		panic(fmt.Sprintf("jvm: thread %s: Call with empty stack; use Enter first", t.name))
+	}
+	top := &t.stack[len(t.stack)-1]
+	top.line = line
+	f := frame{
+		class:    class,
+		method:   method,
+		pathHash: hashFrame(hashLine(top.pathHash, line), class, method),
+	}
+	if t.vm.plan != nil {
+		loc := CodeLoc{Class: top.class, Method: top.method, Line: line}
+		if gen, ok := t.vm.plan.CallGen(loc); ok {
+			f.restoreGen = t.targetGen
+			f.hasRestoreGen = true
+			t.targetGen = gen
+			t.vm.genSwitches++
+			t.vm.collector.Clock().Advance(t.vm.switchCost)
+		}
+	}
+	t.stack = append(t.stack, f)
+}
+
+// Return pops the current method invocation, restoring the caller's target
+// generation if the call site was instrumented. The frame's pinned locals
+// transfer to the caller; pins of the last frame are dropped.
+func (t *Thread) Return() {
+	if len(t.stack) == 0 {
+		panic(fmt.Sprintf("jvm: thread %s: Return with empty stack", t.name))
+	}
+	top := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	if top.hasRestoreGen {
+		t.targetGen = top.restoreGen
+	}
+	if len(t.stack) > 0 {
+		caller := &t.stack[len(t.stack)-1]
+		caller.pinned = append(caller.pinned, top.pinned...)
+	} else {
+		t.unpin(top.pinned)
+	}
+}
+
+// ReleaseLocals drops the current frame's stack pins — the locals of the
+// running method go dead, as at the end of a request-loop iteration.
+// Objects the application still needs must be reachable from explicit roots
+// or from other live objects by now.
+func (t *Thread) ReleaseLocals() {
+	if len(t.stack) == 0 {
+		return
+	}
+	top := &t.stack[len(t.stack)-1]
+	t.unpin(top.pinned)
+	top.pinned = top.pinned[:0]
+}
+
+func (t *Thread) unpin(objs []*heap.Object) {
+	h := t.vm.Heap()
+	for _, obj := range objs {
+		h.UnpinRoot(obj)
+	}
+}
+
+// Alloc allocates size bytes at the given line of the current method. The
+// full stack trace is interned as the allocation site; the installed plan
+// decides whether the site is pretenured (@Gen annotation) into the
+// thread's current target generation. Registered allocation hooks observe
+// the allocation.
+func (t *Thread) Alloc(line int, size uint32) (*heap.Object, error) {
+	if len(t.stack) == 0 {
+		return nil, fmt.Errorf("jvm: thread %s: Alloc with empty stack", t.name)
+	}
+	top := &t.stack[len(t.stack)-1]
+	top.line = line
+
+	// Fast path: the (path hash, alloc line) pair has been interned
+	// before; the full trace is only materialized for new sites.
+	siteKey := hashLine(top.pathHash, line)
+	site, ok := t.vm.sites.lookupFast(siteKey)
+	if !ok {
+		trace := make(StackTrace, len(t.stack))
+		for i, f := range t.stack {
+			trace[i] = CodeLoc{Class: f.class, Method: f.method, Line: f.line}
+		}
+		site = t.vm.sites.internSlow(siteKey, trace)
+	}
+	leaf := CodeLoc{Class: top.class, Method: top.method, Line: line}
+
+	target := heap.Young
+	if t.vm.plan != nil {
+		if gen, explicit, annotated := t.vm.plan.AllocGen(leaf); annotated {
+			if explicit {
+				// The site carries its own switch/restore pair.
+				target = gen
+				t.vm.genSwitches++
+				t.vm.collector.Clock().Advance(t.vm.switchCost)
+			} else {
+				target = t.targetGen
+			}
+			if target != heap.Young && t.vm.pretenureCostPerByte > 0 {
+				// Pretenured allocations bypass the TLAB fast
+				// path (§2.2): a per-byte mutator tax stands in
+				// for the slow path of the real objects this
+				// simulated allocation aggregates.
+				t.vm.collector.Clock().Advance(time.Duration(size) * t.vm.pretenureCostPerByte)
+			}
+		}
+	}
+	obj, err := t.vm.collector.Allocate(size, site, target)
+	if err != nil {
+		return nil, fmt.Errorf("jvm: thread %s at %v: %w", t.name, leaf, err)
+	}
+	// Pin the new object to the allocating frame: the local holding it
+	// is a GC root until the frame's locals are released.
+	t.vm.Heap().PinRoot(obj)
+	top.pinned = append(top.pinned, obj)
+	for _, hook := range t.vm.hooks {
+		hook(site, obj)
+	}
+	return obj, nil
+}
+
+// Work advances the simulated clock by n operation units, scaled by the
+// collector's mutator factor (barrier tax). Workload drivers call this to
+// model computation between allocations.
+func (t *Thread) Work(n int) {
+	d := time.Duration(float64(n) * float64(t.vm.opCost) * t.vm.collector.MutatorFactor())
+	t.vm.collector.Clock().Advance(d)
+}
+
+// Trace returns the thread's current stack trace (for diagnostics and
+// tests).
+func (t *Thread) Trace() StackTrace {
+	trace := make(StackTrace, len(t.stack))
+	for i, f := range t.stack {
+		trace[i] = CodeLoc{Class: f.class, Method: f.method, Line: f.line}
+	}
+	return trace
+}

@@ -1,0 +1,210 @@
+// Package online implements continuous, in-production profiling — the
+// natural extension of POLM2's two-phase workflow that the paper's related
+// work (§6.1) contrasts against and its conclusions point toward.
+//
+// Instead of a separate profiling phase, the Recorder and Dumper stay
+// attached while the application serves production load. Every re-profile
+// interval the Analyzer re-runs over everything recorded so far and the
+// resulting plan is hot-swapped into the execution engine — the equivalent
+// of re-instrumenting the bytecode of freshly loaded classes at runtime.
+// Applications whose allocation behaviour shifts (a Cassandra cluster
+// moving from a write-heavy ingest phase to a read-heavy serving phase)
+// converge to the new behaviour without a restart.
+//
+// The price is the recording overhead the paper avoids by profiling
+// off-line: every allocation pays the logging callback, and every GC cycle
+// pays an incremental snapshot. Both are charged to the simulated clock.
+package online
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/core"
+	"polm2/internal/dumper"
+	"polm2/internal/gc"
+	"polm2/internal/heap"
+	"polm2/internal/instrument"
+	"polm2/internal/jvm"
+	"polm2/internal/metrics"
+	"polm2/internal/recorder"
+	"polm2/internal/simclock"
+	"polm2/internal/workload"
+)
+
+// Options parameterizes an online run.
+type Options struct {
+	// Scale divides the paper's heap geometry. Default core.DefaultScale.
+	Scale uint64
+	// Duration is the simulated run length. Default 30 minutes.
+	Duration time.Duration
+	// Warmup is excluded from the warm metrics. Default 5 minutes,
+	// clamped to half the duration.
+	Warmup time.Duration
+	// Reprofile is the re-analysis interval. Default 5 simulated
+	// minutes.
+	Reprofile time.Duration
+	// Seed drives the workload randomness. Default 1.
+	Seed int64
+	// RecordCost is the mutator cost of one allocation-logging callback.
+	// Default 2µs per simulated allocation (one simulated allocation
+	// stands for Scale real ones).
+	RecordCost time.Duration
+	// Analyzer tunes the Analyzer for every re-analysis.
+	Analyzer analyzer.Options
+	// RecordsDir receives allocation records; a temporary directory is
+	// created when empty.
+	RecordsDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = core.DefaultScale
+	}
+	if o.Duration == 0 {
+		o.Duration = core.PaperRunDuration
+	}
+	if o.Warmup == 0 {
+		o.Warmup = core.PaperWarmup
+	}
+	if o.Warmup > o.Duration/2 {
+		o.Warmup = o.Duration / 2
+	}
+	if o.Reprofile == 0 {
+		o.Reprofile = 5 * time.Minute
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RecordCost == 0 {
+		o.RecordCost = 2 * time.Microsecond
+	}
+	return o
+}
+
+// PlanUpdate records one re-analysis.
+type PlanUpdate struct {
+	// At is the simulated instant the new plan was installed.
+	At time.Duration
+	// Instrumented, Generations and Conflicts summarize the profile.
+	Instrumented int
+	Generations  int
+	Conflicts    int
+}
+
+// Result describes an online run.
+type Result struct {
+	// Pauses and WarmPauses as in core.RunResult.
+	Pauses     []gc.Pause
+	WarmPauses *metrics.Sample
+	// WarmOps is the operation total over the measured window.
+	WarmOps int64
+	// Updates lists every plan installation, first to last.
+	Updates []PlanUpdate
+	// MaxMemoryBytes is the committed high-water mark.
+	MaxMemoryBytes uint64
+	// SimDuration is the simulated run length.
+	SimDuration time.Duration
+}
+
+// Run executes a workload with continuous profiling and periodic plan
+// hot-swaps.
+func Run(app core.App, workloadName string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	clock := simclock.New()
+	geom := core.ScaledGeometry(opts.Scale)
+	col, err := core.NewCollector(core.CollectorNG2C, clock, geom, core.ScaledCostModel(opts.Scale))
+	if err != nil {
+		return nil, err
+	}
+	pret, ok := col.(gc.Pretenuring)
+	if !ok {
+		return nil, fmt.Errorf("online: collector %s does not support pretenuring", col.Name())
+	}
+	vm := jvm.New(col)
+	vm.SetPretenureCostPerByte(core.PretenureCostPerByte(opts.Scale))
+
+	recordsDir := opts.RecordsDir
+	if recordsDir == "" {
+		recordsDir, err = os.MkdirTemp("", "polm2-online-*")
+		if err != nil {
+			return nil, fmt.Errorf("online: records dir: %w", err)
+		}
+	}
+	criu := dumper.New(vm.Heap(), clock, dumper.Config{
+		Cost:        core.ScaledDumpCostModel(opts.Scale),
+		ChargeClock: true,
+	})
+	rec, err := recorder.New(recorder.Config{Dir: recordsDir}, vm.Heap(), vm.Sites(), criu)
+	if err != nil {
+		return nil, err
+	}
+	rec.Attach(vm)
+	// The logging callback costs mutator time on every allocation — the
+	// overhead off-line profiling avoids (§6.1).
+	vm.AddAllocHook(func(heap.SiteID, *heap.Object) {
+		clock.Advance(opts.RecordCost)
+	})
+
+	result := &Result{WarmPauses: &metrics.Sample{}}
+	var analyzeErr error
+	nextReprofile := opts.Reprofile
+	// Re-analysis is driven from the GC cycle boundary: the heap is
+	// quiescent and the Dumper has just produced a snapshot.
+	col.OnCycleEnd(func(cycle uint64, live *heap.LiveSet) {
+		if analyzeErr != nil || clock.Now() < nextReprofile {
+			return
+		}
+		nextReprofile = clock.Now() + opts.Reprofile
+		if err := rec.Flush(); err != nil {
+			analyzeErr = err
+			return
+		}
+		aOpts := opts.Analyzer
+		aOpts.App = app.Name()
+		aOpts.Workload = workloadName
+		profile, err := analyzer.Analyze(recordsDir, criu.Snapshots(), aOpts)
+		if err != nil {
+			analyzeErr = fmt.Errorf("online: re-analysis at %v: %w", clock.Now(), err)
+			return
+		}
+		plan, err := instrument.Apply(profile, pret)
+		if err != nil {
+			analyzeErr = fmt.Errorf("online: re-instrumentation at %v: %w", clock.Now(), err)
+			return
+		}
+		vm.SetPlan(plan)
+		result.Updates = append(result.Updates, PlanUpdate{
+			At:           clock.Now(),
+			Instrumented: profile.InstrumentedSites(),
+			Generations:  profile.UsedGenerations(),
+			Conflicts:    profile.Conflicts,
+		})
+	})
+
+	env := core.NewEnv(vm, clock, workload.NewRand(opts.Seed), opts.Duration)
+	if err := app.Run(env, workloadName); err != nil {
+		return nil, fmt.Errorf("online: running %s/%s: %w", app.Name(), workloadName, err)
+	}
+	if analyzeErr != nil {
+		return nil, analyzeErr
+	}
+	if err := rec.Close(); err != nil {
+		return nil, err
+	}
+
+	result.Pauses = col.Pauses()
+	for _, p := range result.Pauses {
+		if p.Start >= opts.Warmup {
+			result.WarmPauses.Add(p.Duration)
+		}
+	}
+	for _, n := range env.OpsSeries().Slice(opts.Warmup, opts.Duration) {
+		result.WarmOps += n
+	}
+	result.MaxMemoryBytes = vm.Heap().Stats().MaxCommittedBytes
+	result.SimDuration = clock.Now()
+	return result, nil
+}

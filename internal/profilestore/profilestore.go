@@ -1,0 +1,145 @@
+// Package profilestore manages a repository of allocation profiles, one per
+// (application, workload) pair — the deployment model §3.5 of the paper
+// describes: "it is possible to create multiple allocation profiles for the
+// same application, one for each possible workload. Then, whenever the
+// application is launched in the production phase, one allocation profile
+// can be chosen according to the estimated workload."
+package profilestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"polm2/internal/analyzer"
+)
+
+// ErrNotFound reports a missing profile.
+var ErrNotFound = errors.New("profilestore: profile not found")
+
+// Key identifies one stored profile.
+type Key struct {
+	App      string
+	Workload string
+}
+
+func (k Key) String() string { return k.App + "/" + k.Workload }
+
+// Store is an on-disk profile repository. Profiles are stored as the same
+// JSON files Profile.Save produces, named <app>__<workload>.profile.json.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profilestore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// sanitize keeps file names safe for any filesystem.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, sanitize(k.App)+"__"+sanitize(k.Workload)+".profile.json")
+}
+
+// Put stores a profile under its own App/Workload labels, replacing any
+// previous version.
+func (s *Store) Put(p *analyzer.Profile) error {
+	if p.App == "" || p.Workload == "" {
+		return fmt.Errorf("profilestore: profile must carry App and Workload labels")
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	return p.Save(s.path(Key{App: p.App, Workload: p.Workload}))
+}
+
+// Get loads the profile for the exact (app, workload) pair.
+func (s *Store) Get(app, workload string) (*analyzer.Profile, error) {
+	p, err := analyzer.LoadProfile(s.path(Key{App: app, Workload: workload}))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, app, workload)
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// Delete removes a stored profile. Deleting a missing profile returns
+// ErrNotFound.
+func (s *Store) Delete(app, workload string) error {
+	err := os.Remove(s.path(Key{App: app, Workload: workload}))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, app, workload)
+	}
+	return err
+}
+
+// List returns the keys of every stored profile, sorted.
+func (s *Store) List() ([]Key, error) {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*.profile.json"))
+	if err != nil {
+		return nil, fmt.Errorf("profilestore: %w", err)
+	}
+	var keys []Key
+	for _, path := range paths {
+		p, err := analyzer.LoadProfile(path)
+		if err != nil {
+			return nil, fmt.Errorf("profilestore: corrupt entry %s: %w", filepath.Base(path), err)
+		}
+		keys = append(keys, Key{App: p.App, Workload: p.Workload})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys, nil
+}
+
+// Select returns the profile for the estimated workload, falling back to
+// the application's only profile when the estimate has none and exactly one
+// other is stored (launching with a related profile beats launching
+// uninstrumented; §3.5 leaves the selection policy to the operator).
+func (s *Store) Select(app, estimatedWorkload string) (*analyzer.Profile, error) {
+	p, err := s.Get(app, estimatedWorkload)
+	if err == nil {
+		return p, nil
+	}
+	if !errors.Is(err, ErrNotFound) {
+		return nil, err
+	}
+	keys, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var candidates []Key
+	for _, k := range keys {
+		if k.App == app {
+			candidates = append(candidates, k)
+		}
+	}
+	if len(candidates) == 1 {
+		return s.Get(candidates[0].App, candidates[0].Workload)
+	}
+	return nil, fmt.Errorf("%w: %s/%s (stored for %s: %d profiles)",
+		ErrNotFound, app, estimatedWorkload, app, len(candidates))
+}

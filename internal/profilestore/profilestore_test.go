@@ -1,0 +1,131 @@
+package profilestore
+
+import (
+	"errors"
+	"testing"
+
+	"polm2/internal/analyzer"
+)
+
+func sampleProfile(app, workload string) *analyzer.Profile {
+	return &analyzer.Profile{
+		App:         app,
+		Workload:    workload,
+		Generations: 2,
+		Allocs: []analyzer.AllocDirective{
+			{Loc: "A.m:1", Gen: 2, Direct: true},
+		},
+		Calls: []analyzer.CallDirective{{Loc: "B.n:2", Gen: 1}},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleProfile("Cassandra", "WI")
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("Cassandra", "WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "Cassandra" || got.Workload != "WI" || len(got.Allocs) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestPutRequiresLabels(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sampleProfile("", "")
+	if err := s.Put(p); err == nil {
+		t.Fatal("unlabeled profile accepted")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("Cassandra", "WI"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing profile error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Key{{"Cassandra", "WI"}, {"Cassandra", "RI"}, {"Lucene", "default"}} {
+		if err := s.Put(sampleProfile(k.App, k.Workload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("List = %v", keys)
+	}
+	if keys[0].String() != "Cassandra/RI" {
+		t.Fatalf("List not sorted: %v", keys)
+	}
+	if err := s.Delete("Cassandra", "WI"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("Cassandra", "WI"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete error = %v", err)
+	}
+	keys, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("after delete List = %v", keys)
+	}
+}
+
+func TestSelectExactAndFallback(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(sampleProfile("Cassandra", "WI")); err != nil {
+		t.Fatal(err)
+	}
+	// Exact hit.
+	p, err := s.Select("Cassandra", "WI")
+	if err != nil || p.Workload != "WI" {
+		t.Fatalf("Select exact = %+v, %v", p, err)
+	}
+	// Single-profile fallback.
+	p, err = s.Select("Cassandra", "RI")
+	if err != nil || p.Workload != "WI" {
+		t.Fatalf("Select fallback = %+v, %v", p, err)
+	}
+	// Ambiguous fallback fails.
+	if err := s.Put(sampleProfile("Cassandra", "WR")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("Cassandra", "RI"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ambiguous Select error = %v", err)
+	}
+	// Unknown app fails.
+	if _, err := s.Select("HBase", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown app Select error = %v", err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a/b c*d"); got != "a_b_c_d" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

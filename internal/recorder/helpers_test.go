@@ -1,0 +1,12 @@
+package recorder
+
+import (
+	"errors"
+	"os"
+)
+
+var errTest = errors.New("recorder_test: injected failure")
+
+func writeBytes(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,292 @@
+// Package recorder implements the Recorder component of POLM2 (§3.2, §4.1).
+//
+// The Recorder runs attached to the execution engine (the paper attaches a
+// Java agent to the JVM) and does two things:
+//
+//  1. It logs every object allocation: the stack trace of the allocation
+//     site plus the allocated object's identity hash. To bound memory and
+//     CPU overhead it keeps only a table of distinct stack traces in memory
+//     and continuously streams the identity hashes to disk, one stream per
+//     allocation site; the stack-trace table itself is flushed once, at the
+//     end of the profiling run (§3.2).
+//
+//  2. After every GC cycle (configurable to every k-th cycle) it prepares
+//     the heap for a snapshot by marking pages holding no reachable objects
+//     as no-need (the paper's madvise pass, §4.2) and asks the Dumper to
+//     create a new incremental snapshot.
+package recorder
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"polm2/internal/heap"
+	"polm2/internal/jvm"
+)
+
+// SiteTableFile is the name of the stack-trace table file within a
+// recording directory.
+const SiteTableFile = "sites.tsv"
+
+// streamFile names the identity-hash stream for one allocation site.
+func streamFile(site heap.SiteID) string {
+	return fmt.Sprintf("site-%06d.bin", site)
+}
+
+// SnapshotSink receives snapshot requests from the Recorder. The Dumper
+// implements it.
+type SnapshotSink interface {
+	// Snapshot creates a new heap snapshot. The heap's no-need bits have
+	// already been refreshed by the Recorder.
+	Snapshot(cycle uint64) error
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// Dir is the directory allocation records are written into. It must
+	// exist.
+	Dir string
+	// SnapshotEvery requests a snapshot after every k-th GC cycle.
+	// Default 1: after every cycle, the paper's default (§3.2).
+	SnapshotEvery int
+}
+
+// Recorder streams allocation records to disk and triggers snapshots.
+type Recorder struct {
+	cfg   Config
+	h     *heap.Heap
+	sites *jvm.SiteTable
+	sink  SnapshotSink
+
+	streams map[heap.SiteID]*stream
+	// allocCounts tallies allocations per site (diagnostics + tests).
+	allocCounts map[heap.SiteID]uint64
+	firstErr    error
+	closed      bool
+}
+
+type stream struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// New builds a Recorder writing into cfg.Dir.
+func New(cfg Config, h *heap.Heap, sites *jvm.SiteTable, sink SnapshotSink) (*Recorder, error) {
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 1
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("recorder: SnapshotEvery must be positive, got %d", cfg.SnapshotEvery)
+	}
+	info, err := os.Stat(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("recorder: output dir: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("recorder: output path %q is not a directory", cfg.Dir)
+	}
+	return &Recorder{
+		cfg:         cfg,
+		h:           h,
+		sites:       sites,
+		sink:        sink,
+		streams:     make(map[heap.SiteID]*stream),
+		allocCounts: make(map[heap.SiteID]uint64),
+	}, nil
+}
+
+// Attach registers the Recorder's allocation hook and GC-cycle listener on
+// the engine, the equivalent of loading the paper's recording agent into
+// the JVM.
+func (r *Recorder) Attach(vm *jvm.VM) {
+	vm.AddAllocHook(r.RecordAlloc)
+	vm.Collector().OnCycleEnd(r.CycleEnd)
+}
+
+// RecordAlloc logs one allocation: the object's identity hash is appended
+// to the site's stream. Errors are sticky and surfaced by Close.
+func (r *Recorder) RecordAlloc(site heap.SiteID, obj *heap.Object) {
+	if r.firstErr != nil || r.closed {
+		return
+	}
+	s, ok := r.streams[site]
+	if !ok {
+		f, err := os.Create(filepath.Join(r.cfg.Dir, streamFile(site)))
+		if err != nil {
+			r.firstErr = fmt.Errorf("recorder: creating stream for site %d: %w", site, err)
+			return
+		}
+		s = &stream{f: f, w: bufio.NewWriterSize(f, 32*1024)}
+		r.streams[site] = s
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(obj.ID))
+	if _, err := s.w.Write(buf[:n]); err != nil {
+		r.firstErr = fmt.Errorf("recorder: writing id for site %d: %w", site, err)
+		return
+	}
+	r.allocCounts[site]++
+}
+
+// CycleEnd is the GC-cycle listener: on every k-th cycle it refreshes the
+// no-need bits from the live set the collector just computed, then asks the
+// Dumper for a snapshot.
+func (r *Recorder) CycleEnd(cycle uint64, live *heap.LiveSet) {
+	if r.firstErr != nil || r.closed || r.sink == nil {
+		return
+	}
+	if cycle%uint64(r.cfg.SnapshotEvery) != 0 {
+		return
+	}
+	r.h.MarkNoNeedPages(live)
+	if err := r.sink.Snapshot(cycle); err != nil {
+		r.firstErr = fmt.Errorf("recorder: snapshot at cycle %d: %w", cycle, err)
+	}
+}
+
+// AllocCount returns the number of allocations recorded for a site.
+func (r *Recorder) AllocCount(site heap.SiteID) uint64 { return r.allocCounts[site] }
+
+// Flush pushes every id stream to disk and (re)writes the stack-trace
+// table without ending the recording. The online profiling mode calls it
+// before each re-analysis so the Analyzer sees a consistent on-disk state.
+func (r *Recorder) Flush() error {
+	if r.closed {
+		return fmt.Errorf("recorder: Flush after Close")
+	}
+	ids := make([]heap.SiteID, 0, len(r.streams))
+	for id := range r.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := r.streams[id].w.Flush(); err != nil {
+			if r.firstErr == nil {
+				r.firstErr = fmt.Errorf("recorder: flushing site %d: %w", id, err)
+			}
+			return r.firstErr
+		}
+	}
+	if err := r.writeSiteTable(); err != nil {
+		if r.firstErr == nil {
+			r.firstErr = err
+		}
+		return r.firstErr
+	}
+	return r.firstErr
+}
+
+// Close flushes every id stream and writes the stack-trace table, then
+// reports the first error encountered anywhere in the recording.
+func (r *Recorder) Close() error {
+	if r.closed {
+		return r.firstErr
+	}
+	if err := r.Flush(); err != nil && r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.closed = true
+
+	ids := make([]heap.SiteID, 0, len(r.streams))
+	for id := range r.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := r.streams[id].f.Close(); err != nil && r.firstErr == nil {
+			r.firstErr = fmt.Errorf("recorder: closing site %d: %w", id, err)
+		}
+	}
+	return r.firstErr
+}
+
+// writeSiteTable persists only the sites that actually allocated: one line
+// per site, "id<TAB>frame;frame;...".
+func (r *Recorder) writeSiteTable() error {
+	f, err := os.Create(filepath.Join(r.cfg.Dir, SiteTableFile))
+	if err != nil {
+		return fmt.Errorf("recorder: creating site table: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, entry := range r.sites.All() {
+		if _, used := r.allocCounts[entry.ID]; !used {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%d\t%s\n", entry.ID, entry.Trace.String()); err != nil {
+			f.Close()
+			return fmt.Errorf("recorder: writing site table: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("recorder: flushing site table: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("recorder: closing site table: %w", err)
+	}
+	return nil
+}
+
+// LoadSiteTable reads a persisted stack-trace table back. The Analyzer uses
+// it as the first step of §3.3's algorithm.
+func LoadSiteTable(dir string) (map[heap.SiteID]jvm.StackTrace, error) {
+	data, err := os.ReadFile(filepath.Join(dir, SiteTableFile))
+	if err != nil {
+		return nil, fmt.Errorf("recorder: reading site table: %w", err)
+	}
+	out := make(map[heap.SiteID]jvm.StackTrace)
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		idStr, traceStr, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("recorder: site table line %d malformed", lineNo+1)
+		}
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("recorder: site table line %d: %w", lineNo+1, err)
+		}
+		var trace jvm.StackTrace
+		for _, frameStr := range strings.Split(traceStr, ";") {
+			loc, err := jvm.ParseCodeLoc(frameStr)
+			if err != nil {
+				return nil, fmt.Errorf("recorder: site table line %d: %w", lineNo+1, err)
+			}
+			trace = append(trace, loc)
+		}
+		if len(trace) == 0 {
+			return nil, fmt.Errorf("recorder: site table line %d has empty trace", lineNo+1)
+		}
+		out[heap.SiteID(id)] = trace
+	}
+	return out, nil
+}
+
+// ReadIDs streams the identity hashes recorded for one site back from disk.
+func ReadIDs(dir string, site heap.SiteID) ([]heap.ObjectID, error) {
+	f, err := os.Open(filepath.Join(dir, streamFile(site)))
+	if err != nil {
+		return nil, fmt.Errorf("recorder: opening stream for site %d: %w", site, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 32*1024)
+	var out []heap.ObjectID
+	for {
+		v, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recorder: decoding stream for site %d: %w", site, err)
+		}
+		out = append(out, heap.ObjectID(v))
+	}
+}

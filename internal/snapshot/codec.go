@@ -1,0 +1,277 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"polm2/internal/heap"
+)
+
+// Binary snapshot image format, analogous to a CRIU image directory: the
+// profiling phase can persist its snapshot sequence and the Analyzer can be
+// run later, or on another machine, from the images alone (the paper's
+// off-line analysis workflow).
+//
+// Layout (all integers varint-encoded unless noted):
+//
+//	magic "PSNP" | version byte | seq | cycle | takenAtNs | incremental byte
+//	| durationNs | sizeBytes
+//	| nRegions | region ids (delta-encoded)
+//	| nNoNeed  | page keys (region delta + index)
+//	| nPages   | per page: region delta + index + nIDs + ids (delta-encoded)
+const (
+	imageMagic   = "PSNP"
+	imageVersion = 1
+)
+
+// FileName returns the canonical image file name for a snapshot sequence
+// number, e.g. "snap-000042.img".
+func FileName(seq int) string {
+	return fmt.Sprintf("snap-%06d.img", seq)
+}
+
+// Write encodes the snapshot to w.
+func (s *Snapshot) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(imageMagic); err != nil {
+		return fmt.Errorf("snapshot: writing magic: %w", err)
+	}
+	if err := bw.WriteByte(imageVersion); err != nil {
+		return fmt.Errorf("snapshot: writing version: %w", err)
+	}
+	putUvarint(bw, uint64(s.Seq))
+	putUvarint(bw, s.Cycle)
+	putUvarint(bw, uint64(s.TakenAt))
+	inc := byte(0)
+	if s.Incremental {
+		inc = 1
+	}
+	if err := bw.WriteByte(inc); err != nil {
+		return fmt.Errorf("snapshot: writing flags: %w", err)
+	}
+	putUvarint(bw, uint64(s.Duration))
+	putUvarint(bw, s.SizeBytes)
+
+	regions := make([]heap.RegionID, len(s.Regions))
+	copy(regions, s.Regions)
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	putUvarint(bw, uint64(len(regions)))
+	prev := uint64(0)
+	for _, r := range regions {
+		putUvarint(bw, uint64(r)-prev)
+		prev = uint64(r)
+	}
+
+	noNeed := make([]heap.PageKey, len(s.NoNeed))
+	copy(noNeed, s.NoNeed)
+	sort.Slice(noNeed, func(i, j int) bool { return pageKeyLess(noNeed[i], noNeed[j]) })
+	putUvarint(bw, uint64(len(noNeed)))
+	prev = 0
+	for _, key := range noNeed {
+		putUvarint(bw, uint64(key.Region)-prev)
+		prev = uint64(key.Region)
+		putUvarint(bw, uint64(key.Index))
+	}
+
+	pages := make([]PageRecord, len(s.Pages))
+	copy(pages, s.Pages)
+	sort.Slice(pages, func(i, j int) bool { return pageKeyLess(pages[i].Key, pages[j].Key) })
+	putUvarint(bw, uint64(len(pages)))
+	prev = 0
+	for _, pr := range pages {
+		putUvarint(bw, uint64(pr.Key.Region)-prev)
+		prev = uint64(pr.Key.Region)
+		putUvarint(bw, uint64(pr.Key.Index))
+		ids := make([]heap.ObjectID, len(pr.HeaderIDs))
+		copy(ids, pr.HeaderIDs)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		putUvarint(bw, uint64(len(ids)))
+		prevID := uint64(0)
+		for _, id := range ids {
+			putUvarint(bw, uint64(id)-prevID)
+			prevID = uint64(id)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: flushing image: %w", err)
+	}
+	return nil
+}
+
+func pageKeyLess(a, b heap.PageKey) bool {
+	if a.Region != b.Region {
+		return a.Region < b.Region
+	}
+	return a.Index < b.Index
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // surfaced by the final Flush
+}
+
+// Read decodes a snapshot written by Write.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading version: %w", err)
+	}
+	if version != imageVersion {
+		return nil, fmt.Errorf("snapshot: unsupported image version %d", version)
+	}
+
+	var s Snapshot
+	fields := []*uint64{}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	_ = fields
+
+	seq, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading seq: %w", err)
+	}
+	s.Seq = int(seq)
+	if s.Cycle, err = read(); err != nil {
+		return nil, fmt.Errorf("snapshot: reading cycle: %w", err)
+	}
+	takenAt, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading instant: %w", err)
+	}
+	s.TakenAt = time.Duration(takenAt)
+	inc, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading flags: %w", err)
+	}
+	s.Incremental = inc == 1
+	dur, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading duration: %w", err)
+	}
+	s.Duration = time.Duration(dur)
+	if s.SizeBytes, err = read(); err != nil {
+		return nil, fmt.Errorf("snapshot: reading size: %w", err)
+	}
+
+	nRegions, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading region count: %w", err)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < nRegions; i++ {
+		delta, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: reading region %d: %w", i, err)
+		}
+		prev += delta
+		s.Regions = append(s.Regions, heap.RegionID(prev))
+	}
+
+	nNoNeed, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading no-need count: %w", err)
+	}
+	prev = 0
+	for i := uint64(0); i < nNoNeed; i++ {
+		delta, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: reading no-need region %d: %w", i, err)
+		}
+		prev += delta
+		idx, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: reading no-need index %d: %w", i, err)
+		}
+		s.NoNeed = append(s.NoNeed, heap.PageKey{Region: heap.RegionID(prev), Index: uint32(idx)})
+	}
+
+	nPages, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading page count: %w", err)
+	}
+	prev = 0
+	for i := uint64(0); i < nPages; i++ {
+		delta, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: reading page region %d: %w", i, err)
+		}
+		prev += delta
+		idx, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: reading page index %d: %w", i, err)
+		}
+		pr := PageRecord{Key: heap.PageKey{Region: heap.RegionID(prev), Index: uint32(idx)}}
+		nIDs, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: reading id count: %w", err)
+		}
+		prevID := uint64(0)
+		for j := uint64(0); j < nIDs; j++ {
+			d, err := read()
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: reading id %d: %w", j, err)
+			}
+			prevID += d
+			pr.HeaderIDs = append(pr.HeaderIDs, heap.ObjectID(prevID))
+		}
+		s.Pages = append(s.Pages, pr)
+	}
+	return &s, nil
+}
+
+// WriteDir persists a snapshot sequence as an image directory.
+func WriteDir(dir string, snaps []*Snapshot) error {
+	for _, s := range snaps {
+		f, err := os.Create(filepath.Join(dir, FileName(s.Seq)))
+		if err != nil {
+			return fmt.Errorf("snapshot: creating image: %w", err)
+		}
+		if err := s.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("snapshot: closing image: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadDir loads every snapshot image in a directory, ordered by sequence
+// number.
+func ReadDir(dir string) ([]*Snapshot, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "snap-*.img"))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: listing images: %w", err)
+	}
+	sort.Strings(entries)
+	var out []*Snapshot
+	for _, path := range entries {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: opening image: %w", err)
+		}
+		s, err := Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: decoding %s: %w", filepath.Base(path), err)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}

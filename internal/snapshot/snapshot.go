@@ -1,0 +1,150 @@
+// Package snapshot defines heap snapshots and the store that reconstructs a
+// full live-heap view from a sequence of incremental snapshots.
+//
+// A CRIU-style incremental snapshot (§4.2 of the POLM2 paper) contains only
+// the pages dirtied since the previous snapshot, omits pages carrying the
+// no-need bit, and implicitly drops pages of unmapped (freed) regions. The
+// Analyzer therefore cannot look at one snapshot in isolation: the Store
+// replays the sequence, carrying clean pages forward and discarding no-need
+// and unmapped pages, exactly as CRIU's restore side assembles a process
+// image from an incremental dump chain.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"polm2/internal/heap"
+)
+
+// PageRecord is the captured content of one page: the identity hashes of
+// the objects whose headers lie on the page. Reading headers out of dumped
+// pages is how the paper's Analyzer matches Recorder ids against snapshots
+// (§4.3).
+type PageRecord struct {
+	Key       heap.PageKey
+	HeaderIDs []heap.ObjectID
+}
+
+// Snapshot is one heap snapshot, full (jmap-style) or incremental
+// (CRIU-style).
+type Snapshot struct {
+	// Seq is the snapshot's position in the dump sequence, starting at 1.
+	Seq int
+	// Cycle is the GC cycle after which the snapshot was taken.
+	Cycle uint64
+	// TakenAt is the simulated instant of the dump.
+	TakenAt time.Duration
+	// Incremental marks CRIU-style snapshots; a full snapshot replaces
+	// the entire store view.
+	Incremental bool
+	// Regions lists the regions mapped at dump time. Pages of any other
+	// region are gone.
+	Regions []heap.RegionID
+	// Pages holds the captured page contents.
+	Pages []PageRecord
+	// NoNeed lists pages excluded because the collector marked them as
+	// holding no reachable data.
+	NoNeed []heap.PageKey
+	// SizeBytes is the modeled on-disk size of the snapshot.
+	SizeBytes uint64
+	// Duration is the modeled time the dump took.
+	Duration time.Duration
+}
+
+// Store reconstructs the live-heap view from a snapshot sequence.
+type Store struct {
+	pages   map[heap.PageKey][]heap.ObjectID
+	applied int
+	lastSeq int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{pages: make(map[heap.PageKey][]heap.ObjectID)}
+}
+
+// Apply folds one snapshot into the view. Snapshots must be applied in
+// sequence order.
+func (s *Store) Apply(snap *Snapshot) error {
+	if snap.Seq <= s.lastSeq {
+		return fmt.Errorf("snapshot: applying snapshot %d after %d", snap.Seq, s.lastSeq)
+	}
+	s.lastSeq = snap.Seq
+	s.applied++
+
+	if !snap.Incremental {
+		// A full dump replaces the whole view.
+		s.pages = make(map[heap.PageKey][]heap.ObjectID, len(snap.Pages))
+	} else {
+		// Unmapped regions disappear.
+		mapped := make(map[heap.RegionID]struct{}, len(snap.Regions))
+		for _, r := range snap.Regions {
+			mapped[r] = struct{}{}
+		}
+		for key := range s.pages {
+			if _, ok := mapped[key.Region]; !ok {
+				delete(s.pages, key)
+			}
+		}
+		// No-need pages hold no reachable data anymore.
+		for _, key := range snap.NoNeed {
+			delete(s.pages, key)
+		}
+	}
+	for _, pr := range snap.Pages {
+		ids := make([]heap.ObjectID, len(pr.HeaderIDs))
+		copy(ids, pr.HeaderIDs)
+		s.pages[pr.Key] = ids
+	}
+	return nil
+}
+
+// Applied returns how many snapshots have been folded in.
+func (s *Store) Applied() int { return s.applied }
+
+// LiveIDs returns the identity hashes visible in the current view, sorted.
+func (s *Store) LiveIDs() []heap.ObjectID {
+	var out []heap.ObjectID
+	for _, ids := range s.pages {
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether the id is visible in the current view.
+// It is O(pages); the Analyzer uses LiveSet for bulk queries instead.
+func (s *Store) Contains(id heap.ObjectID) bool {
+	for _, ids := range s.pages {
+		for _, candidate := range ids {
+			if candidate == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ForEach calls f for every identity hash visible in the current view, in
+// unspecified order. It avoids the allocation and sorting of LiveIDs on the
+// Analyzer's hot replay path.
+func (s *Store) ForEach(f func(heap.ObjectID)) {
+	for _, ids := range s.pages {
+		for _, id := range ids {
+			f(id)
+		}
+	}
+}
+
+// LiveSet returns the current view as a set for bulk membership queries.
+func (s *Store) LiveSet() map[heap.ObjectID]struct{} {
+	out := make(map[heap.ObjectID]struct{})
+	for _, ids := range s.pages {
+		for _, id := range ids {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}

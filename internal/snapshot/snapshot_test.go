@@ -1,0 +1,161 @@
+package snapshot
+
+import (
+	"testing"
+
+	"polm2/internal/heap"
+)
+
+func pk(region, index uint32) heap.PageKey {
+	return heap.PageKey{Region: heap.RegionID(region), Index: index}
+}
+
+func TestStoreAppliesFullSnapshot(t *testing.T) {
+	s := NewStore()
+	err := s.Apply(&Snapshot{
+		Seq:   1,
+		Pages: []PageRecord{{Key: pk(1, 0), HeaderIDs: []heap.ObjectID{10, 11}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := s.LiveIDs()
+	if len(ids) != 2 || ids[0] != 10 || ids[1] != 11 {
+		t.Fatalf("LiveIDs = %v", ids)
+	}
+	// Second full snapshot replaces the view entirely.
+	err = s.Apply(&Snapshot{
+		Seq:   2,
+		Pages: []PageRecord{{Key: pk(2, 0), HeaderIDs: []heap.ObjectID{20}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(10) || !s.Contains(20) {
+		t.Fatalf("full snapshot did not replace view: %v", s.LiveIDs())
+	}
+}
+
+func TestStoreIncrementalCarriesCleanPages(t *testing.T) {
+	s := NewStore()
+	must(t, s.Apply(&Snapshot{
+		Seq:         1,
+		Incremental: true,
+		Regions:     []heap.RegionID{1, 2},
+		Pages: []PageRecord{
+			{Key: pk(1, 0), HeaderIDs: []heap.ObjectID{10}},
+			{Key: pk(2, 0), HeaderIDs: []heap.ObjectID{20}},
+		},
+	}))
+	// Snapshot 2 only includes a dirtied page of region 2; region 1's
+	// page was clean and must be carried forward.
+	must(t, s.Apply(&Snapshot{
+		Seq:         2,
+		Incremental: true,
+		Regions:     []heap.RegionID{1, 2},
+		Pages: []PageRecord{
+			{Key: pk(2, 0), HeaderIDs: []heap.ObjectID{21}},
+		},
+	}))
+	if !s.Contains(10) {
+		t.Fatal("clean page content lost")
+	}
+	if s.Contains(20) || !s.Contains(21) {
+		t.Fatal("dirty page content not replaced")
+	}
+}
+
+func TestStoreDropsUnmappedRegions(t *testing.T) {
+	s := NewStore()
+	must(t, s.Apply(&Snapshot{
+		Seq:         1,
+		Incremental: true,
+		Regions:     []heap.RegionID{1, 2},
+		Pages: []PageRecord{
+			{Key: pk(1, 0), HeaderIDs: []heap.ObjectID{10}},
+			{Key: pk(2, 0), HeaderIDs: []heap.ObjectID{20}},
+		},
+	}))
+	// Region 1 was freed (young collection): gone from the mapping.
+	must(t, s.Apply(&Snapshot{
+		Seq:         2,
+		Incremental: true,
+		Regions:     []heap.RegionID{2},
+	}))
+	if s.Contains(10) {
+		t.Fatal("page of unmapped region survived")
+	}
+	if !s.Contains(20) {
+		t.Fatal("mapped clean page lost")
+	}
+}
+
+func TestStoreDropsNoNeedPages(t *testing.T) {
+	s := NewStore()
+	must(t, s.Apply(&Snapshot{
+		Seq:         1,
+		Incremental: true,
+		Regions:     []heap.RegionID{1},
+		Pages: []PageRecord{
+			{Key: pk(1, 0), HeaderIDs: []heap.ObjectID{10}},
+			{Key: pk(1, 1), HeaderIDs: []heap.ObjectID{11}},
+		},
+	}))
+	must(t, s.Apply(&Snapshot{
+		Seq:         2,
+		Incremental: true,
+		Regions:     []heap.RegionID{1},
+		NoNeed:      []heap.PageKey{pk(1, 1)},
+	}))
+	if !s.Contains(10) || s.Contains(11) {
+		t.Fatalf("no-need handling wrong: %v", s.LiveIDs())
+	}
+}
+
+func TestStoreRejectsOutOfOrder(t *testing.T) {
+	s := NewStore()
+	must(t, s.Apply(&Snapshot{Seq: 2, Incremental: true}))
+	if err := s.Apply(&Snapshot{Seq: 1, Incremental: true}); err == nil {
+		t.Fatal("out-of-order apply should fail")
+	}
+	if err := s.Apply(&Snapshot{Seq: 2, Incremental: true}); err == nil {
+		t.Fatal("duplicate seq should fail")
+	}
+	if s.Applied() != 1 {
+		t.Fatalf("Applied = %d, want 1", s.Applied())
+	}
+}
+
+func TestLiveSetMatchesLiveIDs(t *testing.T) {
+	s := NewStore()
+	must(t, s.Apply(&Snapshot{
+		Seq:         1,
+		Incremental: true,
+		Regions:     []heap.RegionID{1},
+		Pages: []PageRecord{
+			{Key: pk(1, 0), HeaderIDs: []heap.ObjectID{3, 1, 2}},
+		},
+	}))
+	set := s.LiveSet()
+	ids := s.LiveIDs()
+	if len(set) != len(ids) {
+		t.Fatalf("LiveSet size %d != LiveIDs size %d", len(set), len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := set[id]; !ok {
+			t.Fatalf("id %d missing from LiveSet", id)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("LiveIDs not sorted")
+		}
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/simclock"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 20; i++ {
+		if a.Intn(1000) != c.Intn(1000) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestSizeAround(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		size := r.SizeAround(1000, 0.2)
+		if size < 800 || size > 1200 {
+			t.Fatalf("SizeAround out of bounds: %d", size)
+		}
+	}
+	if got := r.SizeAround(500, 0); got != 500 {
+		t.Fatalf("zero spread should return base, got %d", got)
+	}
+	if got := r.SizeAround(4, 0.9); got < 16 {
+		t.Fatalf("size floor violated: %d", got)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	r := NewRand(1)
+	if _, err := NewZipf(r, 1.0, 100); err == nil {
+		t.Fatal("skew 1.0 should fail")
+	}
+	if _, err := NewZipf(r, 1.1, 0); err == nil {
+		t.Fatal("zero keys should fail")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(7)
+	z, err := NewZipf(r, 1.3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("zipf key out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] < draws/10 {
+		t.Fatalf("zipf head not hot: key 0 drawn %d times", counts[0])
+	}
+}
+
+func TestPacerValidation(t *testing.T) {
+	clk := simclock.New()
+	if _, err := NewPacer(clk, 0); err == nil {
+		t.Fatal("zero rate should fail")
+	}
+	if _, err := NewPacer(clk, -5); err == nil {
+		t.Fatal("negative rate should fail")
+	}
+}
+
+func TestPacerAdvancesIdleTime(t *testing.T) {
+	clk := simclock.New()
+	p, err := NewPacer(clk, 100) // 10ms period
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Await() // first op due immediately
+	if clk.Now() != 0 {
+		t.Fatalf("first Await moved clock to %v", clk.Now())
+	}
+	p.Await()
+	if clk.Now() != 10*time.Millisecond {
+		t.Fatalf("second Await moved clock to %v, want 10ms", clk.Now())
+	}
+}
+
+func TestPacerDropsMissedSlotsDuringStall(t *testing.T) {
+	clk := simclock.New()
+	p, err := NewPacer(clk, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Await()
+	// A 95ms stall (GC pause) swallows ~9 slots.
+	clk.Advance(95 * time.Millisecond)
+	p.Await() // immediate: we are behind schedule
+	if clk.Now() != 95*time.Millisecond {
+		t.Fatalf("Await during backlog advanced clock to %v", clk.Now())
+	}
+	// The schedule resets from now: no burst of catch-up ops.
+	p.Await()
+	if clk.Now() != 105*time.Millisecond {
+		t.Fatalf("post-stall Await moved clock to %v, want 105ms", clk.Now())
+	}
+}

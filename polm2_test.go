@@ -1,0 +1,97 @@
+package polm2
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppsRegistry(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 3 {
+		t.Fatalf("Apps() = %d entries, want 3", len(apps))
+	}
+	for _, name := range []string{"Cassandra", "Lucene", "GraphChi"} {
+		app := AppByName(name)
+		if app == nil {
+			t.Fatalf("AppByName(%q) = nil", name)
+		}
+		if app.Name() != name {
+			t.Fatalf("AppByName(%q).Name() = %q", name, app.Name())
+		}
+		if len(app.Workloads()) == 0 {
+			t.Fatalf("%s has no workloads", name)
+		}
+	}
+	if AppByName("HBase") != nil {
+		t.Fatal("unknown app should be nil")
+	}
+}
+
+func TestBenchRegistry(t *testing.T) {
+	if got := len(BenchTargets()); got != 6 {
+		t.Fatalf("BenchTargets() = %d, want 6", got)
+	}
+	names := BenchExperiments()
+	want := map[string]bool{"table1": true, "fig5": true, "fig9": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("experiments missing: %v", want)
+	}
+}
+
+// TestFacadeEndToEnd runs the whole public workflow on GraphChi (the
+// fastest model): profile, save, load, run instrumented, compare with G1.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run skipped in -short mode")
+	}
+	app := GraphChi()
+	prof, err := ProfileApp(app, "PR", ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pr.json")
+	if err := prof.Profile.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := RunOptions{Duration: 8 * time.Minute, Warmup: 2 * time.Minute}
+	g1, err := RunApp(app, "PR", CollectorG1, PlanNone, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := RunApp(app, "PR", CollectorNG2C, PlanPOLM2, loaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrumented.WarmPauses.Max() >= g1.WarmPauses.Max() {
+		t.Fatalf("POLM2 worst pause %v did not beat G1 %v",
+			instrumented.WarmPauses.Max(), g1.WarmPauses.Max())
+	}
+}
+
+func TestRunBenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	session := NewBenchSession(BenchConfig{
+		RunDuration: 6 * time.Minute,
+		Warmup:      90 * time.Second,
+	})
+	if err := session.RunExperiment("table1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
