@@ -19,30 +19,54 @@ func ablationTarget() Target {
 	panic("bench: Cassandra-WI missing from targets")
 }
 
+func targetByKey(key string) Target {
+	for _, t := range Targets() {
+		if t.Key() == key {
+			return t
+		}
+	}
+	panic("bench: " + key + " missing from targets")
+}
+
+// Each ablation's baseline row is the paper configuration, which is
+// identical to the main matrix's default profile or run of the same target;
+// those rows fetch through Profile/Run and share the main-matrix cache
+// entry. Only the deviating variants cost extra simulations.
+
+// dumpVariants enumerates the Dumper-optimization ablation rows. The empty
+// variant is the paper configuration.
+func dumpVariants() []struct {
+	label, variant     string
+	disableNoNeed      bool
+	disableIncremental bool
+} {
+	return []struct {
+		label, variant     string
+		disableNoNeed      bool
+		disableIncremental bool
+	}{
+		{label: "both optimizations (paper)"},
+		{label: "no no-need elision", variant: "dump-noneed-off", disableNoNeed: true},
+		{label: "no incrementality", variant: "dump-incremental-off", disableIncremental: true},
+		{label: "neither optimization", variant: "dump-neither", disableNoNeed: true, disableIncremental: true},
+	}
+}
+
+func (s *Session) dumpVariantProfile(t Target, variant string, disableNoNeed, disableIncremental bool) (*core.ProfileResult, error) {
+	return s.profileVariant(t, variant, func(o *core.ProfileOptions) {
+		o.DumpDisableNoNeed = disableNoNeed
+		o.DumpDisableIncremental = disableIncremental
+	})
+}
+
 // AblationDump toggles the Dumper's two snapshot optimizations (§3.2)
 // independently and reports time/size against the fully optimized dumper.
 func (s *Session) AblationDump(w io.Writer) error {
 	fmt.Fprintln(w, "=== Ablation: Dumper optimizations (Cassandra-WI, averages over first 20 snapshots) ===")
 	t := ablationTarget()
-	variants := []struct {
-		label              string
-		disableNoNeed      bool
-		disableIncremental bool
-	}{
-		{label: "both optimizations (paper)", disableNoNeed: false, disableIncremental: false},
-		{label: "no no-need elision", disableNoNeed: true, disableIncremental: false},
-		{label: "no incrementality", disableNoNeed: false, disableIncremental: true},
-		{label: "neither optimization", disableNoNeed: true, disableIncremental: true},
-	}
 	fmt.Fprintf(w, "%-28s %-14s %-14s\n", "Variant", "avg time(ms)", "avg size(MB)")
-	for _, v := range variants {
-		res, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
-			Scale:                  s.cfg.Scale,
-			Duration:               s.cfg.ProfileDuration,
-			Seed:                   s.cfg.Seed,
-			DumpDisableNoNeed:      v.disableNoNeed,
-			DumpDisableIncremental: v.disableIncremental,
-		})
+	for _, v := range dumpVariants() {
+		res, err := s.dumpVariantProfile(t, v.variant, v.disableNoNeed, v.disableIncremental)
 		if err != nil {
 			return fmt.Errorf("bench: dump ablation %q: %w", v.label, err)
 		}
@@ -64,45 +88,47 @@ func (s *Session) AblationDump(w io.Writer) error {
 	return nil
 }
 
+// conflictOffProfile is the Cassandra-RI profile with STTree conflict
+// resolution disabled.
+func (s *Session) conflictOffProfile(t Target) (*core.ProfileResult, error) {
+	return s.profileVariant(t, "conflict-off", func(o *core.ProfileOptions) {
+		o.Analyzer = analyzer.Options{DisableConflictResolution: true}
+	})
+}
+
+func (s *Session) conflictOffRun(t Target) (*core.RunResult, error) {
+	return s.runVariant(t, core.CollectorNG2C, core.PlanPOLM2, "conflict-off", func() (*analyzer.Profile, error) {
+		pr, err := s.conflictOffProfile(t)
+		if err != nil {
+			return nil, err
+		}
+		return pr.Profile, nil
+	})
+}
+
 // AblationConflict disables STTree conflict resolution (Algorithm 1) and
 // compares the resulting pause times: without it, conflicted sites collapse
 // to one generation and transient objects pollute the old generations.
 func (s *Session) AblationConflict(w io.Writer) error {
 	fmt.Fprintln(w, "=== Ablation: STTree conflict resolution (Cassandra-RI) ===")
 	fmt.Fprintln(w, "(mispretenured transients shift cost from pauses to memory and mutator overhead)")
-	var t Target
-	for _, cand := range Targets() {
-		if cand.Key() == "Cassandra-RI" {
-			t = cand
-		}
-	}
-	rows := []struct {
-		label   string
-		disable bool
-	}{
-		{label: "with Algorithm 1 (paper)", disable: false},
-		{label: "conflict resolution off", disable: true},
-	}
+	t := targetByKey("Cassandra-RI")
 	fmt.Fprintf(w, "%-28s %-10s %-12s %-12s %-12s %-10s %-10s\n",
 		"Variant", "pauses", "p50(ms)", "p99(ms)", "worst(ms)", "mem(MB)", "ops")
-	for _, row := range rows {
-		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
-			Scale:    s.cfg.Scale,
-			Duration: s.cfg.ProfileDuration,
-			Seed:     s.cfg.Seed,
-			Analyzer: analyzer.Options{DisableConflictResolution: row.disable},
-		})
+	for _, row := range []struct {
+		label string
+		run   func() (*core.RunResult, error)
+	}{
+		{label: "with Algorithm 1 (paper)", run: func() (*core.RunResult, error) {
+			return s.Run(t, core.CollectorNG2C, core.PlanPOLM2)
+		}},
+		{label: "conflict resolution off", run: func() (*core.RunResult, error) {
+			return s.conflictOffRun(t)
+		}},
+	} {
+		res, err := row.run()
 		if err != nil {
 			return fmt.Errorf("bench: conflict ablation: %w", err)
-		}
-		res, err := core.RunApp(t.App, t.Workload, core.CollectorNG2C, core.PlanPOLM2, prof.Profile, core.RunOptions{
-			Scale:    s.cfg.Scale,
-			Duration: s.cfg.RunDuration,
-			Warmup:   s.cfg.Warmup,
-			Seed:     s.cfg.Seed,
-		})
-		if err != nil {
-			return fmt.Errorf("bench: conflict ablation run: %w", err)
 		}
 		fmt.Fprintf(w, "%-28s %-10d %-12s %-12s %-12s %-10d %-10d\n",
 			row.label, res.WarmPauses.Len(),
@@ -114,44 +140,46 @@ func (s *Session) AblationConflict(w io.Writer) error {
 	return nil
 }
 
+// hoistOffProfile is the GraphChi-PR profile with §4.4 generation hoisting
+// disabled.
+func (s *Session) hoistOffProfile(t Target) (*core.ProfileResult, error) {
+	return s.profileVariant(t, "hoist-off", func(o *core.ProfileOptions) {
+		o.Analyzer = analyzer.Options{DisableHoisting: true}
+	})
+}
+
+func (s *Session) hoistOffRun(t Target) (*core.RunResult, error) {
+	return s.runVariant(t, core.CollectorNG2C, core.PlanPOLM2, "hoist-off", func() (*analyzer.Profile, error) {
+		pr, err := s.hoistOffProfile(t)
+		if err != nil {
+			return nil, err
+		}
+		return pr.Profile, nil
+	})
+}
+
 // AblationHoist disables the §4.4 generation-hoisting optimization and
 // reports the dynamic setGeneration call counts with and without it.
 // GraphChi is the interesting case: a single hoisted switch at the
 // batch-load call site covers thousands of chunk allocations.
 func (s *Session) AblationHoist(w io.Writer) error {
 	fmt.Fprintln(w, "=== Ablation: generation hoisting (§4.4, GraphChi-PR) ===")
-	var t Target
-	for _, cand := range Targets() {
-		if cand.Key() == "GraphChi-PR" {
-			t = cand
-		}
-	}
-	rows := []struct {
-		label   string
-		disable bool
-	}{
-		{label: "hoisting on (paper)", disable: false},
-		{label: "hoisting off", disable: true},
-	}
+	t := targetByKey("GraphChi-PR")
 	fmt.Fprintf(w, "%-24s %-16s %-16s %-12s\n", "Variant", "gen switches", "switch/op", "ops")
-	for _, row := range rows {
-		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
-			Scale:    s.cfg.Scale,
-			Duration: s.cfg.ProfileDuration,
-			Seed:     s.cfg.Seed,
-			Analyzer: analyzer.Options{DisableHoisting: row.disable},
-		})
+	for _, row := range []struct {
+		label string
+		run   func() (*core.RunResult, error)
+	}{
+		{label: "hoisting on (paper)", run: func() (*core.RunResult, error) {
+			return s.Run(t, core.CollectorNG2C, core.PlanPOLM2)
+		}},
+		{label: "hoisting off", run: func() (*core.RunResult, error) {
+			return s.hoistOffRun(t)
+		}},
+	} {
+		res, err := row.run()
 		if err != nil {
 			return fmt.Errorf("bench: hoist ablation: %w", err)
-		}
-		res, err := core.RunApp(t.App, t.Workload, core.CollectorNG2C, core.PlanPOLM2, prof.Profile, core.RunOptions{
-			Scale:    s.cfg.Scale,
-			Duration: s.cfg.RunDuration,
-			Warmup:   s.cfg.Warmup,
-			Seed:     s.cfg.Seed,
-		})
-		if err != nil {
-			return fmt.Errorf("bench: hoist ablation run: %w", err)
 		}
 		perOp := 0.0
 		if res.WarmOps > 0 {
@@ -162,26 +190,29 @@ func (s *Session) AblationHoist(w io.Writer) error {
 	return nil
 }
 
+// estimatorP90Profile is the Cassandra-WI profile analyzed with the
+// 90th-percentile survival estimator instead of the paper's bucket mode.
+func (s *Session) estimatorP90Profile(t Target) (*core.ProfileResult, error) {
+	return s.profileVariant(t, "estimator-p90", func(o *core.ProfileOptions) {
+		o.Analyzer = analyzer.Options{Estimator: analyzer.EstimatorP90}
+	})
+}
+
 // AblationEstimator compares the paper's mode estimator against a
-// 90th-percentile survival estimator.
+// 90th-percentile survival estimator. The mode row is the default analyzer
+// configuration and shares the target's main profile.
 func (s *Session) AblationEstimator(w io.Writer) error {
 	fmt.Fprintln(w, "=== Ablation: target-generation estimator (Cassandra-WI) ===")
 	t := ablationTarget()
-	rows := []struct {
-		label string
-		est   analyzer.Estimator
-	}{
-		{label: "bucket mode (paper)", est: analyzer.EstimatorMode},
-		{label: "90th percentile", est: analyzer.EstimatorP90},
-	}
 	fmt.Fprintf(w, "%-24s %-14s %-12s %-12s\n", "Variant", "instrumented", "gens", "conflicts")
-	for _, row := range rows {
-		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
-			Scale:    s.cfg.Scale,
-			Duration: s.cfg.ProfileDuration,
-			Seed:     s.cfg.Seed,
-			Analyzer: analyzer.Options{Estimator: row.est},
-		})
+	for _, row := range []struct {
+		label   string
+		profile func() (*core.ProfileResult, error)
+	}{
+		{label: "bucket mode (paper)", profile: func() (*core.ProfileResult, error) { return s.Profile(t) }},
+		{label: "90th percentile", profile: func() (*core.ProfileResult, error) { return s.estimatorP90Profile(t) }},
+	} {
+		prof, err := row.profile()
 		if err != nil {
 			return fmt.Errorf("bench: estimator ablation: %w", err)
 		}
@@ -192,6 +223,17 @@ func (s *Session) AblationEstimator(w io.Writer) error {
 	return nil
 }
 
+// cadenceProfile is the Cassandra-WI profile snapshotted every k-th GC
+// cycle. k=1 is the default cadence and shares the target's main profile.
+func (s *Session) cadenceProfile(t Target, k int) (*core.ProfileResult, error) {
+	if k == 1 {
+		return s.Profile(t)
+	}
+	return s.profileVariant(t, fmt.Sprintf("cadence-%d", k), func(o *core.ProfileOptions) {
+		o.SnapshotEvery = k
+	})
+}
+
 // AblationCadence varies the snapshot cadence (every k-th GC cycle) and
 // reports the profiling cost against the resulting profile.
 func (s *Session) AblationCadence(w io.Writer) error {
@@ -199,12 +241,7 @@ func (s *Session) AblationCadence(w io.Writer) error {
 	t := ablationTarget()
 	fmt.Fprintf(w, "%-10s %-10s %-14s %-14s %-10s\n", "every k", "snapshots", "dump time(ms)", "instrumented", "gens")
 	for _, k := range []int{1, 2, 4} {
-		prof, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
-			Scale:         s.cfg.Scale,
-			Duration:      s.cfg.ProfileDuration,
-			Seed:          s.cfg.Seed,
-			SnapshotEvery: k,
-		})
+		prof, err := s.cadenceProfile(t, k)
 		if err != nil {
 			return fmt.Errorf("bench: cadence ablation: %w", err)
 		}

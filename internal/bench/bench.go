@@ -62,99 +62,153 @@ type Config struct {
 	Seed int64
 }
 
-// Session caches profiles and runs across experiments.
+// Session caches profiles and runs across experiments. All cache methods
+// are safe for concurrent use: the parallel runner (runner.go) prefetches
+// cache entries from a worker pool, and identical requests coalesce into a
+// single simulation via single-flight memoization.
+//
+// Every simulation seeds its RNG with a seed derived from (cfg.Seed, run
+// identity) — see core.DeriveSeed — so results depend only on the
+// configuration, never on worker count or scheduling order.
 type Session struct {
 	cfg      Config
-	profiles map[string]*core.ProfileResult
-	compare  map[string]*core.ProfileResult // with jmap comparison dumps
-	runs     map[string]*core.RunResult
+	profiles memo[*core.ProfileResult]
+	compare  memo[*core.ProfileResult] // with jmap comparison dumps
+	runs     memo[*core.RunResult]
 }
 
 // NewSession builds an empty session.
 func NewSession(cfg Config) *Session {
-	return &Session{
-		cfg:      cfg,
-		profiles: make(map[string]*core.ProfileResult),
-		compare:  make(map[string]*core.ProfileResult),
-		runs:     make(map[string]*core.RunResult),
-	}
+	return &Session{cfg: cfg}
+}
+
+// profileSeed derives the RNG seed of target t's profiling run. The
+// comparison (jmap tee) profile shares the seed: taking extra comparison
+// dumps never advances the simulated clock, so both produce the same
+// CRIU-side results and may share one cache entry. Ablation profile
+// variants share it too — each variant answers "same profiling run, one
+// knob changed".
+func (s *Session) profileSeed(t Target) int64 {
+	return core.DeriveSeed(s.cfg.Seed, "profile", t.Key())
+}
+
+// runSeed derives the RNG seed of a production run. Collector and plan are
+// part of the identity so the pause-time comparisons draw independent
+// workload streams.
+func (s *Session) runSeed(t Target, collectorName string, plan core.PlanKind) int64 {
+	return core.DeriveSeed(s.cfg.Seed, "run", t.Key(), collectorName, string(plan))
 }
 
 // Profile returns the (cached) POLM2 profiling result for a target.
 func (s *Session) Profile(t Target) (*core.ProfileResult, error) {
+	return s.profileVariant(t, "", nil)
+}
+
+// profileVariant returns the (cached) profiling result for a target with
+// the given options mutation applied. The empty variant is the default
+// profile; named variants are the ablations' single-knob deviations from
+// it. All variants of a target share the target's profile seed.
+func (s *Session) profileVariant(t Target, variant string, mutate func(*core.ProfileOptions)) (*core.ProfileResult, error) {
 	key := t.Key()
-	if res, ok := s.profiles[key]; ok {
+	if variant != "" {
+		key += "|" + variant
+	}
+	return s.profiles.get(key, func() (*core.ProfileResult, error) {
+		opts := core.ProfileOptions{
+			Scale:    s.cfg.Scale,
+			Duration: s.cfg.ProfileDuration,
+			Seed:     s.profileSeed(t),
+		}
+		if mutate != nil {
+			mutate(&opts)
+		}
+		res, err := core.ProfileApp(t.App, t.Workload, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: profiling %s: %w", key, err)
+		}
 		return res, nil
-	}
-	res, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
-		Scale:    s.cfg.Scale,
-		Duration: s.cfg.ProfileDuration,
-		Seed:     s.cfg.Seed,
 	})
-	if err != nil {
-		return nil, fmt.Errorf("bench: profiling %s: %w", key, err)
-	}
-	s.profiles[key] = res
-	return res, nil
 }
 
 // ProfileWithJmap returns the (cached) profiling result that also took
-// jmap-style comparison dumps (Figures 3 and 4).
+// jmap-style comparison dumps (Figures 3 and 4). Comparison dumps do not
+// advance the simulated clock, so the result doubles as the target's plain
+// profile and back-fills that cache entry — one simulation serves both.
 func (s *Session) ProfileWithJmap(t Target) (*core.ProfileResult, error) {
 	key := t.Key()
-	if res, ok := s.compare[key]; ok {
+	res, err := s.compare.get(key, func() (*core.ProfileResult, error) {
+		res, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
+			Scale:       s.cfg.Scale,
+			Duration:    s.cfg.ProfileDuration,
+			Seed:        s.profileSeed(t),
+			CompareJmap: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: comparison profiling %s: %w", key, err)
+		}
 		return res, nil
-	}
-	res, err := core.ProfileApp(t.App, t.Workload, core.ProfileOptions{
-		Scale:       s.cfg.Scale,
-		Duration:    s.cfg.ProfileDuration,
-		Seed:        s.cfg.Seed,
-		CompareJmap: true,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("bench: comparison profiling %s: %w", key, err)
+		return nil, err
 	}
-	s.compare[key] = res
+	s.profiles.fill(key, res)
 	return res, nil
 }
 
 // Run returns the (cached) production run of a target under the named
 // collector and plan.
 func (s *Session) Run(t Target, collectorName string, plan core.PlanKind) (*core.RunResult, error) {
+	return s.runVariant(t, collectorName, plan, "", nil)
+}
+
+// runVariant returns the (cached) production run for a setup, optionally
+// with a variant profile (the ablations') guiding the POLM2 plan. The empty
+// variant runs with the target's default profile. All variants of a setup
+// share the setup's run seed.
+func (s *Session) runVariant(t Target, collectorName string, plan core.PlanKind, variant string, profileFor func() (*analyzer.Profile, error)) (*core.RunResult, error) {
 	key := fmt.Sprintf("%s/%s/%s", t.Key(), collectorName, plan)
-	if res, ok := s.runs[key]; ok {
+	if variant != "" {
+		key += "|" + variant
+	}
+	return s.runs.get(key, func() (*core.RunResult, error) {
+		var profile *analyzer.Profile
+		switch plan {
+		case core.PlanPOLM2:
+			if profileFor != nil {
+				var err error
+				profile, err = profileFor()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				pr, err := s.Profile(t)
+				if err != nil {
+					return nil, err
+				}
+				profile = pr.Profile
+			}
+		case core.PlanManual:
+			var err error
+			profile, err = t.App.ManualProfile(t.Workload)
+			if err != nil {
+				return nil, fmt.Errorf("bench: manual profile for %s: %w", t.Key(), err)
+			}
+		case core.PlanNone:
+			// unmodified application
+		default:
+			return nil, fmt.Errorf("bench: unknown plan kind %q", plan)
+		}
+		res, err := core.RunApp(t.App, t.Workload, collectorName, plan, profile, core.RunOptions{
+			Scale:    s.cfg.Scale,
+			Duration: s.cfg.RunDuration,
+			Warmup:   s.cfg.Warmup,
+			Seed:     s.runSeed(t, collectorName, plan),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: running %s under %s/%s: %w", t.Key(), collectorName, plan, err)
+		}
 		return res, nil
-	}
-	var profile *analyzer.Profile
-	switch plan {
-	case core.PlanPOLM2:
-		pr, err := s.Profile(t)
-		if err != nil {
-			return nil, err
-		}
-		profile = pr.Profile
-	case core.PlanManual:
-		var err error
-		profile, err = t.App.ManualProfile(t.Workload)
-		if err != nil {
-			return nil, fmt.Errorf("bench: manual profile for %s: %w", t.Key(), err)
-		}
-	case core.PlanNone:
-		// unmodified application
-	default:
-		return nil, fmt.Errorf("bench: unknown plan kind %q", plan)
-	}
-	res, err := core.RunApp(t.App, t.Workload, collectorName, plan, profile, core.RunOptions{
-		Scale:    s.cfg.Scale,
-		Duration: s.cfg.RunDuration,
-		Warmup:   s.cfg.Warmup,
-		Seed:     s.cfg.Seed,
 	})
-	if err != nil {
-		return nil, fmt.Errorf("bench: running %s under %s/%s: %w", t.Key(), collectorName, plan, err)
-	}
-	s.runs[key] = res
-	return res, nil
 }
 
 // setups are the three pause-time comparison configurations of Figure 5/6.
@@ -215,15 +269,11 @@ func (s *Session) RunExperiment(name string, w io.Writer) error {
 	}
 }
 
-// RunAll regenerates every table and figure.
+// RunAll regenerates every table and figure serially. It is equivalent to
+// RunExperiments over ExperimentNames with one worker.
 func (s *Session) RunAll(w io.Writer) error {
-	for _, name := range ExperimentNames() {
-		if err := s.RunExperiment(name, w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	return nil
+	_, err := s.RunExperiments(ExperimentNames(), w, ParallelOptions{})
+	return err
 }
 
 // fmtMS renders a duration as fractional milliseconds.

@@ -1,0 +1,393 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"polm2/internal/core"
+)
+
+// The parallel experiment runner. A benchmark session's experiments share
+// expensive simulations through the Session caches; the runner makes those
+// simulations explicit as a work plan, executes the plan on a bounded
+// worker pool, and only then renders the experiments — serially, against
+// warm caches — so the rendered output is byte-identical no matter how many
+// workers computed it.
+//
+// The plan runs in two waves: profiling runs first, production runs second.
+// A production run under the POLM2 plan consumes its target's profile, so
+// the wave barrier guarantees no worker ever blocks on a simulation another
+// worker still owns — every dependency of wave 2 is cache-resident when
+// wave 2 starts.
+
+// ParallelOptions configures RunExperiments.
+type ParallelOptions struct {
+	// Workers bounds the number of concurrently executing simulations.
+	// Values below 1 mean serial execution. Worker count never affects
+	// results, only wall-clock time.
+	Workers int
+	// Progress, if non-nil, receives one human-readable line per completed
+	// simulation and per rendered experiment. Calls are serialized.
+	Progress func(line string)
+}
+
+// Report describes one RunExperiments invocation. The Experiments slice
+// (names and rendered output) is deterministic for a fixed Config; the
+// wall-clock fields measure the host machine and vary run to run.
+type Report struct {
+	// Workers is the worker bound the plan executed under.
+	Workers int `json:"workers"`
+	// Seed is the session's base seed.
+	Seed int64 `json:"seed"`
+	// Experiments holds each experiment's rendered output in request order.
+	Experiments []ExperimentReport `json:"experiments"`
+	// Units holds per-simulation timings, sorted by wave then key.
+	Units []UnitReport `json:"units"`
+	// TotalWallMS is the whole invocation's wall-clock time.
+	TotalWallMS int64 `json:"total_wall_ms"`
+}
+
+// ExperimentReport is one experiment's rendered output and render time.
+type ExperimentReport struct {
+	Name   string `json:"name"`
+	Output string `json:"output"`
+	WallMS int64  `json:"wall_ms"`
+}
+
+// UnitReport is one simulation's identity and wall-clock time.
+type UnitReport struct {
+	// Key identifies the simulation, e.g. "profile:Cassandra-WI" or
+	// "run:Lucene/NG2C/polm2".
+	Key string `json:"key"`
+	// Wave is "profile" or "run".
+	Wave string `json:"wave"`
+	// WallMS is the simulation's wall-clock time on its worker.
+	WallMS int64 `json:"wall_ms"`
+}
+
+const (
+	waveProfile = 1
+	waveRun     = 2
+)
+
+// workUnit is one simulation of the prefetch plan. Its do func fills a
+// Session cache entry; re-running a unit is always a cache hit.
+type workUnit struct {
+	key  string
+	wave int
+	do   func() error
+}
+
+// workPlan accumulates the deduplicated simulations a set of experiments
+// needs, in deterministic order.
+type workPlan struct {
+	s *Session
+	// compareNeeded marks targets whose profile must also take jmap
+	// comparison dumps (fig3/fig4). A comparison profile doubles as the
+	// plain profile, so such targets get one compare unit instead of a
+	// plain profile unit.
+	compareNeeded map[string]bool
+	seen          map[string]bool
+	units         []workUnit
+}
+
+func newWorkPlan(s *Session) *workPlan {
+	return &workPlan{
+		s:             s,
+		compareNeeded: make(map[string]bool),
+		seen:          make(map[string]bool),
+	}
+}
+
+func (p *workPlan) add(key string, wave int, do func() error) {
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	p.units = append(p.units, workUnit{key: key, wave: wave, do: do})
+}
+
+// profile schedules target t's profiling run — as a comparison profile when
+// some requested experiment needs the jmap dumps, since that one simulation
+// serves both caches.
+func (p *workPlan) profile(t Target) {
+	if p.compareNeeded[t.Key()] {
+		p.add("compare:"+t.Key(), waveProfile, func() error {
+			_, err := p.s.ProfileWithJmap(t)
+			return err
+		})
+		return
+	}
+	p.add("profile:"+t.Key(), waveProfile, func() error {
+		_, err := p.s.Profile(t)
+		return err
+	})
+}
+
+// profileUnit schedules an ablation profile variant.
+func (p *workPlan) profileUnit(key string, do func() error) {
+	p.add("profile:"+key, waveProfile, do)
+}
+
+func runKey(t Target, collectorName string, plan core.PlanKind) string {
+	return fmt.Sprintf("%s/%s/%s", t.Key(), collectorName, plan)
+}
+
+// run schedules a production run, plus the profile it consumes when the
+// plan is POLM2's.
+func (p *workPlan) run(t Target, collectorName string, plan core.PlanKind) {
+	if plan == core.PlanPOLM2 {
+		p.profile(t)
+	}
+	p.add("run:"+runKey(t, collectorName, plan), waveRun, func() error {
+		_, err := p.s.Run(t, collectorName, plan)
+		return err
+	})
+}
+
+// runUnit schedules an ablation run variant.
+func (p *workPlan) runUnit(key string, do func() error) {
+	p.add("run:"+key, waveRun, do)
+}
+
+// require adds experiment name's simulations to the plan. The switch
+// mirrors the fetches in the experiment renderers; keeping them in sync is
+// not load-bearing for correctness — a missed requirement only means the
+// render phase computes it serially on the cache-miss path.
+func (p *workPlan) require(name string) error {
+	s := p.s
+	switch name {
+	case "table1":
+		for _, t := range Targets() {
+			p.profile(t)
+		}
+	case "fig3", "fig4":
+		for _, t := range Targets() {
+			p.profile(t) // compareNeeded marks these as compare units
+		}
+	case "fig5", "fig6":
+		for _, t := range Targets() {
+			for _, su := range pauseSetups() {
+				p.run(t, su.collector, su.plan)
+			}
+		}
+	case "fig7", "fig9":
+		for _, t := range Targets() {
+			for _, su := range pauseSetups() {
+				p.run(t, su.collector, su.plan)
+			}
+			if t.App.Name() == "Cassandra" {
+				p.run(t, core.CollectorC4, core.PlanNone)
+			}
+		}
+	case "fig8":
+		for _, t := range Targets() {
+			if t.App.Name() != "Cassandra" {
+				continue
+			}
+			p.run(t, core.CollectorG1, core.PlanNone)
+			p.run(t, core.CollectorNG2C, core.PlanManual)
+			p.run(t, core.CollectorNG2C, core.PlanPOLM2)
+			p.run(t, core.CollectorC4, core.PlanNone)
+		}
+	case "ablation-dump":
+		t := ablationTarget()
+		for _, v := range dumpVariants() {
+			if v.variant == "" {
+				p.profile(t)
+				continue
+			}
+			v := v
+			p.profileUnit(t.Key()+"|"+v.variant, func() error {
+				_, err := s.dumpVariantProfile(t, v.variant, v.disableNoNeed, v.disableIncremental)
+				return err
+			})
+		}
+	case "ablation-conflict":
+		t := targetByKey("Cassandra-RI")
+		p.run(t, core.CollectorNG2C, core.PlanPOLM2)
+		p.profileUnit(t.Key()+"|conflict-off", func() error {
+			_, err := s.conflictOffProfile(t)
+			return err
+		})
+		p.runUnit(runKey(t, core.CollectorNG2C, core.PlanPOLM2)+"|conflict-off", func() error {
+			_, err := s.conflictOffRun(t)
+			return err
+		})
+	case "ablation-hoist":
+		t := targetByKey("GraphChi-PR")
+		p.run(t, core.CollectorNG2C, core.PlanPOLM2)
+		p.profileUnit(t.Key()+"|hoist-off", func() error {
+			_, err := s.hoistOffProfile(t)
+			return err
+		})
+		p.runUnit(runKey(t, core.CollectorNG2C, core.PlanPOLM2)+"|hoist-off", func() error {
+			_, err := s.hoistOffRun(t)
+			return err
+		})
+	case "ablation-estimator":
+		t := ablationTarget()
+		p.profile(t)
+		p.profileUnit(t.Key()+"|estimator-p90", func() error {
+			_, err := s.estimatorP90Profile(t)
+			return err
+		})
+	case "ablation-cadence":
+		t := ablationTarget()
+		p.profile(t)
+		for _, k := range []int{2, 4} {
+			k := k
+			p.profileUnit(fmt.Sprintf("%s|cadence-%d", t.Key(), k), func() error {
+				_, err := s.cadenceProfile(t, k)
+				return err
+			})
+		}
+	default:
+		return fmt.Errorf("bench: unknown experiment %q (want one of %v)", name, ExperimentNames())
+	}
+	return nil
+}
+
+// needsCompare reports whether experiment name consumes jmap comparison
+// profiles. Resolved in a first pass so a target shared between table1 and
+// fig3 is profiled once, with the tee.
+func needsCompare(name string) bool { return name == "fig3" || name == "fig4" }
+
+// executePool runs units on a pool of workers. The first unit error cancels
+// the pool: in-flight units finish, queued units are dropped, and the error
+// is returned. onDone is called serially for each completed unit.
+func executePool(units []workUnit, workers int, onDone func(u workUnit, took time.Duration)) error {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+		doneMu  sync.Mutex
+	)
+	queue := make(chan workUnit)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range queue {
+				if ctx.Err() != nil {
+					continue // drain after cancellation
+				}
+				start := time.Now()
+				if err := u.do(); err != nil {
+					errOnce.Do(func() {
+						firstEr = err
+						cancel()
+					})
+					continue
+				}
+				if onDone != nil {
+					doneMu.Lock()
+					onDone(u, time.Since(start))
+					doneMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, u := range units {
+		queue <- u
+	}
+	close(queue)
+	wg.Wait()
+	return firstEr
+}
+
+// RunExperiments executes the named experiments, writing their rendered
+// output to w in request order, and returns a report with per-simulation
+// timings. All simulations the experiments share are computed exactly once,
+// on opts.Workers workers; rendering is serial against warm caches, so the
+// bytes written to w depend only on the session Config and names — never on
+// the worker count.
+func (s *Session) RunExperiments(names []string, w io.Writer, opts ParallelOptions) (*Report, error) {
+	start := time.Now()
+	plan := newWorkPlan(s)
+	for _, name := range names {
+		if needsCompare(name) {
+			for _, t := range Targets() {
+				plan.compareNeeded[t.Key()] = true
+			}
+		}
+	}
+	for _, name := range names {
+		if err := plan.require(name); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	progress := func(line string) {
+		if opts.Progress != nil {
+			opts.Progress(line)
+		}
+	}
+
+	report := &Report{Workers: workers, Seed: s.cfg.Seed}
+	total := len(plan.units)
+	completed := 0
+	for wave := waveProfile; wave <= waveRun; wave++ {
+		var units []workUnit
+		for _, u := range plan.units {
+			if u.wave == wave {
+				units = append(units, u)
+			}
+		}
+		err := executePool(units, workers, func(u workUnit, took time.Duration) {
+			completed++
+			report.Units = append(report.Units, UnitReport{
+				Key:    u.key,
+				Wave:   map[int]string{waveProfile: "profile", waveRun: "run"}[u.wave],
+				WallMS: took.Milliseconds(),
+			})
+			progress(fmt.Sprintf("[%d/%d] %s done in %v", completed, total, u.key, took.Round(time.Millisecond)))
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(report.Units, func(i, j int) bool {
+		if report.Units[i].Wave != report.Units[j].Wave {
+			return report.Units[i].Wave == "profile"
+		}
+		return report.Units[i].Key < report.Units[j].Key
+	})
+
+	for _, name := range names {
+		renderStart := time.Now()
+		var buf bytes.Buffer
+		if err := s.RunExperiment(name, &buf); err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return nil, fmt.Errorf("bench: writing %s output: %w", name, err)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return nil, fmt.Errorf("bench: writing %s output: %w", name, err)
+		}
+		report.Experiments = append(report.Experiments, ExperimentReport{
+			Name:   name,
+			Output: buf.String(),
+			WallMS: time.Since(renderStart).Milliseconds(),
+		})
+		progress(fmt.Sprintf("rendered %s", name))
+	}
+	report.TotalWallMS = time.Since(start).Milliseconds()
+	return report, nil
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"polm2/internal/core"
+)
+
+// tinyConfig is small enough to run the whole experiment matrix in a few
+// seconds while still exercising every collector, plan and ablation path.
+func tinyConfig() Config {
+	return Config{
+		Scale:           128,
+		ProfileDuration: 2 * time.Minute,
+		RunDuration:     2 * time.Minute,
+		Warmup:          30 * time.Second,
+		Seed:            7,
+	}
+}
+
+// zeroTimings strips the wall-clock fields, leaving only the deterministic
+// part of a report.
+func zeroTimings(r *Report) {
+	r.TotalWallMS = 0
+	r.Workers = 0
+	for i := range r.Experiments {
+		r.Experiments[i].WallMS = 0
+	}
+	for i := range r.Units {
+		r.Units[i].WallMS = 0
+	}
+}
+
+func runMatrix(t *testing.T, workers int) (string, *Report) {
+	t.Helper()
+	s := NewSession(tinyConfig())
+	var buf bytes.Buffer
+	report, err := s.RunExperiments(ExperimentNames(), &buf, ParallelOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	zeroTimings(report)
+	return buf.String(), report
+}
+
+// TestRunExperimentsDeterministic is the golden determinism test: the full
+// experiment matrix, same seed, run serially twice and once on eight
+// workers, must render byte-identical output and produce identical JSON
+// reports (timings aside).
+func TestRunExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix in -short mode")
+	}
+	serial, serialReport := runMatrix(t, 1)
+	again, _ := runMatrix(t, 1)
+	parallel, parallelReport := runMatrix(t, 8)
+
+	if serial != again {
+		t.Fatal("two serial runs with the same seed rendered different output")
+	}
+	if serial != parallel {
+		t.Fatal("workers=8 rendered different output than workers=1")
+	}
+	sj, err := json.Marshal(serialReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(parallelReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("reports differ after zeroing timings:\n%s\nvs\n%s", sj, pj)
+	}
+	if len(serialReport.Experiments) != len(ExperimentNames()) {
+		t.Fatalf("report covers %d experiments, want %d", len(serialReport.Experiments), len(ExperimentNames()))
+	}
+	if len(serialReport.Units) == 0 {
+		t.Fatal("report lists no simulation units")
+	}
+}
+
+// TestSessionStressAllSetupsInFlight fetches every (target, collector,
+// plan) setup plus every profile flavor from one session concurrently —
+// far beyond what the wave scheduler would admit at once — to give the
+// race detector something to chew on and to check that single-flight
+// caching returns one canonical result per key.
+func TestSessionStressAllSetupsInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test in -short mode")
+	}
+	s := NewSession(tinyConfig())
+	type fetch struct {
+		key string
+		do  func() (any, error)
+	}
+	var fetches []fetch
+	for _, t2 := range Targets() {
+		t2 := t2
+		fetches = append(fetches,
+			fetch{"profile:" + t2.Key(), func() (any, error) { return s.Profile(t2) }},
+			fetch{"compare:" + t2.Key(), func() (any, error) { return s.ProfileWithJmap(t2) }},
+		)
+		setups := []struct {
+			collector string
+			plan      core.PlanKind
+		}{
+			{core.CollectorG1, core.PlanNone},
+			{core.CollectorNG2C, core.PlanManual},
+			{core.CollectorNG2C, core.PlanPOLM2},
+			{core.CollectorC4, core.PlanNone},
+		}
+		for _, su := range setups {
+			su := su
+			fetches = append(fetches, fetch{
+				fmt.Sprintf("run:%s/%s/%s", t2.Key(), su.collector, su.plan),
+				func() (any, error) { return s.Run(t2, su.collector, su.plan) },
+			})
+		}
+	}
+
+	// Fetch everything twice, concurrently, so every cache key sees
+	// contention both on first compute and on hit.
+	results := make([][2]any, len(fetches))
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(fetches))
+	for round := 0; round < 2; round++ {
+		for i, f := range fetches {
+			wg.Add(1)
+			go func(round, i int, f fetch) {
+				defer wg.Done()
+				v, err := f.do()
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", f.key, err)
+					return
+				}
+				results[i][round] = v
+			}(round, i, f)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, f := range fetches {
+		if results[i][0] == nil || results[i][0] != results[i][1] {
+			t.Fatalf("%s: concurrent fetches returned distinct results", f.key)
+		}
+	}
+}
+
+// TestExecutePoolFirstErrorCancels checks the pool's failure contract: the
+// first unit error is returned, and units still queued behind the failure
+// are dropped rather than executed.
+func TestExecutePoolFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []string
+	units := []workUnit{
+		{key: "a", wave: waveProfile, do: func() error { ran = append(ran, "a"); return nil }},
+		{key: "b", wave: waveProfile, do: func() error { ran = append(ran, "b"); return boom }},
+		{key: "c", wave: waveProfile, do: func() error { ran = append(ran, "c"); return nil }},
+		{key: "d", wave: waveProfile, do: func() error { ran = append(ran, "d"); return nil }},
+	}
+	err := executePool(units, 1, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(ran) != 2 || ran[0] != "a" || ran[1] != "b" {
+		t.Fatalf("ran = %v, want [a b]", ran)
+	}
+}
+
+// TestExecutePoolConcurrentError checks the same contract under real
+// concurrency: with many workers and an early failure, the pool returns
+// the first error and terminates.
+func TestExecutePoolConcurrentError(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	completed := 0
+	var units []workUnit
+	for i := 0; i < 64; i++ {
+		i := i
+		units = append(units, workUnit{
+			key:  fmt.Sprintf("u%d", i),
+			wave: waveRun,
+			do: func() error {
+				if i == 3 {
+					return boom
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	err := executePool(units, 8, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if completed >= 64 {
+		t.Fatal("pool ran every unit despite a failure")
+	}
+}
+
+// TestExecutePoolReportsEveryUnit checks onDone is called exactly once per
+// unit on success, serialized.
+func TestExecutePoolReportsEveryUnit(t *testing.T) {
+	var units []workUnit
+	for i := 0; i < 32; i++ {
+		units = append(units, workUnit{key: fmt.Sprintf("u%d", i), wave: waveProfile, do: func() error { return nil }})
+	}
+	seen := make(map[string]int)
+	err := executePool(units, 4, func(u workUnit, _ time.Duration) { seen[u.key]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(units) {
+		t.Fatalf("onDone saw %d units, want %d", len(seen), len(units))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("unit %s reported %d times", k, n)
+		}
+	}
+}
+
+// TestRunExperimentsUnknownName rejects unknown experiments before any
+// simulation starts.
+func TestRunExperimentsUnknownName(t *testing.T) {
+	s := NewSession(tinyConfig())
+	if _, err := s.RunExperiments([]string{"fig99"}, &bytes.Buffer{}, ParallelOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

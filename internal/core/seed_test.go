@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(1, "profile", "Cassandra-WI")
+	b := DeriveSeed(1, "profile", "Cassandra-WI")
+	if a != b {
+		t.Fatalf("same inputs derived %d and %d", a, b)
+	}
+}
+
+func TestDeriveSeedSensitivity(t *testing.T) {
+	base := DeriveSeed(1, "run", "Lucene", "ng2c", "polm2")
+	distinct := map[int64]string{base: "base"}
+	for _, tc := range []struct {
+		name string
+		seed int64
+	}{
+		{"different base", DeriveSeed(2, "run", "Lucene", "ng2c", "polm2")},
+		{"different label", DeriveSeed(1, "run", "Lucene", "ng2c", "manual")},
+		{"fewer labels", DeriveSeed(1, "run", "Lucene", "ng2c")},
+		{"profile vs run", DeriveSeed(1, "profile", "Lucene", "ng2c", "polm2")},
+	} {
+		if prev, dup := distinct[tc.seed]; dup {
+			t.Fatalf("%s collided with %s: %d", tc.name, prev, tc.seed)
+		}
+		distinct[tc.seed] = tc.name
+	}
+}
+
+// Label boundaries must be unambiguous: ("ab","c") and ("a","bc") are
+// different identities.
+func TestDeriveSeedLabelBoundaries(t *testing.T) {
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Fatal("label concatenation is ambiguous")
+	}
+}
+
+// A derived seed of zero would silently fall back to the option defaults.
+func TestDeriveSeedNeverZero(t *testing.T) {
+	for base := int64(-100); base <= 100; base++ {
+		if DeriveSeed(base) == 0 {
+			t.Fatalf("base %d derived zero", base)
+		}
+		if DeriveSeed(base, "x") == 0 {
+			t.Fatalf("base %d label x derived zero", base)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package dumper
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"polm2/internal/heap"
@@ -119,7 +120,7 @@ func (d *Dumper) Snapshot(cycle uint64) error {
 		}
 		snap.Pages = append(snap.Pages, snapshot.PageRecord{
 			Key:       ps.Key,
-			HeaderIDs: ps.HeaderIDs,
+			HeaderIDs: slices.Clone(ps.HeaderIDs),
 		})
 	})
 	snap.SizeBytes = uint64(len(snap.Pages)) * (pageSize + d.cfg.Cost.CRIUPageMetaBytes)

@@ -62,14 +62,22 @@ func (c *Cursor) Gen() heap.GenID { return c.gen }
 // LiveResidents returns the live residents of region r in ascending id
 // order. Deterministic ordering keeps every simulation bit-reproducible.
 func LiveResidents(h *heap.Heap, r *heap.Region, live *heap.LiveSet) []*heap.Object {
-	ids := r.Residents()
-	slices.Sort(ids)
-	out := make([]*heap.Object, 0, len(ids))
-	for _, id := range ids {
-		if obj := h.Object(id); obj != nil && live.Marked(obj) {
+	out := make([]*heap.Object, 0, r.ResidentCount())
+	r.EachResident(func(obj *heap.Object) {
+		if live.Marked(obj) {
 			out = append(out, obj)
 		}
-	}
+	})
+	slices.SortFunc(out, func(a, b *heap.Object) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 
@@ -77,13 +85,26 @@ func LiveResidents(h *heap.Heap, r *heap.Region, live *heap.LiveSet) []*heap.Obj
 // bytes of removed garbage. After a sweep of all its live objects'
 // evacuation, the region is empty and can be freed.
 func SweepRegion(h *heap.Heap, r *heap.Region, live *heap.LiveSet) (objects int, bytes uint64) {
-	ids := r.Residents()
-	slices.Sort(ids)
-	for _, id := range ids {
-		obj := h.Object(id)
-		if obj == nil || live.Marked(obj) {
-			continue
+	dead := make([]*heap.Object, 0, r.ResidentCount())
+	r.EachResident(func(obj *heap.Object) {
+		if !live.Marked(obj) {
+			dead = append(dead, obj)
 		}
+	})
+	// Removal order is observable: Remove swap-deletes from the page
+	// header lists, whose order snapshots preserve. Sort so every run of
+	// the same seed produces bit-identical snapshot images.
+	slices.SortFunc(dead, func(a, b *heap.Object) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for _, obj := range dead {
 		bytes += uint64(obj.Size)
 		objects++
 		h.Remove(obj)

@@ -84,7 +84,7 @@ type Heap struct {
 	objects map[ObjectID]*Object
 	regions map[RegionID]*Region
 	pages   map[RegionID]*regionPages
-	roots   map[ObjectID]struct{}
+	roots   map[ObjectID]*Object
 
 	nextRegion RegionID
 	idCounter  uint64
@@ -107,7 +107,7 @@ func New(cfg Config) (*Heap, error) {
 		objects: make(map[ObjectID]*Object),
 		regions: make(map[RegionID]*Region),
 		pages:   make(map[RegionID]*regionPages),
-		roots:   make(map[ObjectID]struct{}),
+		roots:   make(map[ObjectID]*Object),
 	}, nil
 }
 
@@ -152,7 +152,7 @@ func (h *Heap) NewRegion(gen GenID) (*Region, error) {
 	r := &Region{
 		id:        h.nextRegion,
 		gen:       gen,
-		residents: make(map[ObjectID]struct{}),
+		residents: make(map[ObjectID]*Object),
 	}
 	h.nextRegion++
 	h.regions[r.id] = r
@@ -205,9 +205,10 @@ func (h *Heap) Allocate(r *Region, size uint32, site SiteID) (*Object, error) {
 		Gen:    r.gen,
 		Region: r.id,
 		Offset: r.used,
+		region: r,
 	}
 	r.used += size
-	r.residents[obj.ID] = struct{}{}
+	r.residents[obj.ID] = obj
 	h.objects[obj.ID] = obj
 	h.totalObjects++
 	h.totalBytes += uint64(size)
@@ -236,7 +237,7 @@ func (h *Heap) AddRoot(id ObjectID) error {
 		return fmt.Errorf("heap: AddRoot of unknown object %#x", uint64(id))
 	}
 	obj.rootPins++
-	h.roots[id] = struct{}{}
+	h.roots[id] = obj
 	return nil
 }
 
@@ -261,7 +262,7 @@ func (h *Heap) RemoveRoot(id ObjectID) error {
 func (h *Heap) PinRoot(obj *Object) {
 	obj.rootPins++
 	if obj.rootPins == 1 {
-		h.roots[obj.ID] = struct{}{}
+		h.roots[obj.ID] = obj
 	}
 }
 
@@ -289,15 +290,15 @@ func (h *Heap) Link(parent, child ObjectID) error {
 		return fmt.Errorf("heap: Link %#x -> %#x with unknown endpoint", uint64(parent), uint64(child))
 	}
 	if p.refs == nil {
-		p.refs = make(map[ObjectID]int, 4)
+		p.refs = make(map[*Object]int, 4)
 	}
 	if c.in == nil {
-		c.in = make(map[ObjectID]int, 4)
+		c.in = make(map[*Object]int, 4)
 	}
-	p.refs[child]++
-	c.in[parent]++
+	p.refs[c]++
+	c.in[p]++
 	if p.Region != c.Region {
-		h.regions[c.Region].remsetEntries++
+		c.region.remsetEntries++
 	}
 	hp := p.headerPage(h.cfg.PageSize)
 	h.pages[p.Region].touch(hp, hp)
@@ -311,20 +312,20 @@ func (h *Heap) Unlink(parent, child ObjectID) error {
 	if p == nil || c == nil {
 		return fmt.Errorf("heap: Unlink %#x -> %#x with unknown endpoint", uint64(parent), uint64(child))
 	}
-	if p.refs[child] == 0 {
+	if p.refs[c] == 0 {
 		return fmt.Errorf("heap: Unlink of absent edge %v -> %v", p, c)
 	}
-	decEdge(p.refs, child)
-	decEdge(c.in, parent)
+	decEdge(p.refs, c)
+	decEdge(c.in, p)
 	if p.Region != c.Region {
-		h.regions[c.Region].remsetEntries--
+		c.region.remsetEntries--
 	}
 	hp := p.headerPage(h.cfg.PageSize)
 	h.pages[p.Region].touch(hp, hp)
 	return nil
 }
 
-func decEdge(m map[ObjectID]int, k ObjectID) {
+func decEdge(m map[*Object]int, k *Object) {
 	if m[k] == 1 {
 		delete(m, k)
 	} else {
@@ -350,10 +351,10 @@ func (h *Heap) Evacuate(obj *Object, dst *Region) error {
 	// Remembered-set deltas for edges incident to obj. Self-edges stay
 	// intra-region before and after the move and contribute nothing.
 	for parent, n := range obj.in {
-		if parent == obj.ID {
+		if parent == obj {
 			continue
 		}
-		pr := h.objects[parent].Region
+		pr := parent.Region
 		if pr != src.id {
 			src.remsetEntries -= n
 		}
@@ -362,20 +363,18 @@ func (h *Heap) Evacuate(obj *Object, dst *Region) error {
 		}
 	}
 	for child, n := range obj.refs {
-		if child == obj.ID {
+		if child == obj {
 			continue
 		}
-		c := h.objects[child]
-		cr := h.regions[c.Region]
-		if c.Region != src.id {
+		if child.Region != src.id {
 			// Was cross-region; still cross-region unless the child
 			// lives in dst.
-			if c.Region == dst.id {
-				cr.remsetEntries -= n
+			if child.Region == dst.id {
+				child.region.remsetEntries -= n
 			}
 		} else {
 			// Was intra-region; becomes cross-region.
-			cr.remsetEntries += n
+			child.region.remsetEntries += n
 		}
 	}
 
@@ -384,8 +383,9 @@ func (h *Heap) Evacuate(obj *Object, dst *Region) error {
 	obj.Region = dst.id
 	obj.Offset = dst.used
 	obj.Gen = dst.gen
+	obj.region = dst
 	dst.used += obj.Size
-	dst.residents[obj.ID] = struct{}{}
+	dst.residents[obj.ID] = obj
 	dstPages := h.pages[dst.id]
 	first, last := obj.pageSpan(h.cfg.PageSize)
 	dstPages.touch(first, last)
@@ -403,31 +403,23 @@ func (h *Heap) Remove(obj *Object) {
 	if _, ok := h.objects[obj.ID]; !ok {
 		panic(fmt.Sprintf("heap: double remove of %v", obj))
 	}
-	myRegion := h.regions[obj.Region]
+	myRegion := obj.region
 	for parent, n := range obj.in {
-		if parent == obj.ID {
+		if parent == obj {
 			continue
 		}
-		p := h.objects[parent]
-		if p == nil {
-			continue // parent removed earlier in the same sweep
-		}
-		delete(p.refs, obj.ID)
-		if p.Region != obj.Region {
+		delete(parent.refs, obj)
+		if parent.Region != obj.Region {
 			myRegion.remsetEntries -= n
 		}
 	}
 	for child, n := range obj.refs {
-		if child == obj.ID {
+		if child == obj {
 			continue
 		}
-		c := h.objects[child]
-		if c == nil {
-			continue
-		}
-		delete(c.in, obj.ID)
-		if c.Region != obj.Region {
-			h.regions[c.Region].remsetEntries -= n
+		delete(child.in, obj)
+		if child.Region != obj.Region {
+			child.region.remsetEntries -= n
 		}
 	}
 	delete(myRegion.residents, obj.ID)

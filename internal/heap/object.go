@@ -58,9 +58,15 @@ type Object struct {
 	// refs holds outgoing reference edges with multiplicity; in holds the
 	// mirror incoming edges so remembered sets can be maintained
 	// incrementally when objects move. Both are nil until first use:
-	// most simulated objects are leaves.
-	refs map[ObjectID]int
-	in   map[ObjectID]int
+	// most simulated objects are leaves. The maps are keyed by object
+	// pointer so the tracer and the collectors never pay an object-table
+	// lookup per edge; edges to removed objects are torn down eagerly by
+	// Remove, so no stale pointer ever survives in either map.
+	refs map[*Object]int
+	in   map[*Object]int
+	// region is the object's current region, kept in sync with the
+	// exported Region id so hot paths skip the region-table lookup.
+	region *Region
 	// rootPins counts how many times the object has been registered as a
 	// GC root.
 	rootPins int
@@ -86,7 +92,14 @@ func (o *Object) pageSpan(pageSize uint32) (first, last uint32) {
 }
 
 // RefCount returns the multiplicity of the edge from o to child.
-func (o *Object) RefCount(child ObjectID) int { return o.refs[child] }
+func (o *Object) RefCount(child ObjectID) int {
+	for c, n := range o.refs {
+		if c.ID == child {
+			return n
+		}
+	}
+	return 0
+}
 
 // OutDegree returns the number of distinct outgoing references.
 func (o *Object) OutDegree() int { return len(o.refs) }

@@ -15,13 +15,22 @@ type Region struct {
 	used uint32
 	// residents holds every object currently stored in the region,
 	// whether reachable or not; liveness is only known after a trace.
-	residents map[ObjectID]struct{}
+	// Values are the objects themselves so sweep and evacuation loops
+	// never pay an object-table lookup per resident.
+	residents map[ObjectID]*Object
 	// remsetEntries counts incoming reference edges whose source object
 	// resides in a different region — the region's remembered set size,
 	// which the collectors charge scanning cost for.
 	remsetEntries int
 	// freed marks a region returned to the free pool.
 	freed bool
+
+	// traceEpoch, liveObjects and liveBytes are the region's liveness
+	// summary for the trace epoch that last visited it; LiveSet.Region
+	// reads them back, replacing a per-trace map allocation.
+	traceEpoch  uint64
+	liveObjects int
+	liveBytes   uint64
 }
 
 // ID returns the region's identifier.
@@ -52,6 +61,14 @@ func (r *Region) Residents() []ObjectID {
 		out = append(out, id)
 	}
 	return out
+}
+
+// EachResident calls f for every object currently stored in the region, in
+// unspecified order. The callback must not mutate the heap.
+func (r *Region) EachResident(f func(*Object)) {
+	for _, obj := range r.residents {
+		f(obj)
+	}
 }
 
 // fits reports whether size more bytes fit in the region.

@@ -13,10 +13,9 @@ type RegionLiveness struct {
 // building a LiveSet allocates almost nothing; a LiveSet is only valid
 // until the next Trace call on the same heap.
 type LiveSet struct {
-	h         *Heap
-	epoch     uint64
-	ids       []ObjectID
-	perRegion map[RegionID]RegionLiveness
+	h     *Heap
+	epoch uint64
+	objs  []*Object
 
 	// Objects, Bytes and Edges describe the traversal: reachable object
 	// count, their total size, and the number of reference edges scanned
@@ -37,14 +36,24 @@ func (ls *LiveSet) Contains(id ObjectID) bool {
 // the id lookup on hot collector paths.
 func (ls *LiveSet) Marked(obj *Object) bool { return obj.mark == ls.epoch }
 
-// Region returns the liveness summary for one region.
-func (ls *LiveSet) Region(id RegionID) RegionLiveness { return ls.perRegion[id] }
+// Region returns the liveness summary for one region. The summary is stored
+// on the region itself, stamped with the trace epoch, so tracing allocates
+// no per-region map.
+func (ls *LiveSet) Region(id RegionID) RegionLiveness {
+	r := ls.h.regions[id]
+	if r == nil || r.traceEpoch != ls.epoch {
+		return RegionLiveness{}
+	}
+	return RegionLiveness{Objects: r.liveObjects, Bytes: r.liveBytes}
+}
 
 // IDs returns the reachable object ids in ascending order. The slice is
 // freshly allocated.
 func (ls *LiveSet) IDs() []ObjectID {
-	out := make([]ObjectID, len(ls.ids))
-	copy(out, ls.ids)
+	out := make([]ObjectID, len(ls.objs))
+	for i, obj := range ls.objs {
+		out[i] = obj.ID
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -58,34 +67,33 @@ func (ls *LiveSet) IDs() []ObjectID {
 // Tracing invalidates any LiveSet from a previous Trace of this heap.
 func (h *Heap) Trace() *LiveSet {
 	h.epoch++
-	ls := &LiveSet{
-		h:         h,
-		epoch:     h.epoch,
-		perRegion: make(map[RegionID]RegionLiveness),
-	}
-	queue := make([]ObjectID, 0, len(h.roots))
-	for id := range h.roots {
-		h.objects[id].mark = h.epoch
-		queue = append(queue, id)
+	ls := &LiveSet{h: h, epoch: h.epoch}
+	queue := make([]*Object, 0, len(h.roots))
+	for _, obj := range h.roots {
+		obj.mark = h.epoch
+		queue = append(queue, obj)
 	}
 	for head := 0; head < len(queue); head++ {
-		obj := h.objects[queue[head]]
+		obj := queue[head]
 		ls.Objects++
 		ls.Bytes += uint64(obj.Size)
-		rl := ls.perRegion[obj.Region]
-		rl.Objects++
-		rl.Bytes += uint64(obj.Size)
-		ls.perRegion[obj.Region] = rl
+		r := obj.region
+		if r.traceEpoch != h.epoch {
+			r.traceEpoch = h.epoch
+			r.liveObjects = 0
+			r.liveBytes = 0
+		}
+		r.liveObjects++
+		r.liveBytes += uint64(obj.Size)
 		for child, n := range obj.refs {
 			ls.Edges += uint64(n)
-			c := h.objects[child]
-			if c.mark != h.epoch {
-				c.mark = h.epoch
+			if child.mark != h.epoch {
+				child.mark = h.epoch
 				queue = append(queue, child)
 			}
 		}
 	}
-	ls.ids = queue
+	ls.objs = queue
 	return ls
 }
 
@@ -103,8 +111,7 @@ func (h *Heap) MarkNoNeedPages(live *LiveSet) {
 			covered = append(covered, 0)
 		}
 		cv := bitset(covered)
-		for id := range r.residents {
-			obj := h.objects[id]
+		for _, obj := range r.residents {
 			if !live.Marked(obj) {
 				continue
 			}
@@ -124,22 +131,21 @@ func (h *Heap) MarkNoNeedPages(live *LiveSet) {
 // Pages calls f for every page of every active region, in ascending
 // (region, index) order. Freed regions are skipped: their memory is
 // unmapped from the dumper's point of view.
+//
+// The HeaderIDs slice passed to f aliases the page table and is only valid
+// for the duration of the callback: callers that keep header ids (the
+// dumpers) must copy the slice. Ids appear in placement order, which is
+// deterministic because the whole simulation is.
 func (h *Heap) Pages(f func(PageState)) {
 	regionIDs := h.ActiveRegionIDs()
 	for _, rid := range regionIDs {
 		rp := h.pages[rid]
 		for i := uint32(0); i < rp.n; i++ {
-			var ids []ObjectID
-			if stored := rp.headers[i]; len(stored) > 0 {
-				ids = make([]ObjectID, len(stored))
-				copy(ids, stored)
-				sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-			}
 			f(PageState{
 				Key:       PageKey{Region: rid, Index: i},
 				Dirty:     rp.flags.dirty.get(i),
 				NoNeed:    rp.flags.noNeed.get(i),
-				HeaderIDs: ids,
+				HeaderIDs: rp.headers[i],
 				Occupied:  rp.coverage[i] > 0,
 			})
 		}
@@ -175,9 +181,8 @@ func (h *Heap) CheckRemsetInvariant() []RegionID {
 	want := make(map[RegionID]int)
 	for _, obj := range h.objects {
 		for child, n := range obj.refs {
-			c := h.objects[child]
-			if c.Region != obj.Region {
-				want[c.Region] += n
+			if child.Region != obj.Region {
+				want[child.Region] += n
 			}
 		}
 	}
@@ -201,8 +206,7 @@ func (h *Heap) CheckPageInvariant() []RegionID {
 		rp := h.pages[id]
 		coverage := make([]uint16, rp.n)
 		headers := make(map[uint32]map[ObjectID]struct{})
-		for resident := range r.residents {
-			obj := h.objects[resident]
+		for _, obj := range r.residents {
 			first, last := obj.pageSpan(h.cfg.PageSize)
 			for i := first; i <= last && i < rp.n; i++ {
 				coverage[i]++

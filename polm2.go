@@ -73,6 +73,11 @@ type (
 	BenchSession = bench.Session
 	// BenchTarget is one (application, workload) evaluation pair.
 	BenchTarget = bench.Target
+	// BenchParallelOptions configures the parallel experiment runner.
+	BenchParallelOptions = bench.ParallelOptions
+	// BenchReport describes one runner invocation: rendered experiment
+	// outputs (deterministic) plus per-simulation timings.
+	BenchReport = bench.Report
 )
 
 // Collector names.
@@ -148,6 +153,21 @@ func BenchExperiments() []string { return bench.ExperimentNames() }
 // RunBenchAll regenerates every table and figure into w.
 func RunBenchAll(cfg BenchConfig, w io.Writer) error {
 	return bench.NewSession(cfg).RunAll(w)
+}
+
+// RunBenchExperiments executes the named experiments on a bounded worker
+// pool, writing rendered output to w. Results are deterministic: for a
+// fixed config the bytes written depend only on the experiment names, never
+// on the worker count. See bench.Session.RunExperiments.
+func RunBenchExperiments(cfg BenchConfig, names []string, w io.Writer, opts BenchParallelOptions) (*BenchReport, error) {
+	return bench.NewSession(cfg).RunExperiments(names, w, opts)
+}
+
+// DeriveSeed maps a base seed and a list of labels to a stable, well-mixed
+// per-run seed — the derivation every benchmark simulation seeds its RNG
+// with.
+func DeriveSeed(base int64, labels ...string) int64 {
+	return core.DeriveSeed(base, labels...)
 }
 
 // Online profiling (continuous re-analysis and plan hot-swaps; see
