@@ -11,6 +11,13 @@
 //	polm2-bench -json out.json  # also write a machine-readable report
 //	polm2-bench -list           # list experiment names
 //
+// Host-level performance investigation hooks (all write to files or stderr,
+// never stdout):
+//
+//	polm2-bench -cpuprofile cpu.prof   # pprof CPU profile of the run
+//	polm2-bench -memprofile mem.prof   # pprof heap profile at exit
+//	polm2-bench -memstats              # runtime.MemStats summary on stderr
+//
 // Output is deterministic for a fixed -seed: the worker count changes only
 // wall-clock time, never a byte of the rendered tables.
 package main
@@ -20,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"polm2"
@@ -40,6 +49,10 @@ func run() int {
 		workers = flag.Int("workers", 1, "number of concurrent simulations")
 		jsonOut = flag.String("json", "", "write a JSON report (outputs + timings) to this file")
 		quiet   = flag.Bool("quiet", false, "suppress per-simulation progress lines")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		memStats   = flag.Bool("memstats", false, "print a runtime.MemStats summary to stderr at exit")
 	)
 	flag.Parse()
 
@@ -55,6 +68,20 @@ func run() int {
 	// An explicit GOGC still wins.
 	if os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(400)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-bench: creating CPU profile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-bench: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := polm2.BenchConfig{Scale: *scale, Seed: *seed}
@@ -95,5 +122,54 @@ func run() int {
 	// rendered experiments, so same-seed runs are byte-identical there.
 	fmt.Fprintf(os.Stderr, "completed in %v wall-clock (%d workers)\n",
 		time.Since(start).Round(time.Millisecond), report.Workers)
+
+	if *memStats {
+		printMemStats()
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-bench: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// printMemStats reports the host Go runtime's allocation behaviour over the
+// whole run — the quantity the simulation-core memory-layout work
+// (DESIGN.md §8) optimizes.
+func printMemStats() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(os.Stderr, "memstats: alloc=%s totalalloc=%s sys=%s mallocs=%d frees=%d gc=%d pause=%v\n",
+		fmtBytes(ms.HeapAlloc), fmtBytes(ms.TotalAlloc), fmtBytes(ms.Sys),
+		ms.Mallocs, ms.Frees, ms.NumGC, time.Duration(ms.PauseTotalNs))
+}
+
+func fmtBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := uint64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// writeHeapProfile snapshots the heap profile after a final GC so the
+// profile reflects retained memory, the way `go test -memprofile` does.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("writing heap profile: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/apps/cassandra"
+	"polm2/internal/core"
+)
+
+// BenchmarkCassandraWIProduction runs a short Cassandra write-intensive
+// production simulation under G1 per iteration — the end-to-end workload
+// whose host-GC pressure bounds the quick suite. allocs/op divided by
+// GCCycles approximates the Go allocations one simulated GC cycle costs.
+func BenchmarkCassandraWIProduction(b *testing.B) {
+	app := cassandra.New()
+	opts := core.RunOptions{
+		Scale:    128,
+		Duration: time.Minute,
+		Warmup:   10 * time.Second,
+		Seed:     7,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunApp(app, cassandra.WorkloadWI, core.CollectorG1, core.PlanNone, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.GCCycles
+	}
+	b.ReportMetric(float64(cycles), "gc-cycles/op")
+}

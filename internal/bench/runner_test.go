@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,10 +50,18 @@ func runMatrix(t *testing.T, workers int) (string, *Report) {
 	return buf.String(), report
 }
 
+// tinyMatrixSHA256 pins the rendered output of the tiny-config experiment
+// matrix. It locks simulated behaviour across host-side refactors of the
+// simulation core (the memory-layout work of DESIGN.md §8 must never change
+// a byte of output); an intentional change to experiments, workloads or
+// collector policy is expected to update it.
+const tinyMatrixSHA256 = "1d3ebe5afd11c184953aa7b39954fac24fc475b5abc2164daa6427b183fd835c"
+
 // TestRunExperimentsDeterministic is the golden determinism test: the full
 // experiment matrix, same seed, run serially twice and once on eight
 // workers, must render byte-identical output and produce identical JSON
-// reports (timings aside).
+// reports (timings aside) — and that output must match the pinned golden
+// hash.
 func TestRunExperimentsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full matrix in -short mode")
@@ -66,6 +75,9 @@ func TestRunExperimentsDeterministic(t *testing.T) {
 	}
 	if serial != parallel {
 		t.Fatal("workers=8 rendered different output than workers=1")
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(serial))); got != tinyMatrixSHA256 {
+		t.Fatalf("matrix output hash = %s, want pinned %s — simulated behaviour changed", got, tinyMatrixSHA256)
 	}
 	sj, err := json.Marshal(serialReport)
 	if err != nil {

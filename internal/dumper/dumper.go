@@ -14,7 +14,6 @@ package dumper
 
 import (
 	"fmt"
-	"slices"
 	"time"
 
 	"polm2/internal/heap"
@@ -82,6 +81,9 @@ type Dumper struct {
 	cfg   Config
 	seq   int
 	snaps []*snapshot.Snapshot
+	// lastHdr remembers the previous snapshot's header-id arena size so
+	// the next snapshot allocates its arena once, up front.
+	lastHdr int
 }
 
 // New builds a Dumper over the given heap and clock.
@@ -104,6 +106,11 @@ func (d *Dumper) Snapshot(cycle uint64) error {
 		Regions:     d.h.ActiveRegionIDs(),
 	}
 	pageSize := uint64(d.h.Config().PageSize)
+	// Header ids are copied into one per-snapshot arena instead of one
+	// slices.Clone per page: snapshots retain their HeaderIDs forever, so
+	// the arena cannot be pooled, but a single right-sized allocation
+	// (hinted by the previous snapshot) replaces hundreds of small ones.
+	arena := make([]heap.ObjectID, 0, d.lastHdr)
 	d.h.Pages(func(ps heap.PageState) {
 		if ps.NoNeed && !d.cfg.DisableNoNeed {
 			snap.NoNeed = append(snap.NoNeed, ps.Key)
@@ -118,11 +125,20 @@ func (d *Dumper) Snapshot(cycle uint64) error {
 			// zero pages, as CRIU does.
 			return
 		}
+		var ids []heap.ObjectID
+		if len(ps.HeaderIDs) > 0 {
+			start := len(arena)
+			arena = append(arena, ps.HeaderIDs...)
+			// Full-capacity subslice: appends to one page's ids can
+			// never bleed into the next page's.
+			ids = arena[start:len(arena):len(arena)]
+		}
 		snap.Pages = append(snap.Pages, snapshot.PageRecord{
 			Key:       ps.Key,
-			HeaderIDs: slices.Clone(ps.HeaderIDs),
+			HeaderIDs: ids,
 		})
 	})
+	d.lastHdr = len(arena)
 	snap.SizeBytes = uint64(len(snap.Pages)) * (pageSize + d.cfg.Cost.CRIUPageMetaBytes)
 	snap.Duration = d.cfg.Cost.CRIUBase + time.Duration(len(snap.Pages))*d.cfg.Cost.CRIUPerPage
 	if !d.cfg.DisableIncremental {
@@ -147,11 +163,12 @@ func (d *Dumper) Snapshots() []*snapshot.Snapshot {
 // the heap itself and serializes every live object. It implements
 // recorder.SnapshotSink so either dumper can drive the same pipeline.
 type Jmap struct {
-	h     *heap.Heap
-	clock *simclock.Clock
-	cost  CostModel
-	seq   int
-	snaps []*snapshot.Snapshot
+	h       *heap.Heap
+	clock   *simclock.Clock
+	cost    CostModel
+	seq     int
+	snaps   []*snapshot.Snapshot
+	lastHdr int
 }
 
 // NewJmap builds a jmap-style dumper.
@@ -173,18 +190,25 @@ func (j *Jmap) Snapshot(cycle uint64) error {
 		Incremental: false,
 		Regions:     j.h.ActiveRegionIDs(),
 	}
+	// Like the CRIU-style dumper, live header ids land in one
+	// per-snapshot arena sized from the previous dump.
+	arena := make([]heap.ObjectID, 0, j.lastHdr)
 	j.h.Pages(func(ps heap.PageState) {
-		var liveIDs []heap.ObjectID
+		start := len(arena)
 		for _, id := range ps.HeaderIDs {
 			if live.Contains(id) {
-				liveIDs = append(liveIDs, id)
+				arena = append(arena, id)
 			}
 		}
-		if len(liveIDs) == 0 {
+		if len(arena) == start {
 			return
 		}
-		snap.Pages = append(snap.Pages, snapshot.PageRecord{Key: ps.Key, HeaderIDs: liveIDs})
+		snap.Pages = append(snap.Pages, snapshot.PageRecord{
+			Key:       ps.Key,
+			HeaderIDs: arena[start:len(arena):len(arena)],
+		})
 	})
+	j.lastHdr = len(arena)
 	snap.SizeBytes = live.Bytes + uint64(live.Objects)*j.cost.JmapObjectHeaderBytes
 	snap.Duration = j.cost.JmapBase +
 		time.Duration(live.Bytes)*j.cost.JmapPerLiveByte +

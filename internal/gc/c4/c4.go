@@ -166,7 +166,9 @@ func (c *Collector) cycle() error {
 
 	regionSize := c.h.Config().RegionSize
 	cursor := gc.NewCursor(c.h, heap.Young)
-	kept := make([]*heap.Region, 0, len(c.regions))
+	// In-place filter: c.regions is rebuilt into its own backing array,
+	// so steady-state cycles allocate nothing for region bookkeeping.
+	kept := c.regions[:0]
 	freed := 0
 	for _, r := range c.regions {
 		rl := live.Region(r.ID())

@@ -60,9 +60,14 @@ func (c *Cursor) Objects() int { return c.objects }
 func (c *Cursor) Gen() heap.GenID { return c.gen }
 
 // LiveResidents returns the live residents of region r in ascending id
-// order. Deterministic ordering keeps every simulation bit-reproducible.
+// order. Evacuation order determines placement offsets, so it must be
+// deterministic for the simulation to stay bit-reproducible. The returned
+// slice is the heap's scratch buffer: it is only valid until the next
+// LiveResidents call on the same heap, which is fine for the collectors'
+// evacuate-then-discard usage.
 func LiveResidents(h *heap.Heap, r *heap.Region, live *heap.LiveSet) []*heap.Object {
-	out := make([]*heap.Object, 0, r.ResidentCount())
+	scratch := h.ObjectScratch()
+	out := (*scratch)[:0]
 	r.EachResident(func(obj *heap.Object) {
 		if live.Marked(obj) {
 			out = append(out, obj)
@@ -78,36 +83,27 @@ func LiveResidents(h *heap.Heap, r *heap.Region, live *heap.LiveSet) []*heap.Obj
 			return 0
 		}
 	})
+	*scratch = out
 	return out
 }
 
 // SweepRegion removes every dead resident of r and returns the count and
-// bytes of removed garbage. After a sweep of all its live objects'
+// bytes of removed garbage. After a sweep and all its live objects'
 // evacuation, the region is empty and can be freed.
+//
+// The sweep walks the region's intrusive resident list, whose insertion
+// order is deterministic by construction, so no staging slice or sort is
+// needed. Removal order never reaches the simulation's output: it only
+// permutes page header lists, which the Analyzer consumes as sets.
 func SweepRegion(h *heap.Heap, r *heap.Region, live *heap.LiveSet) (objects int, bytes uint64) {
-	dead := make([]*heap.Object, 0, r.ResidentCount())
-	r.EachResident(func(obj *heap.Object) {
+	for obj := r.FirstResident(); obj != nil; {
+		next := obj.NextResident()
 		if !live.Marked(obj) {
-			dead = append(dead, obj)
+			bytes += uint64(obj.Size)
+			objects++
+			h.Remove(obj)
 		}
-	})
-	// Removal order is observable: Remove swap-deletes from the page
-	// header lists, whose order snapshots preserve. Sort so every run of
-	// the same seed produces bit-identical snapshot images.
-	slices.SortFunc(dead, func(a, b *heap.Object) int {
-		switch {
-		case a.ID < b.ID:
-			return -1
-		case a.ID > b.ID:
-			return 1
-		default:
-			return 0
-		}
-	})
-	for _, obj := range dead {
-		bytes += uint64(obj.Size)
-		objects++
-		h.Remove(obj)
+		obj = next
 	}
 	return objects, bytes
 }

@@ -92,6 +92,13 @@ type Collector struct {
 	cycles       uint64
 	listeners    []gc.CycleFunc
 	mixedPending bool
+
+	// Per-collection scratch, reused across cycles so steady-state
+	// collections stay allocation-free on the host.
+	csScratch    []*heap.Region
+	emptyScratch []*heap.Region
+	candScratch  []*heap.Region
+	inOldCS      map[heap.RegionID]bool
 }
 
 var _ gc.Collector = (*Collector)(nil)
@@ -216,15 +223,15 @@ func (c *Collector) collect() error {
 
 	// Fix the collection set before evacuating: all young regions, plus
 	// the most garbage-rich old regions when a mixed cycle is armed.
-	cs := make([]*heap.Region, 0, len(c.eden)+len(c.survivors)+c.cfg.MaxMixedRegions)
+	cs := c.csScratch[:0]
 	cs = append(cs, c.eden...)
 	cs = append(cs, c.survivors...)
 	kind := gc.PauseYoung
 
 	// Cleanup phase: completely empty old regions are reclaimed without
 	// evacuation, as in G1's cleanup pause.
-	var emptyCS []*heap.Region
-	keptOld := make([]*heap.Region, 0, len(c.old))
+	emptyCS := c.emptyScratch[:0]
+	keptOld := c.old[:0]
 	for _, r := range c.old {
 		if live.Region(r.ID()).Objects == 0 {
 			emptyCS = append(emptyCS, r)
@@ -238,7 +245,7 @@ func (c *Collector) collect() error {
 	if c.mixedPending && len(c.old) > 0 {
 		kind = gc.PauseMixed
 		source := c.old
-		candidates := make([]*heap.Region, 0, len(source))
+		candidates := c.candScratch[:0]
 		regionSize := float64(c.h.Config().RegionSize)
 		for _, r := range source {
 			if c.humongous[r.ID()] {
@@ -267,7 +274,12 @@ func (c *Collector) collect() error {
 	survivorCursor := gc.NewCursor(c.h, heap.Young)
 	oldCursor := gc.NewCursor(c.h, Old)
 
-	inOldCS := make(map[heap.RegionID]bool, len(oldCS))
+	if c.inOldCS == nil {
+		c.inOldCS = make(map[heap.RegionID]bool, len(oldCS))
+	} else {
+		clear(c.inOldCS)
+	}
+	inOldCS := c.inOldCS
 	for _, r := range oldCS {
 		inOldCS[r.ID()] = true
 	}
@@ -318,6 +330,13 @@ func (c *Collector) collect() error {
 		c.mixedPending = false
 	}
 	c.old = append(c.old, oldCursor.Regions()...)
+
+	// Return the grown scratch backings for the next cycle.
+	c.csScratch = cs[:0]
+	c.emptyScratch = emptyCS[:0]
+	if cap(oldCS) > cap(c.candScratch) {
+		c.candScratch = oldCS[:0]
+	}
 
 	copiedBytes := survivorCursor.Bytes() + oldCursor.Bytes()
 	copiedObjects := survivorCursor.Objects() + oldCursor.Objects()

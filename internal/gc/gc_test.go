@@ -1,6 +1,7 @@
 package gc
 
 import (
+	"slices"
 	"testing"
 	"time"
 
@@ -147,7 +148,9 @@ func TestLiveResidentsDeterministicOrder(t *testing.T) {
 		}
 	}
 	live := h.Trace()
-	a := LiveResidents(h, r, live)
+	// LiveResidents returns the heap's scratch buffer, so the first result
+	// must be copied before the second call.
+	a := slices.Clone(LiveResidents(h, r, live))
 	b := LiveResidents(h, r, live)
 	for i := range a {
 		if a[i].ID != b[i].ID {

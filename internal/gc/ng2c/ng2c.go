@@ -122,6 +122,13 @@ type Collector struct {
 	// pressureArmed allows one pressure-triggered collection per
 	// threshold crossing.
 	pressureArmed bool
+
+	// Per-collection scratch, reused across cycles so steady-state
+	// collections stay allocation-free on the host.
+	csScratch    []*heap.Region
+	emptyScratch []*heap.Region
+	candScratch  []*heap.Region
+	inOldCS      map[heap.RegionID]heap.GenID
 }
 
 var (
@@ -313,15 +320,15 @@ func (c *Collector) collect() error {
 	start := c.clock.Now()
 	live := c.h.Trace()
 
-	cs := make([]*heap.Region, 0, len(c.eden)+len(c.survivors)+c.cfg.MaxMixedRegions)
+	cs := c.csScratch[:0]
 	cs = append(cs, c.eden...)
 	cs = append(cs, c.survivors...)
 	kind := gc.PauseYoung
 
 	// Cleanup phase: fully dead mature regions are freed without
 	// evacuation.
-	var emptyCS []*heap.Region
-	keptMature := make([]*heap.Region, 0, len(c.mature))
+	emptyCS := c.emptyScratch[:0]
+	keptMature := c.mature[:0]
 	for _, r := range c.mature {
 		if live.Region(r.ID()).Objects == 0 {
 			emptyCS = append(emptyCS, r)
@@ -337,7 +344,7 @@ func (c *Collector) collect() error {
 	if c.mixedPending && len(c.mature) > 0 {
 		kind = gc.PauseMixed
 		source := c.mature
-		candidates := make([]*heap.Region, 0, len(source))
+		candidates := c.candScratch[:0]
 		regionSize := float64(c.h.Config().RegionSize)
 		for _, r := range source {
 			if c.humongous[r.ID()] {
@@ -369,7 +376,12 @@ func (c *Collector) collect() error {
 	// generation, preserving lifetime segregation.
 	genCursors := make(map[heap.GenID]*gc.Cursor)
 
-	inOldCS := make(map[heap.RegionID]heap.GenID, len(oldCS))
+	if c.inOldCS == nil {
+		c.inOldCS = make(map[heap.RegionID]heap.GenID, len(oldCS))
+	} else {
+		clear(c.inOldCS)
+	}
+	inOldCS := c.inOldCS
 	for _, r := range oldCS {
 		inOldCS[r.ID()] = r.Gen()
 	}
@@ -433,6 +445,13 @@ func (c *Collector) collect() error {
 		c.mature = append(c.mature, cur.Regions()...)
 		copiedBytes += cur.Bytes()
 		copiedObjects += cur.Objects()
+	}
+
+	// Return the grown scratch backings for the next cycle.
+	c.csScratch = cs[:0]
+	c.emptyScratch = emptyCS[:0]
+	if cap(oldCS) > cap(c.candScratch) {
+		c.candScratch = oldCS[:0]
 	}
 
 	dur := c.cfg.Cost.EvacuationCost(len(cs)+len(emptyCS), remset, copiedBytes, copiedObjects)

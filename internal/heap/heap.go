@@ -3,6 +3,8 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
 )
 
 // DefaultRegionSize is the default region size: 1 MiB, the G1 default for
@@ -72,19 +74,32 @@ type Stats struct {
 	// allocation ever made.
 	TotalAllocatedObjects uint64
 	TotalAllocatedBytes   uint64
+	// FreeObjects is the number of recycled Object structs waiting on the
+	// heap's freelist.
+	FreeObjects int
 }
 
 // Heap is the simulated managed heap. It owns objects, regions and the page
 // table; collectors implement policy on top of it. A Heap is not safe for
 // concurrent use: the simulation is single-threaded, as a stop-the-world
 // collector's heap effectively is.
+//
+// A steady-state GC cycle over a Heap performs near-zero Go allocations:
+// dead Object structs (with their edge-store spill arrays) are recycled
+// through a freelist, freed regions donate their page tables to the next
+// committed region, and the tracer and no-need marker reuse per-heap
+// scratch buffers.
 type Heap struct {
 	cfg Config
 
 	objects map[ObjectID]*Object
 	regions map[RegionID]*Region
-	pages   map[RegionID]*regionPages
 	roots   map[ObjectID]*Object
+
+	// activeIDs is the ascending list of non-freed region ids, maintained
+	// incrementally: region ids are assigned monotonically, so commits
+	// append and frees splice — no per-call rebuild-and-sort.
+	activeIDs []RegionID
 
 	nextRegion RegionID
 	idCounter  uint64
@@ -94,6 +109,21 @@ type Heap struct {
 	maxCommitted uint64
 	totalObjects uint64
 	totalBytes   uint64
+
+	// objFree chains recycled Object structs through their next field;
+	// freeObjects counts them.
+	objFree     *Object
+	freeObjects int
+	// rpFree holds page tables donated by freed regions.
+	rpFree []*regionPages
+
+	// traceQueue is the tracer's reusable BFS queue; the most recent
+	// LiveSet aliases it (a LiveSet is only valid until the next Trace).
+	traceQueue []*Object
+	// noNeedCov is MarkNoNeedPages' reusable coverage bitset.
+	noNeedCov bitset
+	// objScratch is the staging buffer exposed through ObjectScratch.
+	objScratch []*Object
 }
 
 // New builds a heap from cfg, applying defaults for unset fields.
@@ -106,7 +136,6 @@ func New(cfg Config) (*Heap, error) {
 		cfg:     cfg,
 		objects: make(map[ObjectID]*Object),
 		regions: make(map[RegionID]*Region),
-		pages:   make(map[RegionID]*regionPages),
 		roots:   make(map[ObjectID]*Object),
 	}, nil
 }
@@ -117,22 +146,18 @@ func (h *Heap) Config() Config { return h.cfg }
 // Stats returns a snapshot of heap occupancy.
 func (h *Heap) Stats() Stats {
 	var used uint64
-	live := 0
-	for _, r := range h.regions {
-		if r.freed {
-			continue
-		}
-		used += uint64(r.used)
-		live++
+	for _, id := range h.activeIDs {
+		used += uint64(h.regions[id].used)
 	}
 	return Stats{
 		CommittedBytes:        h.committed,
 		MaxCommittedBytes:     h.maxCommitted,
 		UsedBytes:             used,
-		LiveRegions:           live,
+		LiveRegions:           len(h.activeIDs),
 		Objects:               len(h.objects),
 		TotalAllocatedObjects: h.totalObjects,
 		TotalAllocatedBytes:   h.totalBytes,
+		FreeObjects:           h.freeObjects,
 	}
 }
 
@@ -143,20 +168,38 @@ func (h *Heap) Object(id ObjectID) *Object { return h.objects[id] }
 // Region returns the region with the given id, or nil.
 func (h *Heap) Region(id RegionID) *Region { return h.regions[id] }
 
+// ObjectScratch exposes the heap's reusable object staging buffer. Callers
+// (the collectors' per-region evacuation staging) truncate, fill and
+// consume it within one operation; the contents are only valid until the
+// next use. Single-threaded like the heap itself.
+func (h *Heap) ObjectScratch() *[]*Object { return &h.objScratch }
+
 // NewRegion commits a fresh region for generation gen. It fails with
-// ErrOutOfMemory when the configured maximum would be exceeded.
+// ErrOutOfMemory when the configured maximum would be exceeded. The
+// region's page table is recycled from the last freed region when one is
+// available.
 func (h *Heap) NewRegion(gen GenID) (*Region, error) {
 	if h.cfg.MaxBytes != 0 && h.committed+uint64(h.cfg.RegionSize) > h.cfg.MaxBytes {
 		return nil, fmt.Errorf("committing region for gen %d: %w", gen, ErrOutOfMemory)
 	}
+	var rp *regionPages
+	if n := len(h.rpFree); n > 0 {
+		rp = h.rpFree[n-1]
+		h.rpFree[n-1] = nil
+		h.rpFree = h.rpFree[:n-1]
+		rp.reset()
+	} else {
+		rp = newRegionPages(h.cfg.RegionSize / h.cfg.PageSize)
+	}
 	r := &Region{
-		id:        h.nextRegion,
-		gen:       gen,
-		residents: make(map[ObjectID]*Object),
+		id:    h.nextRegion,
+		gen:   gen,
+		pages: rp,
 	}
 	h.nextRegion++
 	h.regions[r.id] = r
-	h.pages[r.id] = newRegionPages(h.cfg.RegionSize / h.cfg.PageSize)
+	// Region ids grow monotonically, so appending keeps activeIDs sorted.
+	h.activeIDs = append(h.activeIDs, r.id)
 	h.committed += uint64(h.cfg.RegionSize)
 	if h.committed > h.maxCommitted {
 		h.maxCommitted = h.committed
@@ -171,22 +214,38 @@ func (h *Heap) FreeRegion(r *Region) {
 	if r.freed {
 		panic(fmt.Sprintf("heap: double free of %v", r))
 	}
-	if len(r.residents) != 0 {
+	if r.residents != 0 {
 		panic(fmt.Sprintf("heap: freeing non-empty %v", r))
 	}
 	r.freed = true
 	r.used = 0
 	h.committed -= uint64(h.cfg.RegionSize)
 	// The region's memory is unmapped: drop it from the heap's tables
-	// entirely (region ids are never reused). Snapshots communicate the
-	// disappearance through their active-region list.
+	// entirely (region ids are never reused; the Region struct is never
+	// recycled because collectors hold *Region across collections and
+	// check Freed). The page table's backing arrays are donated to the
+	// next committed region. Snapshots communicate the disappearance
+	// through their active-region list.
+	h.rpFree = append(h.rpFree, r.pages)
+	r.pages = nil
 	delete(h.regions, r.id)
-	delete(h.pages, r.id)
+	h.removeActiveID(r.id)
+}
+
+// removeActiveID splices one id out of the sorted active-region list.
+func (h *Heap) removeActiveID(id RegionID) {
+	i, ok := slices.BinarySearch(h.activeIDs, id)
+	if !ok {
+		panic(fmt.Sprintf("heap: region %d missing from active list", id))
+	}
+	h.activeIDs = append(h.activeIDs[:i], h.activeIDs[i+1:]...)
 }
 
 // Allocate places a new object of the given size into region r on behalf of
 // a collector and returns it. The object's identity hash is assigned here
-// and never changes. Allocation dirties the touched pages.
+// and never changes. Allocation dirties the touched pages. The Object
+// struct is recycled from the heap's freelist when one is available; its
+// recycling Stamp tells a stale pointer from the live object.
 func (h *Heap) Allocate(r *Region, size uint32, site SiteID) (*Object, error) {
 	if r.freed {
 		return nil, fmt.Errorf("heap: allocating %d bytes in freed region %d", size, r.id)
@@ -198,24 +257,38 @@ func (h *Heap) Allocate(r *Region, size uint32, site SiteID) (*Object, error) {
 		return nil, fmt.Errorf("heap: %d bytes do not fit in %v (region size %d)", size, r, h.cfg.RegionSize)
 	}
 	h.idCounter++
-	obj := &Object{
-		ID:     ObjectID(mix64(h.idCounter)),
-		Size:   size,
-		Site:   site,
-		Gen:    r.gen,
-		Region: r.id,
-		Offset: r.used,
-		region: r,
+	obj := h.objFree
+	if obj != nil {
+		h.objFree = obj.next
+		h.freeObjects--
+		obj.next = nil
+		obj.ID = ObjectID(mix64(h.idCounter))
+		obj.Size = size
+		obj.Site = site
+		obj.Gen = r.gen
+		obj.Age = 0
+		obj.Region = r.id
+		obj.Offset = r.used
+		obj.region = r
+	} else {
+		obj = &Object{
+			ID:     ObjectID(mix64(h.idCounter)),
+			Size:   size,
+			Site:   site,
+			Gen:    r.gen,
+			Region: r.id,
+			Offset: r.used,
+			region: r,
+		}
 	}
 	r.used += size
-	r.residents[obj.ID] = obj
+	r.pushResident(obj)
 	h.objects[obj.ID] = obj
 	h.totalObjects++
 	h.totalBytes += uint64(size)
-	rp := h.pages[r.id]
 	first, last := obj.pageSpan(h.cfg.PageSize)
-	rp.touch(first, last)
-	rp.place(obj, h.cfg.PageSize)
+	r.pages.touch(first, last)
+	r.pages.place(obj, h.cfg.PageSize)
 	return obj, nil
 }
 
@@ -289,19 +362,13 @@ func (h *Heap) Link(parent, child ObjectID) error {
 	if p == nil || c == nil {
 		return fmt.Errorf("heap: Link %#x -> %#x with unknown endpoint", uint64(parent), uint64(child))
 	}
-	if p.refs == nil {
-		p.refs = make(map[*Object]int, 4)
-	}
-	if c.in == nil {
-		c.in = make(map[*Object]int, 4)
-	}
-	p.refs[c]++
-	c.in[p]++
+	p.refs.inc(c)
+	c.in.inc(p)
 	if p.Region != c.Region {
 		c.region.remsetEntries++
 	}
 	hp := p.headerPage(h.cfg.PageSize)
-	h.pages[p.Region].touch(hp, hp)
+	p.region.pages.touch(hp, hp)
 	return nil
 }
 
@@ -312,25 +379,16 @@ func (h *Heap) Unlink(parent, child ObjectID) error {
 	if p == nil || c == nil {
 		return fmt.Errorf("heap: Unlink %#x -> %#x with unknown endpoint", uint64(parent), uint64(child))
 	}
-	if p.refs[c] == 0 {
+	if !p.refs.dec(c) {
 		return fmt.Errorf("heap: Unlink of absent edge %v -> %v", p, c)
 	}
-	decEdge(p.refs, c)
-	decEdge(c.in, p)
+	c.in.dec(p)
 	if p.Region != c.Region {
 		c.region.remsetEntries--
 	}
 	hp := p.headerPage(h.cfg.PageSize)
-	h.pages[p.Region].touch(hp, hp)
+	p.region.pages.touch(hp, hp)
 	return nil
-}
-
-func decEdge(m map[*Object]int, k *Object) {
-	if m[k] == 1 {
-		delete(m, k)
-	} else {
-		m[k]--
-	}
 }
 
 // Evacuate moves obj into region dst (promotion, survivor copying, or
@@ -340,7 +398,7 @@ func (h *Heap) Evacuate(obj *Object, dst *Region) error {
 	if dst.freed {
 		return fmt.Errorf("heap: evacuating %v into freed region %d", obj, dst.id)
 	}
-	src := h.regions[obj.Region]
+	src := obj.region
 	if src == dst {
 		return fmt.Errorf("heap: evacuating %v into its own region", obj)
 	}
@@ -350,52 +408,54 @@ func (h *Heap) Evacuate(obj *Object, dst *Region) error {
 
 	// Remembered-set deltas for edges incident to obj. Self-edges stay
 	// intra-region before and after the move and contribute nothing.
-	for parent, n := range obj.in {
+	obj.in.each(func(parent *Object, n int32) {
 		if parent == obj {
-			continue
+			return
 		}
 		pr := parent.Region
 		if pr != src.id {
-			src.remsetEntries -= n
+			src.remsetEntries -= int(n)
 		}
 		if pr != dst.id {
-			dst.remsetEntries += n
+			dst.remsetEntries += int(n)
 		}
-	}
-	for child, n := range obj.refs {
+	})
+	obj.refs.each(func(child *Object, n int32) {
 		if child == obj {
-			continue
+			return
 		}
 		if child.Region != src.id {
 			// Was cross-region; still cross-region unless the child
 			// lives in dst.
 			if child.Region == dst.id {
-				child.region.remsetEntries -= n
+				child.region.remsetEntries -= int(n)
 			}
 		} else {
 			// Was intra-region; becomes cross-region.
-			child.region.remsetEntries += n
+			child.region.remsetEntries += int(n)
 		}
-	}
+	})
 
-	delete(src.residents, obj.ID)
-	h.pages[src.id].displace(obj, h.cfg.PageSize)
+	src.removeResident(obj)
+	src.pages.displace(obj, h.cfg.PageSize)
 	obj.Region = dst.id
 	obj.Offset = dst.used
 	obj.Gen = dst.gen
 	obj.region = dst
 	dst.used += obj.Size
-	dst.residents[obj.ID] = obj
-	dstPages := h.pages[dst.id]
+	dst.pushResident(obj)
 	first, last := obj.pageSpan(h.cfg.PageSize)
-	dstPages.touch(first, last)
-	dstPages.place(obj, h.cfg.PageSize)
+	dst.pages.touch(first, last)
+	dst.pages.place(obj, h.cfg.PageSize)
 	return nil
 }
 
 // Remove deletes a dead object from the heap on behalf of a collector.
 // Removing a rooted object is a collector bug and panics. Edges incident to
-// the object are torn down with their remembered-set contributions.
+// the object are torn down with their remembered-set contributions. The
+// Object struct goes onto the heap's freelist with a bumped recycling
+// stamp; any pointer to it held across the removal is stale, and the stamp
+// makes that detectable (Object.Stamp).
 func (h *Heap) Remove(obj *Object) {
 	if obj.rootPins > 0 {
 		panic(fmt.Sprintf("heap: removing rooted %v", obj))
@@ -404,36 +464,54 @@ func (h *Heap) Remove(obj *Object) {
 		panic(fmt.Sprintf("heap: double remove of %v", obj))
 	}
 	myRegion := obj.region
-	for parent, n := range obj.in {
+	obj.in.each(func(parent *Object, n int32) {
 		if parent == obj {
-			continue
+			return
 		}
-		delete(parent.refs, obj)
+		parent.refs.drop(obj)
 		if parent.Region != obj.Region {
-			myRegion.remsetEntries -= n
+			myRegion.remsetEntries -= int(n)
 		}
-	}
-	for child, n := range obj.refs {
+	})
+	obj.refs.each(func(child *Object, n int32) {
 		if child == obj {
-			continue
+			return
 		}
-		delete(child.in, obj)
+		child.in.drop(obj)
 		if child.Region != obj.Region {
-			child.region.remsetEntries -= n
+			child.region.remsetEntries -= int(n)
 		}
-	}
-	delete(myRegion.residents, obj.ID)
-	h.pages[obj.Region].displace(obj, h.cfg.PageSize)
+	})
+	myRegion.removeResident(obj)
+	myRegion.pages.displace(obj, h.cfg.PageSize)
 	delete(h.objects, obj.ID)
+
+	// Recycle the struct: clear identity and graph state, keep the edge
+	// stores' spill capacity, bump the stamp so stale pointers are
+	// detectable, and chain it onto the freelist through next.
+	obj.refs.reset()
+	obj.in.reset()
+	obj.ID = 0
+	obj.mark = 0
+	obj.Age = 0
+	obj.region = nil
+	obj.stamp++
+	obj.next = h.objFree
+	h.objFree = obj
+	h.freeObjects++
 }
 
-// ActiveRegions returns all non-freed regions in unspecified order.
+// ActiveRegions returns all non-freed regions in ascending id order.
 func (h *Heap) ActiveRegions() []*Region {
-	out := make([]*Region, 0, len(h.regions))
-	for _, r := range h.regions {
-		if !r.freed {
-			out = append(out, r)
-		}
+	out := make([]*Region, 0, len(h.activeIDs))
+	for _, id := range h.activeIDs {
+		out = append(out, h.regions[id])
 	}
 	return out
+}
+
+// sortObjectsByID orders objects by ascending identity hash (ids are
+// unique, so the order is total).
+func sortObjectsByID(objs []*Object) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
 }

@@ -16,6 +16,12 @@
 //   - liveness is discovered by tracing from an explicit root set over
 //     explicit reference edges — workloads never declare lifetimes, so the
 //     profiler faces the same estimation problem it faces on a JVM.
+//
+// The hot data structures are laid out so a steady-state GC cycle performs
+// near-zero Go allocations (DESIGN.md §8): reference edges live in a hybrid
+// inline-array/spill store instead of maps, region residency is an
+// intrusive doubly-linked list threaded through the objects, and dead
+// Object structs are recycled through a per-heap freelist.
 package heap
 
 import "fmt"
@@ -35,6 +41,202 @@ type GenID int32
 
 // Young is the generation every non-pretenured allocation lands in.
 const Young GenID = 0
+
+// edgeInlineCap is the number of (child, count) pairs an edge store holds
+// inline before spilling. The simulated apps' holder objects reference a
+// handful of children (commit-log segments, SSTable parts, cache rows), so
+// four inline slots cover the overwhelming majority of objects without a
+// spill allocation.
+const edgeInlineCap = 4
+
+// edgeRef is one reference edge with multiplicity.
+type edgeRef struct {
+	obj *Object
+	n   int32
+}
+
+// edgeIdxThreshold is the spill length beyond which an edgeSet builds a
+// position index. Below it, a linear scan over at most a few cache lines
+// beats any hashing; above it (the apps' holder objects fan out to
+// thousands of children), the index keeps inc/dec/drop O(1) where the
+// sorted alternatives go quadratic over a holder's lifetime.
+const edgeIdxThreshold = 32
+
+// edgeSet is the hybrid edge store: a small inline array for the common
+// low-fanout case, with an insertion-ordered spill slice (plus a lazily
+// built position index) for high-fanout objects. Compared to the
+// map[*Object]int it replaces, it allocates nothing until an object's
+// fanout exceeds edgeInlineCap, its backing arrays survive recycling, and
+// its iteration order is deterministic: inline slots then spill slots,
+// an order that is a pure function of the Link/Unlink/Remove history (the
+// position index is used only for lookup, never iterated).
+type edgeSet struct {
+	inline    [edgeInlineCap]edgeRef
+	inlineLen int32
+	// spill holds the overflow edges in insertion order; removal
+	// swap-deletes, so the order stays a deterministic function of the
+	// operation history.
+	spill []edgeRef
+	// idx maps spill children to their position once the spill outgrows
+	// edgeIdxThreshold. Once built it is maintained forever (and kept,
+	// cleared, across recycling): a struct that went high-fanout once
+	// tends to again.
+	idx map[*Object]int32
+}
+
+// findInline returns the inline index of o, or -1.
+func (s *edgeSet) findInline(o *Object) int {
+	for i := int32(0); i < s.inlineLen; i++ {
+		if s.inline[i].obj == o {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// spillFind returns the spill index of o, or -1.
+func (s *edgeSet) spillFind(o *Object) int {
+	if s.idx != nil {
+		if i, ok := s.idx[o]; ok {
+			return int(i)
+		}
+		return -1
+	}
+	for i := range s.spill {
+		if s.spill[i].obj == o {
+			return i
+		}
+	}
+	return -1
+}
+
+// inc adds one edge to o, creating the entry if absent.
+func (s *edgeSet) inc(o *Object) {
+	if i := s.findInline(o); i >= 0 {
+		s.inline[i].n++
+		return
+	}
+	if i := s.spillFind(o); i >= 0 {
+		s.spill[i].n++
+		return
+	}
+	if s.inlineLen < edgeInlineCap {
+		s.inline[s.inlineLen] = edgeRef{obj: o, n: 1}
+		s.inlineLen++
+		return
+	}
+	s.spill = append(s.spill, edgeRef{obj: o, n: 1})
+	if s.idx != nil {
+		s.idx[o] = int32(len(s.spill) - 1)
+	} else if len(s.spill) > edgeIdxThreshold {
+		s.idx = make(map[*Object]int32, 2*edgeIdxThreshold)
+		for i := range s.spill {
+			s.idx[s.spill[i].obj] = int32(i)
+		}
+	}
+}
+
+// dec removes one edge to o, deleting the entry when the count reaches
+// zero. It reports whether the edge existed; a false return mutates
+// nothing.
+func (s *edgeSet) dec(o *Object) bool {
+	if i := s.findInline(o); i >= 0 {
+		s.inline[i].n--
+		if s.inline[i].n == 0 {
+			s.removeInlineAt(i)
+		}
+		return true
+	}
+	if i := s.spillFind(o); i >= 0 {
+		s.spill[i].n--
+		if s.spill[i].n == 0 {
+			s.removeSpillAt(i)
+		}
+		return true
+	}
+	return false
+}
+
+// drop removes the entry for o regardless of multiplicity, returning the
+// multiplicity removed (zero if absent).
+func (s *edgeSet) drop(o *Object) int32 {
+	if i := s.findInline(o); i >= 0 {
+		n := s.inline[i].n
+		s.removeInlineAt(i)
+		return n
+	}
+	if i := s.spillFind(o); i >= 0 {
+		n := s.spill[i].n
+		s.removeSpillAt(i)
+		return n
+	}
+	return 0
+}
+
+func (s *edgeSet) removeInlineAt(i int) {
+	s.inlineLen--
+	s.inline[i] = s.inline[s.inlineLen]
+	s.inline[s.inlineLen] = edgeRef{}
+}
+
+func (s *edgeSet) removeSpillAt(i int) {
+	last := len(s.spill) - 1
+	gone := s.spill[i].obj
+	s.spill[i] = s.spill[last]
+	s.spill[last] = edgeRef{}
+	s.spill = s.spill[:last]
+	if s.idx != nil {
+		delete(s.idx, gone)
+		if i != last {
+			s.idx[s.spill[i].obj] = int32(i)
+		}
+	}
+}
+
+// countByID returns the multiplicity of the edge to the object with the
+// given identity hash.
+func (s *edgeSet) countByID(id ObjectID) int32 {
+	for i := int32(0); i < s.inlineLen; i++ {
+		if s.inline[i].obj.ID == id {
+			return s.inline[i].n
+		}
+	}
+	for i := range s.spill {
+		if s.spill[i].obj.ID == id {
+			return s.spill[i].n
+		}
+	}
+	return 0
+}
+
+// len returns the number of distinct edges.
+func (s *edgeSet) len() int { return int(s.inlineLen) + len(s.spill) }
+
+// each calls f for every distinct edge with its multiplicity. f must not
+// mutate the set.
+func (s *edgeSet) each(f func(o *Object, n int32)) {
+	for i := int32(0); i < s.inlineLen; i++ {
+		f(s.inline[i].obj, s.inline[i].n)
+	}
+	for i := range s.spill {
+		f(s.spill[i].obj, s.spill[i].n)
+	}
+}
+
+// reset empties the store, keeping the spill backing array (and the
+// position index, cleared) so a recycled object relinks without
+// allocating.
+func (s *edgeSet) reset() {
+	for i := int32(0); i < s.inlineLen; i++ {
+		s.inline[i] = edgeRef{}
+	}
+	s.inlineLen = 0
+	for i := range s.spill {
+		s.spill[i] = edgeRef{}
+	}
+	s.spill = s.spill[:0]
+	clear(s.idx)
+}
 
 // Object is a simulated heap object. Only the heap and the collectors
 // mutate objects; mutator code goes through the Heap's graph API.
@@ -57,13 +259,13 @@ type Object struct {
 
 	// refs holds outgoing reference edges with multiplicity; in holds the
 	// mirror incoming edges so remembered sets can be maintained
-	// incrementally when objects move. Both are nil until first use:
-	// most simulated objects are leaves. The maps are keyed by object
-	// pointer so the tracer and the collectors never pay an object-table
-	// lookup per edge; edges to removed objects are torn down eagerly by
-	// Remove, so no stale pointer ever survives in either map.
-	refs map[*Object]int
-	in   map[*Object]int
+	// incrementally when objects move. Edges reference objects by pointer
+	// so the tracer and the collectors never pay an object-table lookup
+	// per edge; edges to removed objects are torn down eagerly by Remove,
+	// so no stale pointer ever survives in either store.
+	refs edgeSet
+	in   edgeSet
+
 	// region is the object's current region, kept in sync with the
 	// exported Region id so hot paths skip the region-table lookup.
 	region *Region
@@ -74,6 +276,16 @@ type Object struct {
 	// compares it against its current epoch instead of building a
 	// live-set map on every collection.
 	mark uint64
+
+	// prev and next thread the object onto its region's intrusive
+	// insertion-ordered resident list; next doubles as the freelist link
+	// while the object is dead.
+	prev, next *Object
+	// stamp counts how many times this Object struct has been recycled
+	// through the heap's freelist. A caller holding an object across a
+	// collection can detect reuse by comparing Stamp values (tests use
+	// this to catch stale-pointer bugs).
+	stamp uint32
 }
 
 // headerPage returns the index (within the object's region) of the page
@@ -93,22 +305,35 @@ func (o *Object) pageSpan(pageSize uint32) (first, last uint32) {
 
 // RefCount returns the multiplicity of the edge from o to child.
 func (o *Object) RefCount(child ObjectID) int {
-	for c, n := range o.refs {
-		if c.ID == child {
-			return n
-		}
-	}
-	return 0
+	return int(o.refs.countByID(child))
+}
+
+// EachRef calls f for every distinct outgoing reference edge with its
+// multiplicity, in deterministic (store) order. The callback must not
+// mutate the heap.
+func (o *Object) EachRef(f func(child *Object, n int)) {
+	o.refs.each(func(c *Object, n int32) { f(c, int(n)) })
 }
 
 // OutDegree returns the number of distinct outgoing references.
-func (o *Object) OutDegree() int { return len(o.refs) }
+func (o *Object) OutDegree() int { return o.refs.len() }
 
 // InDegree returns the number of distinct incoming references.
-func (o *Object) InDegree() int { return len(o.in) }
+func (o *Object) InDegree() int { return o.in.len() }
 
 // IsRoot reports whether the object is currently pinned as a GC root.
 func (o *Object) IsRoot() bool { return o.rootPins > 0 }
+
+// NextResident returns the next object on the region's insertion-ordered
+// resident list, or nil at the tail. Collectors sweeping a region read the
+// next pointer before removing the current object.
+func (o *Object) NextResident() *Object { return o.next }
+
+// Stamp returns the object's recycling generation: the number of times this
+// struct has been reused through the heap's freelist. A pointer held across
+// collections refers to the same logical object only while the stamp (and
+// ID) are unchanged.
+func (o *Object) Stamp() uint32 { return o.stamp }
 
 func (o *Object) String() string {
 	return fmt.Sprintf("obj{id=%#x size=%d site=%d gen=%d age=%d r%d+%d}",

@@ -51,9 +51,11 @@ type regionPages struct {
 	n     uint32
 	// coverage counts resident objects overlapping each page.
 	coverage []uint16
-	// headers maps a page index to the identity hashes of resident
-	// objects whose header lies on it.
-	headers map[uint32][]ObjectID
+	// headers holds, per page index, the identity hashes of resident
+	// objects whose header lies on it. The per-page slices keep their
+	// backing arrays across reset, so a recycled page table reaches its
+	// steady-state capacity once and then stops allocating.
+	headers [][]ObjectID
 }
 
 func newRegionPages(n uint32) *regionPages {
@@ -61,7 +63,20 @@ func newRegionPages(n uint32) *regionPages {
 		flags:    pageFlags{dirty: newBitset(n), noNeed: newBitset(n)},
 		n:        n,
 		coverage: make([]uint16, n),
-		headers:  make(map[uint32][]ObjectID),
+		headers:  make([][]ObjectID, n),
+	}
+}
+
+// reset clears the page table for reuse by a fresh region, keeping every
+// backing array (bitsets, coverage counters, per-page header slices).
+func (rp *regionPages) reset() {
+	rp.flags.dirty.clearAll()
+	rp.flags.noNeed.clearAll()
+	for i := range rp.coverage {
+		rp.coverage[i] = 0
+	}
+	for i := range rp.headers {
+		rp.headers[i] = rp.headers[i][:0]
 	}
 }
 
@@ -95,14 +110,9 @@ func (rp *regionPages) displace(obj *Object, pageSize uint32) {
 	for i, id := range ids {
 		if id == obj.ID {
 			ids[i] = ids[len(ids)-1]
-			ids = ids[:len(ids)-1]
+			rp.headers[hp] = ids[:len(ids)-1]
 			break
 		}
-	}
-	if len(ids) == 0 {
-		delete(rp.headers, hp)
-	} else {
-		rp.headers[hp] = ids
 	}
 }
 

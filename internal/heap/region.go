@@ -13,17 +13,25 @@ type Region struct {
 	gen GenID
 	// used is the bump pointer: bytes allocated so far.
 	used uint32
-	// residents holds every object currently stored in the region,
-	// whether reachable or not; liveness is only known after a trace.
-	// Values are the objects themselves so sweep and evacuation loops
-	// never pay an object-table lookup per resident.
-	residents map[ObjectID]*Object
+	// head and tail delimit the intrusive insertion-ordered doubly-linked
+	// list of every object currently stored in the region, whether
+	// reachable or not; liveness is only known after a trace. Threading
+	// the list through the objects makes residency tracking allocation-
+	// free and gives sweeps a deterministic order by construction.
+	head, tail *Object
+	// residents counts the objects on the list.
+	residents int
 	// remsetEntries counts incoming reference edges whose source object
 	// resides in a different region — the region's remembered set size,
 	// which the collectors charge scanning cost for.
 	remsetEntries int
-	// freed marks a region returned to the free pool.
+	// freed marks a region returned to the free pool. Region structs are
+	// never recycled (collectors hold *Region across collections and
+	// check Freed), only their page tables are.
 	freed bool
+	// pages is the region's page table, owned by the heap; the backing
+	// arrays are recycled when the region is freed.
+	pages *regionPages
 
 	// traceEpoch, liveObjects and liveBytes are the region's liveness
 	// summary for the trace epoch that last visited it; LiveSet.Region
@@ -44,7 +52,7 @@ func (r *Region) Used() uint32 { return r.used }
 
 // ResidentCount returns the number of objects stored in the region
 // (reachable or not).
-func (r *Region) ResidentCount() int { return len(r.residents) }
+func (r *Region) ResidentCount() int { return r.residents }
 
 // RemsetEntries returns the current remembered-set size: the number of
 // reference edges pointing into this region from objects in other regions.
@@ -53,20 +61,56 @@ func (r *Region) RemsetEntries() int { return r.remsetEntries }
 // Freed reports whether the region has been returned to the free pool.
 func (r *Region) Freed() bool { return r.freed }
 
-// Residents returns the ids of all objects stored in the region. The slice
-// is freshly allocated; callers may keep it across heap mutations.
+// pushResident appends obj to the tail of the resident list.
+func (r *Region) pushResident(obj *Object) {
+	obj.prev = r.tail
+	obj.next = nil
+	if r.tail != nil {
+		r.tail.next = obj
+	} else {
+		r.head = obj
+	}
+	r.tail = obj
+	r.residents++
+}
+
+// removeResident unlinks obj from the resident list.
+func (r *Region) removeResident(obj *Object) {
+	if obj.prev != nil {
+		obj.prev.next = obj.next
+	} else {
+		r.head = obj.next
+	}
+	if obj.next != nil {
+		obj.next.prev = obj.prev
+	} else {
+		r.tail = obj.prev
+	}
+	obj.prev, obj.next = nil, nil
+	r.residents--
+}
+
+// FirstResident returns the oldest resident (insertion order), or nil for
+// an empty region. Together with Object.NextResident it lets collectors
+// walk — and sweep — the region without allocating: read NextResident
+// before removing the current object.
+func (r *Region) FirstResident() *Object { return r.head }
+
+// Residents returns the ids of all objects stored in the region, in
+// insertion order. The slice is freshly allocated; callers may keep it
+// across heap mutations.
 func (r *Region) Residents() []ObjectID {
-	out := make([]ObjectID, 0, len(r.residents))
-	for id := range r.residents {
-		out = append(out, id)
+	out := make([]ObjectID, 0, r.residents)
+	for obj := r.head; obj != nil; obj = obj.next {
+		out = append(out, obj.ID)
 	}
 	return out
 }
 
 // EachResident calls f for every object currently stored in the region, in
-// unspecified order. The callback must not mutate the heap.
+// insertion order. The callback must not mutate the heap.
 func (r *Region) EachResident(f func(*Object)) {
-	for _, obj := range r.residents {
+	for obj := r.head; obj != nil; obj = obj.next {
 		f(obj)
 	}
 }
@@ -78,5 +122,5 @@ func (r *Region) fits(size, regionSize uint32) bool {
 
 func (r *Region) String() string {
 	return fmt.Sprintf("region{id=%d gen=%d used=%d residents=%d remset=%d freed=%v}",
-		r.id, r.gen, r.used, len(r.residents), r.remsetEntries, r.freed)
+		r.id, r.gen, r.used, r.residents, r.remsetEntries, r.freed)
 }

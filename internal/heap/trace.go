@@ -1,6 +1,9 @@
 package heap
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // RegionLiveness summarizes what a trace found live inside one region.
 type RegionLiveness struct {
@@ -11,7 +14,8 @@ type RegionLiveness struct {
 // LiveSet is the result of tracing the heap from its roots. Membership is
 // implemented with per-object epoch marks rather than a hash set, so
 // building a LiveSet allocates almost nothing; a LiveSet is only valid
-// until the next Trace call on the same heap.
+// until the next Trace call on the same heap (the traversal buffer it views
+// is the heap's reusable trace queue).
 type LiveSet struct {
 	h     *Heap
 	epoch uint64
@@ -64,11 +68,12 @@ func (ls *LiveSet) IDs() []ObjectID {
 // only for the work their collection set implies, so policy realism is
 // preserved without remembered-set-limited tracing.
 //
-// Tracing invalidates any LiveSet from a previous Trace of this heap.
+// Tracing invalidates any LiveSet from a previous Trace of this heap: the
+// BFS queue backing is owned by the heap and reused across traces.
 func (h *Heap) Trace() *LiveSet {
 	h.epoch++
 	ls := &LiveSet{h: h, epoch: h.epoch}
-	queue := make([]*Object, 0, len(h.roots))
+	queue := h.traceQueue[:0]
 	for _, obj := range h.roots {
 		obj.mark = h.epoch
 		queue = append(queue, obj)
@@ -85,14 +90,27 @@ func (h *Heap) Trace() *LiveSet {
 		}
 		r.liveObjects++
 		r.liveBytes += uint64(obj.Size)
-		for child, n := range obj.refs {
-			ls.Edges += uint64(n)
-			if child.mark != h.epoch {
-				child.mark = h.epoch
-				queue = append(queue, child)
+		// Iterate the edge store inline (rather than through each) so the
+		// hottest loop of the simulation pays no closure call per edge.
+		refs := &obj.refs
+		for i := int32(0); i < refs.inlineLen; i++ {
+			e := &refs.inline[i]
+			ls.Edges += uint64(e.n)
+			if e.obj.mark != h.epoch {
+				e.obj.mark = h.epoch
+				queue = append(queue, e.obj)
+			}
+		}
+		for i := range refs.spill {
+			e := &refs.spill[i]
+			ls.Edges += uint64(e.n)
+			if e.obj.mark != h.epoch {
+				e.obj.mark = h.epoch
+				queue = append(queue, e.obj)
 			}
 		}
 	}
+	h.traceQueue = queue
 	ls.objs = queue
 	return ls
 }
@@ -102,16 +120,18 @@ func (h *Heap) Trace() *LiveSet {
 // §4.2 madvise pass the Recorder triggers before asking the Dumper for a
 // snapshot; the Dumper skips no-need pages entirely.
 func (h *Heap) MarkNoNeedPages(live *LiveSet) {
-	covered := make([]uint64, 0, 64)
-	for _, r := range h.regions {
-		rp := h.pages[r.id]
+	for _, rid := range h.activeIDs {
+		r := h.regions[rid]
+		rp := r.pages
 		words := (rp.n + 63) / 64
-		covered = covered[:0]
-		for i := uint32(0); i < words; i++ {
-			covered = append(covered, 0)
+		cv := h.noNeedCov
+		if uint32(cap(cv)) < words {
+			cv = newBitset(rp.n)
+			h.noNeedCov = cv
 		}
-		cv := bitset(covered)
-		for _, obj := range r.residents {
+		cv = cv[:words]
+		cv.clearAll()
+		for obj := r.head; obj != nil; obj = obj.next {
 			if !live.Marked(obj) {
 				continue
 			}
@@ -137,9 +157,8 @@ func (h *Heap) MarkNoNeedPages(live *LiveSet) {
 // dumpers) must copy the slice. Ids appear in placement order, which is
 // deterministic because the whole simulation is.
 func (h *Heap) Pages(f func(PageState)) {
-	regionIDs := h.ActiveRegionIDs()
-	for _, rid := range regionIDs {
-		rp := h.pages[rid]
+	for _, rid := range h.activeIDs {
+		rp := h.regions[rid].pages
 		for i := uint32(0); i < rp.n; i++ {
 			f(PageState{
 				Key:       PageKey{Region: rid, Index: i},
@@ -156,20 +175,16 @@ func (h *Heap) Pages(f func(PageState)) {
 // region. The Dumper calls this after completing a snapshot, exactly as
 // CRIU resets the kernel soft-dirty bit (§4.2).
 func (h *Heap) ClearDirtyPages() {
-	for _, rp := range h.pages {
-		rp.flags.dirty.clearAll()
+	for _, rid := range h.activeIDs {
+		h.regions[rid].pages.flags.dirty.clearAll()
 	}
 }
 
 // ActiveRegionIDs returns the ids of all non-freed regions in ascending
-// order.
+// order. The heap maintains the order incrementally; the returned slice is
+// a copy that callers (the dumpers' snapshots) may keep indefinitely.
 func (h *Heap) ActiveRegionIDs() []RegionID {
-	out := make([]RegionID, 0, len(h.regions))
-	for id := range h.regions {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(h.activeIDs)
 }
 
 // CheckRemsetInvariant recomputes every active region's remembered-set size
@@ -180,11 +195,12 @@ func (h *Heap) ActiveRegionIDs() []RegionID {
 func (h *Heap) CheckRemsetInvariant() []RegionID {
 	want := make(map[RegionID]int)
 	for _, obj := range h.objects {
-		for child, n := range obj.refs {
-			if child.Region != obj.Region {
-				want[child.Region] += n
+		objRegion := obj.Region
+		obj.refs.each(func(child *Object, n int32) {
+			if child.Region != objRegion {
+				want[child.Region] += int(n)
 			}
-		}
+		})
 	}
 	var bad []RegionID
 	for id, r := range h.regions {
@@ -203,10 +219,10 @@ func (h *Heap) CheckRemsetInvariant() []RegionID {
 func (h *Heap) CheckPageInvariant() []RegionID {
 	var bad []RegionID
 	for id, r := range h.regions {
-		rp := h.pages[id]
+		rp := r.pages
 		coverage := make([]uint16, rp.n)
 		headers := make(map[uint32]map[ObjectID]struct{})
-		for _, obj := range r.residents {
+		for obj := r.head; obj != nil; obj = obj.next {
 			first, last := obj.pageSpan(h.cfg.PageSize)
 			for i := first; i <= last && i < rp.n; i++ {
 				coverage[i]++
