@@ -47,6 +47,7 @@ func run() int {
 		scale   = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
 		seed    = flag.Int64("seed", 1, "workload random seed")
 		workers = flag.Int("workers", 1, "number of concurrent simulations")
+		faults  = flag.String("faults", "", `inject I/O faults into every profiling run's artifact writes (faultio spec, e.g. "seed=7;torn:site-*.bin")`)
 		jsonOut = flag.String("json", "", "write a JSON report (outputs + timings) to this file")
 		quiet   = flag.Bool("quiet", false, "suppress per-simulation progress lines")
 
@@ -84,7 +85,7 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := polm2.BenchConfig{Scale: *scale, Seed: *seed}
+	cfg := polm2.BenchConfig{Scale: *scale, Seed: *seed, FaultSpec: *faults}
 	if *quick {
 		cfg.RunDuration = 10 * time.Minute
 		cfg.Warmup = 2 * time.Minute

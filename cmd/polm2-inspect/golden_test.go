@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// artifacts points at the checked-in profiling artifacts: v1 recorded
+// before the framed formats existed, v2 by the identical run after them.
+const artifacts = "../../testdata/artifacts"
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run with -update to accept):\n--- want\n%s--- got\n%s", name, want, got)
+	}
+}
+
+// TestVerifyGolden pins polm2-inspect verify's output on both checked-in
+// artifact generations: both must be reported fully intact, and the v1
+// artifacts must keep decoding forever.
+func TestVerifyGolden(t *testing.T) {
+	for _, version := range []string{"v1", "v2"} {
+		t.Run(version, func(t *testing.T) {
+			var buf bytes.Buffer
+			clean, err := verifyArtifacts(&buf, filepath.Join(artifacts, version))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !clean {
+				t.Fatalf("pristine %s artifacts reported damaged:\n%s", version, buf.String())
+			}
+			checkGolden(t, "verify-"+version+".golden", buf.Bytes())
+		})
+	}
+}
+
+// TestSnapshotsGolden pins the snapshot listing — and, because the v2
+// images were produced by re-running the v1 configuration after the
+// format bump, both listings must be identical.
+func TestSnapshotsGolden(t *testing.T) {
+	outputs := make(map[string][]byte)
+	for _, version := range []string{"v1", "v2"} {
+		var buf bytes.Buffer
+		if err := showSnapshots(&buf, filepath.Join(artifacts, version, "snaps")); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "snapshots-"+version+".golden", buf.Bytes())
+		outputs[version] = buf.Bytes()
+	}
+	if !bytes.Equal(outputs["v1"], outputs["v2"]) {
+		t.Fatal("v1 and v2 snapshot listings differ: the format bump changed decoded content")
+	}
+}
+
+// TestVerifyReportsDamage corrupts a copy of the v2 artifacts and checks
+// verify flags it without failing hard.
+func TestVerifyReportsDamage(t *testing.T) {
+	dir := t.TempDir()
+	for _, sub := range []string{"records", "snaps"} {
+		src := filepath.Join(artifacts, "v2", sub)
+		dst := filepath.Join(dir, sub)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(src, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	streams, err := filepath.Glob(filepath.Join(dir, "records", "site-*.bin"))
+	if err != nil || len(streams) == 0 {
+		t.Fatalf("no streams copied: %v", err)
+	}
+	info, err := os.Stat(streams[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(streams[0], info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	clean, err := verifyArtifacts(&buf, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean {
+		t.Fatalf("truncated stream went unreported:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"DAMAGED", "damage found"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("verify output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,11 +8,17 @@
 //	polm2-inspect dot wi.json > tree.dot     # Graphviz rendering
 //	polm2-inspect diff old.json new.json     # directive-level diff
 //	polm2-inspect snapshots ./images         # decode a snapshot image dir
+//	polm2-inspect verify ./artifacts         # integrity-check artifact dirs
+//	polm2-inspect --verify ./artifacts       # same, flag spelling
+//
+// verify exits 0 when every artifact is intact and 1 when damage was found
+// (the salvage readers report what survives either way).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,13 +31,17 @@ func main() {
 }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots> <args...>")
+	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|verify> <args...>")
 	return 2
 }
 
 func run() int {
+	verifyFlag := flag.Bool("verify", false, "integrity-check the artifact directory argument (same as the verify subcommand)")
 	flag.Parse()
 	args := flag.Args()
+	if *verifyFlag {
+		args = append([]string{"verify"}, args...)
+	}
 	if len(args) < 2 {
 		return usage()
 	}
@@ -49,7 +59,13 @@ func run() int {
 		}
 		err = diffProfiles(args[1], args[2])
 	case "snapshots":
-		err = showSnapshots(args[1])
+		err = showSnapshots(os.Stdout, args[1])
+	case "verify":
+		var clean bool
+		clean, err = verifyArtifacts(os.Stdout, args[1])
+		if err == nil && !clean {
+			return 1
+		}
 	default:
 		return usage()
 	}
@@ -155,27 +171,27 @@ func diffProfiles(oldPath, newPath string) error {
 	return nil
 }
 
-func showSnapshots(dir string) error {
+func showSnapshots(w io.Writer, dir string) error {
 	snaps, err := snapshot.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	if len(snaps) == 0 {
-		fmt.Println("no snapshot images found")
+		fmt.Fprintln(w, "no snapshot images found")
 		return nil
 	}
-	fmt.Printf("%-6s %-8s %-12s %-6s %-8s %-8s %-8s %-10s %-12s\n",
+	fmt.Fprintf(w, "%-6s %-8s %-12s %-6s %-8s %-8s %-8s %-10s %-12s\n",
 		"seq", "cycle", "taken", "incr", "regions", "pages", "no-need", "size(MB)", "duration")
 	store := snapshot.NewStore()
 	for _, s := range snaps {
 		if err := store.Apply(s); err != nil {
 			return err
 		}
-		fmt.Printf("%-6d %-8d %-12v %-6v %-8d %-8d %-8d %-10.2f %-12v\n",
+		fmt.Fprintf(w, "%-6d %-8d %-12v %-6v %-8d %-8d %-8d %-10.2f %-12v\n",
 			s.Seq, s.Cycle, s.TakenAt.Round(time.Millisecond), s.Incremental,
 			len(s.Regions), len(s.Pages), len(s.NoNeed),
 			float64(s.SizeBytes)/(1<<20), s.Duration.Round(time.Millisecond))
 	}
-	fmt.Printf("reconstructed live view after last snapshot: %d objects\n", len(store.LiveIDs()))
+	fmt.Fprintf(w, "reconstructed live view after last snapshot: %d objects\n", len(store.LiveIDs()))
 	return nil
 }

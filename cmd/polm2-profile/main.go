@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"polm2"
+	"polm2/internal/faultio"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func run() int {
 		scale    = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		every    = flag.Int("snapshot-every", 1, "take a heap snapshot every k-th GC cycle")
+		faults   = flag.String("faults", "", `inject I/O faults into artifact writes (e.g. "seed=7;torn:site-*.bin;crash#500") and analyze in salvage mode`)
 		verbose  = flag.Bool("v", false, "print per-site profiling evidence")
 	)
 	flag.Parse()
@@ -40,6 +42,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "polm2-profile: unknown app %q (want Cassandra, Lucene or GraphChi)\n", *appName)
 		return 2
 	}
+	var injector *faultio.Injector
+	if *faults != "" {
+		plan, err := faultio.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-profile: %v\n", err)
+			return 2
+		}
+		injector = faultio.New(plan)
+	}
 
 	start := time.Now()
 	res, err := polm2.ProfileApp(app, *workload, polm2.ProfileOptions{
@@ -48,6 +59,7 @@ func run() int {
 		Seed:          *seed,
 		SnapshotEvery: *every,
 		SnapshotDir:   *snapDir,
+		Fault:         injector,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "polm2-profile: %v\n", err)
@@ -65,6 +77,9 @@ func run() int {
 		res.GCCycles, len(res.Snapshots), res.RecordsDir)
 	fmt.Printf("  instrumented sites: %d, generations: %d, conflicts: %d (unresolved %d)\n",
 		p.InstrumentedSites(), p.UsedGenerations(), p.Conflicts, p.Unresolved)
+	if res.Salvage != nil {
+		fmt.Printf("  %s\n", res.Salvage)
+	}
 	fmt.Printf("  profile written to %s\n", *out)
 	if *storeDir != "" {
 		store, err := polm2.OpenProfileStore(*storeDir)

@@ -82,6 +82,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
 			return 1
 		}
+		if audit, err := store.Audit(); err == nil && audit.Corrupt > 0 {
+			for _, e := range audit.Entries {
+				if e.Err != "" {
+					fmt.Fprintf(os.Stderr, "polm2-run: warning: skipping corrupt profile %s: %s\n", e.File, e.Err)
+				}
+			}
+		}
 		profile, err = store.Select(app.Name(), *workload)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)

@@ -41,6 +41,12 @@ type Options struct {
 	// (ablation): every instrumented site carries its own generation
 	// switch.
 	DisableHoisting bool
+	// ConfidenceFloor is the minimum fraction of a site's recorded stream
+	// that must decode for its evidence to be trusted during salvage
+	// analysis; a site below the floor is degraded to the safe
+	// young/dynamic fallback (generation zero). Default 0.5; negative
+	// disables degrading. Strict Analyze never degrades.
+	ConfidenceFloor float64
 	// App and Workload label the resulting profile.
 	App      string
 	Workload string
@@ -62,6 +68,9 @@ func (o Options) withDefaults() Options {
 	if o.Estimator == 0 {
 		o.Estimator = EstimatorMode
 	}
+	if o.ConfidenceFloor == 0 {
+		o.ConfidenceFloor = 0.5
+	}
 	return o
 }
 
@@ -74,11 +83,22 @@ func Analyze(recordsDir string, snaps []*snapshot.Snapshot, opts Options) (*Prof
 	if err != nil {
 		return nil, err
 	}
+	return synthesize(evidence, opts, nil)
+}
 
+// synthesize runs the second half of §3.3 — estimation, STTree, conflict
+// resolution, directive emission — over gathered evidence. Sites in the
+// degraded set are forced to generation zero, the salvage-mode fallback for
+// evidence too damaged to trust.
+func synthesize(evidence map[heap.SiteID]*siteEvidence, opts Options, degraded map[heap.SiteID]bool) (*Profile, error) {
 	traces := make(map[heap.SiteID]jvm.StackTrace, len(evidence))
 	gens := make(map[heap.SiteID]int, len(evidence))
 	for id, ev := range evidence {
 		traces[id] = ev.trace
+		if degraded[id] {
+			gens[id] = 0
+			continue
+		}
 		gens[id] = ev.targetGen(opts.Estimator, opts.MinSamples, opts.MinOldFraction, opts.MaxGen)
 	}
 	clusterGenerations(gens, opts.ClusterGap)

@@ -48,37 +48,50 @@ func gatherEvidence(recordsDir string, snaps []*snapshot.Snapshot) (map[heap.Sit
 	}
 
 	evidence := make(map[heap.SiteID]*siteEvidence, len(table))
-	// idSite maps every recorded object to its site; idSurvived counts
-	// snapshots each object was seen in.
 	idSite := make(map[heap.ObjectID]heap.SiteID)
-	idSurvived := make(map[heap.ObjectID]int)
+	for _, sid := range sortedSites(table) {
+		ids, err := recorder.ReadIDs(recordsDir, sid)
+		if err != nil {
+			return nil, err
+		}
+		addSiteEvidence(evidence, idSite, sid, table[sid], ids)
+	}
+	if err := replaySnapshots(evidence, idSite, snaps); err != nil {
+		return nil, err
+	}
+	return evidence, nil
+}
 
+// sortedSites returns the table's site ids in ascending order.
+func sortedSites(table map[heap.SiteID]jvm.StackTrace) []heap.SiteID {
 	siteIDs := make([]heap.SiteID, 0, len(table))
 	for id := range table {
 		siteIDs = append(siteIDs, id)
 	}
 	sort.Slice(siteIDs, func(i, j int) bool { return siteIDs[i] < siteIDs[j] })
-	for _, sid := range siteIDs {
-		ids, err := recorder.ReadIDs(recordsDir, sid)
-		if err != nil {
-			return nil, err
-		}
-		ev := &siteEvidence{id: sid, trace: table[sid], total: uint64(len(ids))}
-		evidence[sid] = ev
-		for _, oid := range ids {
-			idSite[oid] = sid
-		}
-	}
+	return siteIDs
+}
 
-	// Replay the snapshot sequence through the store, counting how many
-	// snapshots each recorded object appears in.
+// addSiteEvidence registers one site's recorded ids.
+func addSiteEvidence(evidence map[heap.SiteID]*siteEvidence, idSite map[heap.ObjectID]heap.SiteID, sid heap.SiteID, trace jvm.StackTrace, ids []heap.ObjectID) {
+	evidence[sid] = &siteEvidence{id: sid, trace: trace, total: uint64(len(ids))}
+	for _, oid := range ids {
+		idSite[oid] = sid
+	}
+}
+
+// replaySnapshots replays the snapshot sequence through the store, counting
+// how many snapshots each recorded object appears in, and fills every
+// site's survival buckets.
+func replaySnapshots(evidence map[heap.SiteID]*siteEvidence, idSite map[heap.ObjectID]heap.SiteID, snaps []*snapshot.Snapshot) error {
+	idSurvived := make(map[heap.ObjectID]int)
 	store := snapshot.NewStore()
 	ordered := make([]*snapshot.Snapshot, len(snaps))
 	copy(ordered, snaps)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Seq < ordered[j].Seq })
 	for _, snap := range ordered {
 		if err := store.Apply(snap); err != nil {
-			return nil, fmt.Errorf("analyzer: replaying snapshots: %w", err)
+			return fmt.Errorf("analyzer: replaying snapshots: %w", err)
 		}
 		store.ForEach(func(oid heap.ObjectID) {
 			if _, recorded := idSite[oid]; recorded {
@@ -94,7 +107,7 @@ func gatherEvidence(recordsDir string, snaps []*snapshot.Snapshot) (map[heap.Sit
 	for oid, sid := range idSite {
 		evidence[sid].survived[idSurvived[oid]]++
 	}
-	return evidence, nil
+	return nil
 }
 
 // targetGen estimates the site's target generation from its survival

@@ -88,14 +88,21 @@ func (p *Profile) sortDirectives() {
 	sort.Slice(p.Sites, func(i, j int) bool { return p.Sites[i].Trace < p.Sites[j].Trace })
 }
 
-// Save writes the profile as JSON.
+// Save writes the profile as JSON, atomically: the file is staged under a
+// temporary name and renamed into place, so a crash mid-write never leaves
+// a half-written profile for the production phase to choke on.
 func (p *Profile) Save(path string) error {
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return fmt.Errorf("analyzer: encoding profile: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("analyzer: writing profile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("analyzer: publishing profile: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,152 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"polm2/internal/heap"
+	"polm2/internal/recorder"
+	"polm2/internal/snapshot"
+)
+
+// SiteLoss records the damage met while reading one site's id stream.
+type SiteLoss struct {
+	Site  heap.SiteID `json:"site"`
+	Trace string      `json:"trace,omitempty"`
+	// Salvage is the stream decode account; nil when the file itself was
+	// unreadable.
+	Salvage *recorder.StreamSalvage `json:"salvage,omitempty"`
+	// Err is set when the stream file could not be read at all.
+	Err string `json:"err,omitempty"`
+	// Degraded reports that the site was forced to the young/dynamic
+	// fallback because its surviving evidence fell below the confidence
+	// floor.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// SalvageReport accounts for everything AnalyzeSalvage could not recover.
+// A clean report means the salvage analysis saw exactly what a strict one
+// would have.
+type SalvageReport struct {
+	// Table is the site-table decode account.
+	Table *recorder.TableSalvage `json:"table,omitempty"`
+	// Sites lists streams that lost data (damaged, unreadable, or
+	// degraded). Streams that only miss their commit trailer with no byte
+	// loss — live recordings — are not listed.
+	Sites []SiteLoss `json:"sites,omitempty"`
+	// Snapshots is the snapshot-directory salvage account; nil when the
+	// snapshots were handed over in memory.
+	Snapshots *snapshot.DirSalvage `json:"snapshots,omitempty"`
+	// LostBytes totals bytes dropped across all streams.
+	LostBytes int64 `json:"lost_bytes,omitempty"`
+	// DegradedSites counts sites forced to the young/dynamic fallback.
+	DegradedSites int `json:"degraded_sites,omitempty"`
+}
+
+// Clean reports whether nothing was lost: every artifact decoded fully.
+func (r *SalvageReport) Clean() bool {
+	if r == nil {
+		return true
+	}
+	if r.Table != nil && !r.Table.Complete {
+		return false
+	}
+	if len(r.Sites) > 0 || r.DegradedSites > 0 {
+		return false
+	}
+	if r.Snapshots != nil && !r.Snapshots.Clean() {
+		return false
+	}
+	return true
+}
+
+// String renders the report as a one-line operator log message.
+func (r *SalvageReport) String() string {
+	if r.Clean() {
+		return "salvage: all artifacts intact"
+	}
+	var parts []string
+	if r.Table != nil && !r.Table.Complete {
+		parts = append(parts, fmt.Sprintf("site table incomplete (%s)", r.Table.Reason))
+	}
+	if len(r.Sites) > 0 {
+		parts = append(parts, fmt.Sprintf("%d damaged streams (%d bytes lost)", len(r.Sites), r.LostBytes))
+	}
+	if r.DegradedSites > 0 {
+		parts = append(parts, fmt.Sprintf("%d sites degraded to young", r.DegradedSites))
+	}
+	if r.Snapshots != nil && !r.Snapshots.Clean() {
+		parts = append(parts, fmt.Sprintf("snapshots %d/%d usable", r.Snapshots.Usable, r.Snapshots.Total))
+	}
+	return "salvage: " + strings.Join(parts, "; ")
+}
+
+// AnalyzeSalvage is Analyze's corruption-tolerant twin: instead of refusing
+// damaged artifacts it analyzes the longest trustworthy prefix of each and
+// reports what was lost. Sites whose surviving stream falls below
+// opts.ConfidenceFloor are degraded to the safe young/dynamic fallback
+// rather than instrumented from evidence that may be misleading. The error
+// is non-nil only when no analysis is possible at all (the site table file
+// is unreadable or the synthesis itself fails).
+func AnalyzeSalvage(recordsDir string, snaps []*snapshot.Snapshot, opts Options) (*Profile, *SalvageReport, error) {
+	opts = opts.withDefaults()
+	rep := &SalvageReport{}
+
+	table, tsal, err := recorder.SalvageSiteTable(recordsDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Table = tsal
+
+	evidence := make(map[heap.SiteID]*siteEvidence, len(table))
+	idSite := make(map[heap.ObjectID]heap.SiteID)
+	degraded := make(map[heap.SiteID]bool)
+	for _, sid := range sortedSites(table) {
+		ids, sal, err := recorder.SalvageIDs(recordsDir, sid)
+		if err != nil {
+			// The stream never made it to disk: the site contributes no
+			// evidence and stays uninstrumented.
+			rep.Sites = append(rep.Sites, SiteLoss{Site: sid, Trace: table[sid].String(), Err: err.Error(), Degraded: true})
+			rep.DegradedSites++
+			continue
+		}
+		addSiteEvidence(evidence, idSite, sid, table[sid], ids)
+		if sal.LostBytes == 0 {
+			// Fully decoded — a live stream missing only its commit
+			// trailer is not damage.
+			continue
+		}
+		loss := SiteLoss{Site: sid, Trace: table[sid].String(), Salvage: sal}
+		rep.LostBytes += sal.LostBytes
+		if opts.ConfidenceFloor >= 0 && sal.Confidence() < opts.ConfidenceFloor {
+			loss.Degraded = true
+			degraded[sid] = true
+			rep.DegradedSites++
+		}
+		rep.Sites = append(rep.Sites, loss)
+	}
+
+	if err := replaySnapshots(evidence, idSite, snaps); err != nil {
+		return nil, rep, err
+	}
+	prof, err := synthesize(evidence, opts, degraded)
+	if err != nil {
+		return nil, rep, err
+	}
+	return prof, rep, nil
+}
+
+// AnalyzeSalvageDir is AnalyzeSalvage over an on-disk snapshot directory:
+// the snapshot chain is salvaged with snapshot.ReadDirSalvage and its
+// account is included in the report.
+func AnalyzeSalvageDir(recordsDir, snapsDir string, opts Options) (*Profile, *SalvageReport, error) {
+	snaps, dsal, err := snapshot.ReadDirSalvage(snapsDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, rep, err := AnalyzeSalvage(recordsDir, snaps, opts)
+	if rep != nil {
+		rep.Snapshots = dsal
+	}
+	return prof, rep, err
+}

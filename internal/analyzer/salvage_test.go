@@ -1,0 +1,230 @@
+package analyzer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polm2/internal/heap"
+	"polm2/internal/recorder"
+	"polm2/internal/snapshot"
+)
+
+// streamPath names a site's id-stream file the way the recorder lays it
+// out on disk.
+func streamPath(dir string, sid heap.SiteID) string {
+	return filepath.Join(dir, fmt.Sprintf("site-%06d.bin", sid))
+}
+
+// largestStream returns the site whose id stream holds the most bytes —
+// the best victim for partial-truncation tests, since a bigger file spans
+// more frames and leaves a salvageable prefix.
+func largestStream(t *testing.T, dir string) (heap.SiteID, int64) {
+	t.Helper()
+	sites, err := recorder.Streams(dir)
+	if err != nil || len(sites) == 0 {
+		t.Fatalf("no streams recorded: %v", err)
+	}
+	var best heap.SiteID
+	var bestSize int64
+	for _, sid := range sites {
+		info, err := os.Stat(streamPath(dir, sid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() > bestSize {
+			best, bestSize = sid, info.Size()
+		}
+	}
+	return best, bestSize
+}
+
+// TestAnalyzeSalvageCleanMatchesStrict pins the core salvage contract: on
+// undamaged artifacts AnalyzeSalvage produces byte-for-byte the profile a
+// strict Analyze does, with a clean report.
+func TestAnalyzeSalvageCleanMatchesStrict(t *testing.T) {
+	dir, _, d := profileRun(t, 800)
+	snaps := d.Snapshots()
+	opts := Options{App: "mini", Workload: "test"}
+
+	want, err := Analyze(dir, snaps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := AnalyzeSalvage(dir, snaps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean artifacts produced a dirty report: %s", rep)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("salvage profile differs from strict:\nstrict  %s\nsalvage %s", wantJSON, gotJSON)
+	}
+}
+
+// TestAnalyzeSalvageDamagedStreamDegrades truncates the biggest id stream
+// and checks the loss is accounted and, with a high confidence floor, the
+// site is degraded to the safe fallback instead of instrumented from a
+// misleading fraction of its evidence.
+func TestAnalyzeSalvageDamagedStreamDegrades(t *testing.T) {
+	dir, _, d := profileRun(t, 800)
+	snaps := d.Snapshots()
+	victim, size := largestStream(t, dir)
+	if err := os.Truncate(streamPath(dir, victim), size/2); err != nil {
+		t.Fatal(err)
+	}
+
+	prof, rep, err := AnalyzeSalvage(dir, snaps, Options{App: "mini", Workload: "test", ConfidenceFloor: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil {
+		t.Fatal("salvage produced no profile")
+	}
+	if rep.Clean() {
+		t.Fatalf("truncated stream left a clean report: %s", rep)
+	}
+	if rep.LostBytes == 0 {
+		t.Fatal("no bytes accounted as lost")
+	}
+	if rep.DegradedSites == 0 {
+		t.Fatalf("half-truncated stream not degraded under a 0.99 floor: %s", rep)
+	}
+	victimTrace := ""
+	for _, loss := range rep.Sites {
+		if loss.Site == victim {
+			victimTrace = loss.Trace
+			if loss.Salvage == nil || loss.Salvage.LostBytes == 0 {
+				t.Fatalf("victim loss carries no salvage account: %+v", loss)
+			}
+			if !loss.Degraded {
+				t.Fatalf("victim not degraded: %+v", loss)
+			}
+		}
+	}
+	if victimTrace == "" {
+		t.Fatalf("victim site %d missing from the report: %s", victim, rep)
+	}
+	// The degraded site must not be pretenured: its evidence stays at the
+	// young generation.
+	for _, s := range prof.Sites {
+		if s.Trace == victimTrace && s.Gen > 0 {
+			t.Fatalf("degraded site still assigned gen %d", s.Gen)
+		}
+	}
+}
+
+// TestAnalyzeSalvageConfidenceFloorDisabled checks a negative floor turns
+// the degrade heuristic off: the damage is still reported, but whatever
+// evidence survived is used as-is.
+func TestAnalyzeSalvageConfidenceFloorDisabled(t *testing.T) {
+	dir, _, d := profileRun(t, 800)
+	snaps := d.Snapshots()
+	victim, size := largestStream(t, dir)
+	if err := os.Truncate(streamPath(dir, victim), size/2); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := AnalyzeSalvage(dir, snaps, Options{App: "mini", Workload: "test", ConfidenceFloor: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("damage unreported with the floor disabled")
+	}
+	if rep.DegradedSites != 0 {
+		t.Fatalf("sites degraded despite a negative floor: %s", rep)
+	}
+	for _, loss := range rep.Sites {
+		if loss.Degraded {
+			t.Fatalf("loss marked degraded despite a negative floor: %+v", loss)
+		}
+	}
+}
+
+// TestAnalyzeSalvageMissingStream deletes one stream entirely: the site
+// stays in the table, contributes nothing, and is reported with a read
+// error and forced degradation.
+func TestAnalyzeSalvageMissingStream(t *testing.T) {
+	dir, _, d := profileRun(t, 800)
+	snaps := d.Snapshots()
+	victim, _ := largestStream(t, dir)
+	if err := os.Remove(streamPath(dir, victim)); err != nil {
+		t.Fatal(err)
+	}
+
+	prof, rep, err := AnalyzeSalvage(dir, snaps, Options{App: "mini", Workload: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil {
+		t.Fatal("salvage produced no profile")
+	}
+	found := false
+	for _, loss := range rep.Sites {
+		if loss.Site == victim {
+			found = true
+			if loss.Err == "" {
+				t.Fatalf("missing stream reported without an error: %+v", loss)
+			}
+			if !loss.Degraded {
+				t.Fatalf("missing stream not degraded: %+v", loss)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("missing stream absent from the report: %s", rep)
+	}
+	if rep.DegradedSites == 0 {
+		t.Fatal("degraded count not incremented")
+	}
+}
+
+// TestAnalyzeSalvageDirDamagedSnapshots persists the snapshots, damages an
+// image mid-chain, and checks AnalyzeSalvageDir folds the directory salvage
+// account into the report while still producing a profile.
+func TestAnalyzeSalvageDirDamagedSnapshots(t *testing.T) {
+	dir, _, d := profileRun(t, 800)
+	snaps := d.Snapshots()
+	if len(snaps) < 3 {
+		t.Fatalf("run produced only %d snapshots", len(snaps))
+	}
+	snapDir := t.TempDir()
+	if err := snapshot.WriteDir(snapDir, snaps); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(snapDir, snapshot.FileName(snaps[len(snaps)/2].Seq))
+	info, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victim, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	prof, rep, err := AnalyzeSalvageDir(dir, snapDir, Options{App: "mini", Workload: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil {
+		t.Fatal("salvage produced no profile")
+	}
+	if rep.Snapshots == nil {
+		t.Fatal("directory salvage account missing from the report")
+	}
+	if rep.Snapshots.Clean() {
+		t.Fatalf("damaged image left a clean snapshot account: %+v", rep.Snapshots)
+	}
+	if rep.Snapshots.Usable >= rep.Snapshots.Total {
+		t.Fatalf("snapshot account implausible: %+v", rep.Snapshots)
+	}
+	if rep.Clean() {
+		t.Fatal("report clean despite snapshot damage")
+	}
+}

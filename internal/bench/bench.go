@@ -18,6 +18,7 @@ import (
 	"polm2/internal/apps/graphchi"
 	"polm2/internal/apps/lucene"
 	"polm2/internal/core"
+	"polm2/internal/faultio"
 )
 
 // Target names one evaluated (application, workload) pair.
@@ -60,6 +61,11 @@ type Config struct {
 	Warmup      time.Duration
 	// Seed drives every run's randomness. Default 1.
 	Seed int64
+	// FaultSpec, when non-empty, injects the given I/O fault plan (see
+	// faultio.ParseSpec) into every profiling run's artifact writes and
+	// analyzes in salvage mode — the resilience benchmark. Empty runs
+	// faultless and strict.
+	FaultSpec string
 }
 
 // Session caches profiles and runs across experiments. All cache methods
@@ -118,6 +124,15 @@ func (s *Session) profileVariant(t Target, variant string, mutate func(*core.Pro
 			Scale:    s.cfg.Scale,
 			Duration: s.cfg.ProfileDuration,
 			Seed:     s.profileSeed(t),
+		}
+		if s.cfg.FaultSpec != "" {
+			plan, err := faultio.ParseSpec(s.cfg.FaultSpec)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %w", err)
+			}
+			// Each profiling run gets its own injector: the crash
+			// fault's syscall clock is per-run state.
+			opts.Fault = faultio.New(plan)
 		}
 		if mutate != nil {
 			mutate(&opts)

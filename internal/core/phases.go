@@ -7,6 +7,7 @@ import (
 
 	"polm2/internal/analyzer"
 	"polm2/internal/dumper"
+	"polm2/internal/faultio"
 	"polm2/internal/gc"
 	"polm2/internal/gc/c4"
 	"polm2/internal/instrument"
@@ -44,6 +45,11 @@ type ProfileOptions struct {
 	// Dump carries the CRIU ablation toggles.
 	DumpDisableNoNeed      bool
 	DumpDisableIncremental bool
+	// Fault optionally injects I/O faults into every artifact write of
+	// the profiling run (records, site table, snapshot images). When set,
+	// the analysis runs in salvage mode and the result carries the
+	// salvage report. Nil writes straight through and analyzes strictly.
+	Fault *faultio.Injector
 }
 
 func (o ProfileOptions) withDefaults() ProfileOptions {
@@ -69,6 +75,9 @@ type ProfileResult struct {
 	JmapSnapshots []*snapshot.Snapshot
 	// RecordsDir is where the allocation records were written.
 	RecordsDir string
+	// Salvage accounts for artifact loss when the analysis ran in
+	// salvage mode (fault injection); nil for a strict analysis.
+	Salvage *analyzer.SalvageReport
 	// GCCycles is the number of GC cycles during profiling.
 	GCCycles uint64
 	// SimDuration is the simulated length of the profiling run.
@@ -95,6 +104,13 @@ func ProfileApp(app App, workloadName string, opts ProfileOptions) (*ProfileResu
 		if err != nil {
 			return nil, fmt.Errorf("core: profiling records dir: %w", err)
 		}
+	} else if err := os.MkdirAll(recordsDir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: profiling records dir: %w", err)
+	}
+	if opts.SnapshotDir != "" {
+		if err := os.MkdirAll(opts.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: snapshot dir: %w", err)
+		}
 	}
 
 	dumpCost := ScaledDumpCostModel(opts.Scale)
@@ -103,6 +119,8 @@ func ProfileApp(app App, workloadName string, opts ProfileOptions) (*ProfileResu
 		ChargeClock:        true,
 		DisableNoNeed:      opts.DumpDisableNoNeed,
 		DisableIncremental: opts.DumpDisableIncremental,
+		PersistDir:         opts.SnapshotDir,
+		Fault:              opts.Fault,
 	})
 	var sink recorder.SnapshotSink = criu
 	var jmap *dumper.Jmap
@@ -110,7 +128,7 @@ func ProfileApp(app App, workloadName string, opts ProfileOptions) (*ProfileResu
 		jmap = dumper.NewJmap(vm.Heap(), clock, dumpCost)
 		sink = dumper.NewTee(criu, jmap)
 	}
-	rec, err := recorder.New(recorder.Config{Dir: recordsDir, SnapshotEvery: opts.SnapshotEvery},
+	rec, err := recorder.New(recorder.Config{Dir: recordsDir, SnapshotEvery: opts.SnapshotEvery, Fault: opts.Fault},
 		vm.Heap(), vm.Sites(), sink)
 	if err != nil {
 		return nil, err
@@ -134,19 +152,28 @@ func ProfileApp(app App, workloadName string, opts ProfileOptions) (*ProfileResu
 	aOpts := opts.Analyzer
 	aOpts.App = app.Name()
 	aOpts.Workload = workloadName
-	profile, err := analyzer.Analyze(recordsDir, criu.Snapshots(), aOpts)
+	var profile *analyzer.Profile
+	var report *analyzer.SalvageReport
+	if opts.Fault != nil {
+		// The faults live on disk, so analyze what the disk actually
+		// holds: the persisted snapshot chain when there is one, the
+		// in-memory (undamaged) sequence otherwise.
+		if opts.SnapshotDir != "" {
+			profile, report, err = analyzer.AnalyzeSalvageDir(recordsDir, opts.SnapshotDir, aOpts)
+		} else {
+			profile, report, err = analyzer.AnalyzeSalvage(recordsDir, criu.Snapshots(), aOpts)
+		}
+	} else {
+		profile, err = analyzer.Analyze(recordsDir, criu.Snapshots(), aOpts)
+	}
 	if err != nil {
 		return nil, err
-	}
-	if opts.SnapshotDir != "" {
-		if err := snapshot.WriteDir(opts.SnapshotDir, criu.Snapshots()); err != nil {
-			return nil, err
-		}
 	}
 	result := &ProfileResult{
 		Profile:     profile,
 		Snapshots:   criu.Snapshots(),
 		RecordsDir:  recordsDir,
+		Salvage:     report,
 		GCCycles:    col.Cycles(),
 		SimDuration: clock.Now(),
 	}

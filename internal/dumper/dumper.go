@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"polm2/internal/faultio"
 	"polm2/internal/heap"
 	"polm2/internal/simclock"
 	"polm2/internal/snapshot"
@@ -71,6 +72,13 @@ type Config struct {
 	// second optimization) for ablation: every occupied page is included
 	// in every snapshot.
 	DisableIncremental bool
+	// PersistDir, when set, writes every snapshot to disk as it is taken
+	// (snap-NNNNNN.img, staged and atomically renamed), so a crash
+	// mid-run loses only a suffix of whole images.
+	PersistDir string
+	// Fault optionally injects I/O faults into persisted image writes.
+	// Nil writes straight through.
+	Fault *faultio.Injector
 }
 
 // Dumper creates CRIU-style incremental heap snapshots. It implements
@@ -149,6 +157,11 @@ func (d *Dumper) Snapshot(cycle uint64) error {
 		d.clock.Advance(snap.Duration)
 	}
 	d.snaps = append(d.snaps, snap)
+	if d.cfg.PersistDir != "" {
+		if err := snapshot.WriteImage(d.cfg.PersistDir, snap, d.cfg.Fault); err != nil {
+			return fmt.Errorf("dumper: persisting snapshot %d: %w", snap.Seq, err)
+		}
+	}
 	return nil
 }
 

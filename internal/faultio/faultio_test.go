@@ -1,0 +1,208 @@
+package faultio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("seed=7;torn:site-*.bin@100;crash#2500;missing:sites.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 7 || len(plan.Faults) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Faults[0].Kind != KindTorn || plan.Faults[0].Match != "site-*.bin" ||
+		plan.Faults[0].Offset != 100 || !plan.Faults[0].OffsetSet {
+		t.Fatalf("torn fault = %+v", plan.Faults[0])
+	}
+	if plan.Faults[1].Kind != KindCrash || plan.Faults[1].AfterOps != 2500 {
+		t.Fatalf("crash fault = %+v", plan.Faults[1])
+	}
+	if plan.Faults[2].Kind != KindMissing || plan.Faults[2].Match != "sites.tsv" {
+		t.Fatalf("missing fault = %+v", plan.Faults[2])
+	}
+	// Round-trip through String.
+	again, err := ParseSpec(plan.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Fatalf("round-trip mismatch:\n%+v\n%+v", plan, again)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, spec := range []string{"", "seed=1", "explode", "torn:[", "crash#-1", "seed=x;torn"} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q should not parse", spec)
+		}
+	}
+}
+
+func TestNilInjectorPassesThrough(t *testing.T) {
+	var in *Injector
+	var buf bytes.Buffer
+	w := in.WrapWriter("a.bin", &buf)
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("buf = %q", buf.String())
+	}
+	if acts, err := in.Corrupt(t.TempDir()); err != nil || acts != nil {
+		t.Fatalf("nil injector corrupt = %v, %v", acts, err)
+	}
+}
+
+func TestTornWriterCutsAtOffset(t *testing.T) {
+	plan, err := ParseSpec("torn:a.bin@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	var buf bytes.Buffer
+	w := in.WrapWriter("a.bin", &buf)
+	// The writer must claim success for every byte.
+	for _, chunk := range []string{"abc", "defg", "hij"} {
+		n, err := w.Write([]byte(chunk))
+		if err != nil || n != len(chunk) {
+			t.Fatalf("write %q = %d, %v", chunk, n, err)
+		}
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("persisted %q, want torn prefix \"abcde\"", buf.String())
+	}
+}
+
+func TestBitFlipFlipsExactlyOneBit(t *testing.T) {
+	plan, err := ParseSpec("bitflip:a.bin@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	var buf bytes.Buffer
+	w := in.WrapWriter("a.bin", &buf)
+	payload := []byte{0, 0, 0, 0}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if len(got) != 4 || got[0] != 0 || got[1] != 0 || got[3] != 0 {
+		t.Fatalf("persisted % x", got)
+	}
+	if b := got[2]; b == 0 || b&(b-1) != 0 {
+		t.Fatalf("byte 2 = %08b, want exactly one bit set", b)
+	}
+	if payload[2] != 0 {
+		t.Fatal("caller's buffer was mangled")
+	}
+}
+
+func TestCrashDropsEverythingAfterK(t *testing.T) {
+	plan, err := ParseSpec("crash#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	var a, b bytes.Buffer
+	wa := in.WrapWriter("a.bin", &a)
+	wb := in.WrapWriter("b.bin", &b)
+	wa.Write([]byte("one"))   // op 1: persists
+	wb.Write([]byte("two"))   // op 2: persists
+	wa.Write([]byte("three")) // op 3: lost
+	wb.Write([]byte("four"))  // op 4: lost
+	if !in.Crashed() {
+		t.Fatal("injector did not crash")
+	}
+	if a.String() != "one" || b.String() != "two" {
+		t.Fatalf("persisted a=%q b=%q", a.String(), b.String())
+	}
+}
+
+func TestCreateMissingFileNeverAppears(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := ParseSpec("missing:gone.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	f, err := in.Create(filepath.Join(dir, "gone.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gone.bin")); !os.IsNotExist(err) {
+		t.Fatalf("file exists: %v", err)
+	}
+	// Non-matching files are created normally.
+	g, err := in.Create(filepath.Join(dir, "kept.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write([]byte("ok"))
+	g.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "kept.bin"))
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("kept.bin = %q, %v", data, err)
+	}
+}
+
+func TestCorruptPostHocDeterministic(t *testing.T) {
+	mk := func() string {
+		dir := t.TempDir()
+		os.WriteFile(filepath.Join(dir, "a.bin"), bytes.Repeat([]byte("x"), 100), 0o644)
+		os.WriteFile(filepath.Join(dir, "b.bin"), bytes.Repeat([]byte("y"), 100), 0o644)
+		return dir
+	}
+	plan, err := ParseSpec("seed=9;truncate:a.bin;bitflip:b.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := mk(), mk()
+	acts1, err := New(plan).Corrupt(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts2, err := New(plan).Corrupt(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(acts1, acts2) {
+		t.Fatalf("actions differ:\n%v\n%v", acts1, acts2)
+	}
+	if len(acts1) != 2 {
+		t.Fatalf("actions = %v", acts1)
+	}
+	f1, _ := os.ReadFile(filepath.Join(d1, "a.bin"))
+	f2, _ := os.ReadFile(filepath.Join(d2, "a.bin"))
+	if !bytes.Equal(f1, f2) || len(f1) >= 100 {
+		t.Fatalf("truncate not deterministic: %d vs %d bytes", len(f1), len(f2))
+	}
+}
+
+func TestCorruptExplicitOffsets(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	os.WriteFile(path, []byte("0123456789"), 0o644)
+	plan, err := ParseSpec("truncate:a.bin@-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(plan).Corrupt(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "0123456" {
+		t.Fatalf("data = %q", data)
+	}
+}

@@ -1,0 +1,93 @@
+package online
+
+import (
+	"testing"
+	"time"
+
+	"polm2/internal/faultio"
+)
+
+// faultyRun drives the shifting workload with torn-stream faults injected
+// into the recorder: every id stream silently loses its bytes past the cut
+// offset, so each re-analysis meets damaged artifacts.
+func faultyRun(t *testing.T) *Result {
+	t.Helper()
+	plan, err := faultio.ParseSpec("torn:site-*.bin@6000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&shiftApp{}, "w", Options{
+		Duration:  20 * time.Minute,
+		Warmup:    2 * time.Minute,
+		Reprofile: 4 * time.Minute,
+		Fault:     faultio.New(plan),
+	})
+	if err != nil {
+		t.Fatalf("fault-injected online run died: %v", err)
+	}
+	return res
+}
+
+// TestOnlineSurvivesFaultyReprofile checks the online runner's central
+// resilience promise: a corrupt re-profile never kills the run or installs
+// a plan built from damaged evidence — it records a salvage event, keeps
+// the previous plan, and continues serving.
+func TestOnlineSurvivesFaultyReprofile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run skipped in -short mode")
+	}
+	res := faultyRun(t)
+
+	if res.WarmOps == 0 {
+		t.Fatal("no operations completed under fault injection")
+	}
+	if len(res.Salvages) == 0 {
+		t.Fatal("torn streams triggered no salvage events")
+	}
+	for i, ev := range res.Salvages {
+		// Every event carries either a non-clean loss report or a hard
+		// error; a clean report would have installed a plan instead.
+		if ev.Err == "" && (ev.Report == nil || ev.Report.Clean()) {
+			t.Fatalf("salvage event %d carries no damage: %+v", i, ev)
+		}
+		if i > 0 && ev.At <= res.Salvages[i-1].At {
+			t.Fatal("salvage events not time-ordered")
+		}
+	}
+	// A salvaged re-analysis keeps the previous plan, so updates + salvages
+	// together account for every re-profile attempt; the damage must have
+	// suppressed at least one installation relative to the attempts made.
+	attempts := len(res.Updates) + len(res.Salvages)
+	if attempts < 3 {
+		t.Fatalf("only %d re-profile attempts over a 20-minute run", attempts)
+	}
+	t.Logf("updates=%d salvages=%d p99=%v", len(res.Updates), len(res.Salvages), res.WarmPauses.Percentile(99))
+}
+
+// TestOnlineFaultyReprofileDeterministic pins that fault injection is part
+// of the deterministic simulation: two identical fault-injected runs agree
+// on every plan update and salvage event.
+func TestOnlineFaultyReprofileDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online run skipped in -short mode")
+	}
+	a := faultyRun(t)
+	b := faultyRun(t)
+	if len(a.Updates) != len(b.Updates) || len(a.Salvages) != len(b.Salvages) {
+		t.Fatalf("runs diverged: %d/%d updates, %d/%d salvages",
+			len(a.Updates), len(b.Updates), len(a.Salvages), len(b.Salvages))
+	}
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			t.Fatalf("update %d diverged: %+v vs %+v", i, a.Updates[i], b.Updates[i])
+		}
+	}
+	for i := range a.Salvages {
+		if a.Salvages[i].At != b.Salvages[i].At || a.Salvages[i].Err != b.Salvages[i].Err {
+			t.Fatalf("salvage %d diverged: %+v vs %+v", i, a.Salvages[i], b.Salvages[i])
+		}
+	}
+	if a.WarmOps != b.WarmOps {
+		t.Fatalf("ops diverged: %d vs %d", a.WarmOps, b.WarmOps)
+	}
+}

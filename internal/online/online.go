@@ -24,6 +24,7 @@ import (
 	"polm2/internal/analyzer"
 	"polm2/internal/core"
 	"polm2/internal/dumper"
+	"polm2/internal/faultio"
 	"polm2/internal/gc"
 	"polm2/internal/heap"
 	"polm2/internal/instrument"
@@ -57,6 +58,9 @@ type Options struct {
 	// RecordsDir receives allocation records; a temporary directory is
 	// created when empty.
 	RecordsDir string
+	// Fault optionally injects I/O faults into the recorder's artifact
+	// writes, exercising the salvage path. Nil writes straight through.
+	Fault *faultio.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +98,18 @@ type PlanUpdate struct {
 	Conflicts    int
 }
 
+// SalvageEvent records a re-analysis that met damaged artifacts. The run
+// keeps its previous plan and continues; dying on a corrupt re-profile
+// would turn recoverable artifact loss into an outage.
+type SalvageEvent struct {
+	// At is the simulated instant of the attempted re-analysis.
+	At time.Duration
+	// Report accounts for the loss; nil when the analysis failed outright.
+	Report *analyzer.SalvageReport
+	// Err is the hard failure, when even salvage was impossible.
+	Err string
+}
+
 // Result describes an online run.
 type Result struct {
 	// Pauses and WarmPauses as in core.RunResult.
@@ -103,6 +119,9 @@ type Result struct {
 	WarmOps int64
 	// Updates lists every plan installation, first to last.
 	Updates []PlanUpdate
+	// Salvages lists every re-analysis that met damaged artifacts and
+	// kept the previous plan instead of swapping.
+	Salvages []SalvageEvent
 	// MaxMemoryBytes is the committed high-water mark.
 	MaxMemoryBytes uint64
 	// SimDuration is the simulated run length.
@@ -137,7 +156,7 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 		Cost:        core.ScaledDumpCostModel(opts.Scale),
 		ChargeClock: true,
 	})
-	rec, err := recorder.New(recorder.Config{Dir: recordsDir}, vm.Heap(), vm.Sites(), criu)
+	rec, err := recorder.New(recorder.Config{Dir: recordsDir, Fault: opts.Fault}, vm.Heap(), vm.Sites(), criu)
 	if err != nil {
 		return nil, err
 	}
@@ -165,9 +184,17 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 		aOpts := opts.Analyzer
 		aOpts.App = app.Name()
 		aOpts.Workload = workloadName
-		profile, err := analyzer.Analyze(recordsDir, criu.Snapshots(), aOpts)
+		// Live streams have no commit trailer yet, so re-analysis always
+		// goes through the salvage decoder. A damaged recording keeps the
+		// previous plan — instrumenting from partial evidence mid-run is
+		// worse than staying the course — and the run continues.
+		profile, report, err := analyzer.AnalyzeSalvage(recordsDir, criu.Snapshots(), aOpts)
 		if err != nil {
-			analyzeErr = fmt.Errorf("online: re-analysis at %v: %w", clock.Now(), err)
+			result.Salvages = append(result.Salvages, SalvageEvent{At: clock.Now(), Err: err.Error()})
+			return
+		}
+		if !report.Clean() {
+			result.Salvages = append(result.Salvages, SalvageEvent{At: clock.Now(), Report: report})
 			return
 		}
 		plan, err := instrument.Apply(profile, pret)

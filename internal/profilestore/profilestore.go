@@ -115,30 +115,76 @@ func (s *Store) List() ([]Key, error) {
 	return keys, nil
 }
 
+// AuditEntry is one stored file's health as seen by Audit.
+type AuditEntry struct {
+	// File is the entry's base name.
+	File string
+	// Key identifies the profile; zero when the entry is corrupt.
+	Key Key
+	// Err is the load failure, empty for a healthy entry.
+	Err string
+}
+
+// AuditReport is the result of scanning a store.
+type AuditReport struct {
+	Entries []AuditEntry
+	Corrupt int
+}
+
+// Audit loads every stored entry and reports its health instead of failing
+// on the first corrupt one. The error is non-nil only when the store
+// directory itself cannot be scanned.
+func (s *Store) Audit() (*AuditReport, error) {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*.profile.json"))
+	if err != nil {
+		return nil, fmt.Errorf("profilestore: %w", err)
+	}
+	sort.Strings(paths)
+	rep := &AuditReport{}
+	for _, path := range paths {
+		e := AuditEntry{File: filepath.Base(path)}
+		p, err := analyzer.LoadProfile(path)
+		if err != nil {
+			e.Err = err.Error()
+			rep.Corrupt++
+		} else {
+			e.Key = Key{App: p.App, Workload: p.Workload}
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}
+
 // Select returns the profile for the estimated workload, falling back to
 // the application's only profile when the estimate has none and exactly one
 // other is stored (launching with a related profile beats launching
 // uninstrumented; §3.5 leaves the selection policy to the operator).
+// Corrupt entries are skipped, not fatal: a damaged store degrades to
+// whatever healthy profiles remain.
 func (s *Store) Select(app, estimatedWorkload string) (*analyzer.Profile, error) {
 	p, err := s.Get(app, estimatedWorkload)
 	if err == nil {
 		return p, nil
 	}
-	if !errors.Is(err, ErrNotFound) {
-		return nil, err
-	}
-	keys, err := s.List()
-	if err != nil {
-		return nil, err
+	// The exact entry is missing or corrupt: fall back over the healthy
+	// remainder.
+	audit, auditErr := s.Audit()
+	if auditErr != nil {
+		return nil, auditErr
 	}
 	var candidates []Key
-	for _, k := range keys {
-		if k.App == app {
-			candidates = append(candidates, k)
+	for _, e := range audit.Entries {
+		if e.Err == "" && e.Key.App == app {
+			candidates = append(candidates, e.Key)
 		}
 	}
 	if len(candidates) == 1 {
 		return s.Get(candidates[0].App, candidates[0].Workload)
+	}
+	if !errors.Is(err, ErrNotFound) {
+		// The exact entry exists but is corrupt and no unambiguous
+		// fallback remains: surface the corruption.
+		return nil, err
 	}
 	return nil, fmt.Errorf("%w: %s/%s (stored for %s: %d profiles)",
 		ErrNotFound, app, estimatedWorkload, app, len(candidates))

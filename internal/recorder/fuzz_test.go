@@ -1,0 +1,101 @@
+package recorder
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polm2/internal/heap"
+)
+
+// FuzzDecodeStream drives the id-stream decoder with arbitrary bytes: it
+// must never panic and never allocate unboundedly, only return ids or a
+// typed error, and the salvage decode must recover a prefix of whatever
+// the strict decode would accept. The seed corpus holds both format
+// versions, including real v1 streams from a pre-PR profiling run.
+func FuzzDecodeStream(f *testing.F) {
+	// v2 seeds: an empty committed stream, a small one, and a multi-frame
+	// one, plus the same multi-frame stream left live (no trailer).
+	dir := f.TempDir()
+	for _, c := range []struct {
+		site   uint32
+		n      int
+		commit bool
+	}{{1, 0, true}, {2, 17, true}, {3, 5000, true}, {4, 5000, false}} {
+		path := filepath.Join(dir, streamFile(heap.SiteID(c.site)))
+		func() {
+			fh, err := os.Create(path)
+			if err != nil {
+				f.Fatal(err)
+			}
+			w, err := newStreamWriter(fh)
+			if err != nil {
+				f.Fatal(err)
+			}
+			for i := 1; i <= c.n; i++ {
+				if err := w.appendID(uint64(i * 7)); err != nil {
+					f.Fatal(err)
+				}
+			}
+			if c.commit {
+				if err := w.Close(); err != nil {
+					f.Fatal(err)
+				}
+			} else {
+				if err := w.Flush(); err != nil {
+					f.Fatal(err)
+				}
+				fh.Close()
+			}
+		}()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Real v1 streams recorded before the framed format existed.
+	paths, err := filepath.Glob(filepath.Join(v1RecDir, "site-*.bin"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, path := range paths {
+		if i >= 4 {
+			break // a few genuine streams are enough seed diversity
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(streamMagic + "\x02"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strictIDs, _, strictErr := decodeStream(data, true)
+		salIDs, sal, salErr := decodeStream(data, false)
+		if salErr != nil {
+			t.Fatalf("salvage decode returned an error: %v", salErr)
+		}
+		if sal == nil || sal.TotalBytes != int64(len(data)) {
+			t.Fatalf("salvage account missing or wrong size: %+v", sal)
+		}
+		if c := sal.Confidence(); len(data) > 0 && (c < 0 || c > 1) {
+			t.Fatalf("confidence %v out of range", c)
+		}
+		if strictErr == nil {
+			// When strict accepts, salvage must agree exactly.
+			if len(salIDs) != len(strictIDs) {
+				t.Fatalf("strict decoded %d ids, salvage %d", len(strictIDs), len(salIDs))
+			}
+			for i := range strictIDs {
+				if strictIDs[i] != salIDs[i] {
+					t.Fatalf("id %d differs between strict and salvage", i)
+				}
+			}
+		} else if len(salIDs) > len(strictIDs) && strictIDs != nil {
+			t.Fatalf("salvage recovered more than strict on success path")
+		}
+	})
+}

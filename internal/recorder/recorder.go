@@ -14,19 +14,23 @@
 //     the heap for a snapshot by marking pages holding no reachable objects
 //     as no-need (the paper's madvise pass, §4.2) and asks the Dumper to
 //     create a new incremental snapshot.
+//
+// On-disk artifacts are version 2: id streams are CRC32C-framed with a
+// commit trailer (see stream.go) and the site table carries a line count
+// footer and is published by atomic rename, so a profiling run killed
+// mid-write never leaves an ambiguous artifact — only a shorter one.
 package recorder
 
 import (
-	"bufio"
-	"encoding/binary"
+	"bytes"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"polm2/internal/faultio"
 	"polm2/internal/heap"
 	"polm2/internal/jvm"
 )
@@ -34,6 +38,14 @@ import (
 // SiteTableFile is the name of the stack-trace table file within a
 // recording directory.
 const SiteTableFile = "sites.tsv"
+
+// siteTableHeader and siteTableFooter frame a version-2 site table. A
+// table without the header is a pre-framing v1 table and is accepted as-is;
+// a table with the header but no matching footer was cut short.
+const (
+	siteTableHeader = "# polm2 sites v2"
+	siteTableFooter = "# end sites="
+)
 
 // streamFile names the identity-hash stream for one allocation site.
 func streamFile(site heap.SiteID) string {
@@ -56,6 +68,9 @@ type Config struct {
 	// SnapshotEvery requests a snapshot after every k-th GC cycle.
 	// Default 1: after every cycle, the paper's default (§3.2).
 	SnapshotEvery int
+	// Fault optionally interposes a fault-injection plan on every artifact
+	// write. Nil writes straight through.
+	Fault *faultio.Injector
 }
 
 // Recorder streams allocation records to disk and triggers snapshots.
@@ -65,16 +80,11 @@ type Recorder struct {
 	sites *jvm.SiteTable
 	sink  SnapshotSink
 
-	streams map[heap.SiteID]*stream
+	streams map[heap.SiteID]*streamWriter
 	// allocCounts tallies allocations per site (diagnostics + tests).
 	allocCounts map[heap.SiteID]uint64
 	firstErr    error
 	closed      bool
-}
-
-type stream struct {
-	f *os.File
-	w *bufio.Writer
 }
 
 // New builds a Recorder writing into cfg.Dir.
@@ -97,7 +107,7 @@ func New(cfg Config, h *heap.Heap, sites *jvm.SiteTable, sink SnapshotSink) (*Re
 		h:           h,
 		sites:       sites,
 		sink:        sink,
-		streams:     make(map[heap.SiteID]*stream),
+		streams:     make(map[heap.SiteID]*streamWriter),
 		allocCounts: make(map[heap.SiteID]uint64),
 	}, nil
 }
@@ -118,17 +128,19 @@ func (r *Recorder) RecordAlloc(site heap.SiteID, obj *heap.Object) {
 	}
 	s, ok := r.streams[site]
 	if !ok {
-		f, err := os.Create(filepath.Join(r.cfg.Dir, streamFile(site)))
+		f, err := r.cfg.Fault.Create(filepath.Join(r.cfg.Dir, streamFile(site)))
 		if err != nil {
 			r.firstErr = fmt.Errorf("recorder: creating stream for site %d: %w", site, err)
 			return
 		}
-		s = &stream{f: f, w: bufio.NewWriterSize(f, 32*1024)}
+		s, err = newStreamWriter(f)
+		if err != nil {
+			r.firstErr = fmt.Errorf("recorder: starting stream for site %d: %w", site, err)
+			return
+		}
 		r.streams[site] = s
 	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(obj.ID))
-	if _, err := s.w.Write(buf[:n]); err != nil {
+	if err := s.appendID(uint64(obj.ID)); err != nil {
 		r.firstErr = fmt.Errorf("recorder: writing id for site %d: %w", site, err)
 		return
 	}
@@ -154,20 +166,27 @@ func (r *Recorder) CycleEnd(cycle uint64, live *heap.LiveSet) {
 // AllocCount returns the number of allocations recorded for a site.
 func (r *Recorder) AllocCount(site heap.SiteID) uint64 { return r.allocCounts[site] }
 
-// Flush pushes every id stream to disk and (re)writes the stack-trace
-// table without ending the recording. The online profiling mode calls it
-// before each re-analysis so the Analyzer sees a consistent on-disk state.
-func (r *Recorder) Flush() error {
-	if r.closed {
-		return fmt.Errorf("recorder: Flush after Close")
-	}
+// siteIDs returns the recorded sites in ascending order.
+func (r *Recorder) siteIDs() []heap.SiteID {
 	ids := make([]heap.SiteID, 0, len(r.streams))
 	for id := range r.streams {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if err := r.streams[id].w.Flush(); err != nil {
+	return ids
+}
+
+// Flush seals and pushes every id stream to disk and (re)writes the
+// stack-trace table without ending the recording. The online profiling mode
+// calls it before each re-analysis so the Analyzer sees a consistent
+// on-disk state; flushed-but-unclosed streams carry no commit trailer yet,
+// which is exactly what SalvageIDs tolerates and ReadIDs refuses.
+func (r *Recorder) Flush() error {
+	if r.closed {
+		return fmt.Errorf("recorder: Flush after Close")
+	}
+	for _, id := range r.siteIDs() {
+		if err := r.streams[id].Flush(); err != nil {
 			if r.firstErr == nil {
 				r.firstErr = fmt.Errorf("recorder: flushing site %d: %w", id, err)
 			}
@@ -183,24 +202,19 @@ func (r *Recorder) Flush() error {
 	return r.firstErr
 }
 
-// Close flushes every id stream and writes the stack-trace table, then
-// reports the first error encountered anywhere in the recording.
+// Close commits every id stream — sealing the last frame and writing the
+// commit trailer — and writes the stack-trace table, then reports the first
+// error encountered anywhere in the recording.
 func (r *Recorder) Close() error {
 	if r.closed {
 		return r.firstErr
 	}
-	if err := r.Flush(); err != nil && r.firstErr == nil {
+	if err := r.writeSiteTable(); err != nil && r.firstErr == nil {
 		r.firstErr = err
 	}
 	r.closed = true
-
-	ids := make([]heap.SiteID, 0, len(r.streams))
-	for id := range r.streams {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if err := r.streams[id].f.Close(); err != nil && r.firstErr == nil {
+	for _, id := range r.siteIDs() {
+		if err := r.streams[id].Close(); err != nil && r.firstErr == nil {
 			r.firstErr = fmt.Errorf("recorder: closing site %d: %w", id, err)
 		}
 	}
@@ -208,85 +222,154 @@ func (r *Recorder) Close() error {
 }
 
 // writeSiteTable persists only the sites that actually allocated: one line
-// per site, "id<TAB>frame;frame;...".
+// per site, "id<TAB>frame;frame;...", framed by a version header and a
+// count footer, published by atomic rename.
 func (r *Recorder) writeSiteTable() error {
-	f, err := os.Create(filepath.Join(r.cfg.Dir, SiteTableFile))
-	if err != nil {
-		return fmt.Errorf("recorder: creating site table: %w", err)
-	}
-	w := bufio.NewWriter(f)
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, siteTableHeader)
+	lines := 0
 	for _, entry := range r.sites.All() {
 		if _, used := r.allocCounts[entry.ID]; !used {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%d\t%s\n", entry.ID, entry.Trace.String()); err != nil {
-			f.Close()
-			return fmt.Errorf("recorder: writing site table: %w", err)
-		}
+		fmt.Fprintf(&buf, "%d\t%s\n", entry.ID, entry.Trace.String())
+		lines++
 	}
-	if err := w.Flush(); err != nil {
+	fmt.Fprintf(&buf, "%s%d\n", siteTableFooter, lines)
+
+	final := filepath.Join(r.cfg.Dir, SiteTableFile)
+	tmp := final + ".tmp"
+	f, err := r.cfg.Fault.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("recorder: creating site table: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
 		f.Close()
-		return fmt.Errorf("recorder: flushing site table: %w", err)
+		os.Remove(tmp)
+		return fmt.Errorf("recorder: writing site table: %w", err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("recorder: closing site table: %w", err)
+	}
+	if r.cfg.Fault.Crashed() {
+		// Died before the rename: the new table never becomes visible.
+		return nil
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		// A missing-file fault swallowed the temporary entirely.
+		return nil
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("recorder: publishing site table: %w", err)
 	}
 	return nil
 }
 
-// LoadSiteTable reads a persisted stack-trace table back. The Analyzer uses
-// it as the first step of §3.3's algorithm.
+// TableSalvage describes how much of a site table a decode recovered.
+type TableSalvage struct {
+	// Version is the detected table version (1 or 2).
+	Version int
+	// Sites is the number of entries recovered.
+	Sites int
+	// Complete reports a verified count footer (v2) or an undamaged v1
+	// table.
+	Complete bool
+	// BadLines counts malformed lines that were skipped.
+	BadLines int
+	// Reason says why the table is incomplete, empty when Complete.
+	Reason string
+}
+
+// LoadSiteTable reads a persisted stack-trace table back, strictly: any
+// malformed line or a missing v2 footer is refused with an error wrapping
+// ErrCorrupt or ErrTruncated. The Analyzer uses it as the first step of
+// §3.3's algorithm.
 func LoadSiteTable(dir string) (map[heap.SiteID]jvm.StackTrace, error) {
+	out, _, err := loadSiteTable(dir, true)
+	return out, err
+}
+
+// SalvageSiteTable reads back as much of a stack-trace table as survives,
+// skipping malformed lines. The error is non-nil only when the file cannot
+// be read at all.
+func SalvageSiteTable(dir string) (map[heap.SiteID]jvm.StackTrace, *TableSalvage, error) {
+	return loadSiteTable(dir, false)
+}
+
+func loadSiteTable(dir string, strict bool) (map[heap.SiteID]jvm.StackTrace, *TableSalvage, error) {
 	data, err := os.ReadFile(filepath.Join(dir, SiteTableFile))
 	if err != nil {
-		return nil, fmt.Errorf("recorder: reading site table: %w", err)
+		return nil, nil, fmt.Errorf("recorder: reading site table: %w", err)
 	}
+	sal := &TableSalvage{Version: 1}
 	out := make(map[heap.SiteID]jvm.StackTrace)
-	for lineNo, line := range strings.Split(string(data), "\n") {
+	footerCount := -1
+	lines := strings.Split(string(data), "\n")
+	// Any leading comment marks a v2 table: v1 tables are headerless, so a
+	// "#" first line can only be our header — possibly cut short by a torn
+	// write, which the footer check below then catches.
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "#") {
+		sal.Version = 2
+	}
+	for lineNo, line := range lines {
 		if line == "" {
 			continue
 		}
-		idStr, traceStr, ok := strings.Cut(line, "\t")
-		if !ok {
-			return nil, fmt.Errorf("recorder: site table line %d malformed", lineNo+1)
-		}
-		id, err := strconv.ParseUint(idStr, 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("recorder: site table line %d: %w", lineNo+1, err)
-		}
-		var trace jvm.StackTrace
-		for _, frameStr := range strings.Split(traceStr, ";") {
-			loc, err := jvm.ParseCodeLoc(frameStr)
-			if err != nil {
-				return nil, fmt.Errorf("recorder: site table line %d: %w", lineNo+1, err)
+		if strings.HasPrefix(line, "#") {
+			if v, ok := strings.CutPrefix(line, siteTableFooter); ok {
+				if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+					footerCount = n
+				}
 			}
-			trace = append(trace, loc)
+			continue
 		}
-		if len(trace) == 0 {
-			return nil, fmt.Errorf("recorder: site table line %d has empty trace", lineNo+1)
+		id, trace, err := parseSiteLine(line)
+		if err != nil {
+			if strict {
+				return nil, sal, fmt.Errorf("%w: site table line %d: %v", ErrCorrupt, lineNo+1, err)
+			}
+			sal.BadLines++
+			continue
 		}
-		out[heap.SiteID(id)] = trace
+		out[id] = trace
 	}
-	return out, nil
+	sal.Sites = len(out)
+	switch {
+	case sal.Version == 2 && footerCount < 0:
+		sal.Reason = "site table ends without its count footer"
+	case sal.Version == 2 && footerCount != len(out)+sal.BadLines:
+		sal.Reason = fmt.Sprintf("site table footer promises %d sites, found %d", footerCount, len(out)+sal.BadLines)
+	case sal.BadLines > 0:
+		sal.Reason = fmt.Sprintf("%d malformed site table lines skipped", sal.BadLines)
+	default:
+		sal.Complete = true
+	}
+	if strict && !sal.Complete {
+		return nil, sal, fmt.Errorf("%w: %s", ErrTruncated, sal.Reason)
+	}
+	return out, sal, nil
 }
 
-// ReadIDs streams the identity hashes recorded for one site back from disk.
-func ReadIDs(dir string, site heap.SiteID) ([]heap.ObjectID, error) {
-	f, err := os.Open(filepath.Join(dir, streamFile(site)))
+func parseSiteLine(line string) (heap.SiteID, jvm.StackTrace, error) {
+	idStr, traceStr, ok := strings.Cut(line, "\t")
+	if !ok {
+		return 0, nil, fmt.Errorf("no tab separator")
+	}
+	id, err := strconv.ParseUint(idStr, 10, 32)
 	if err != nil {
-		return nil, fmt.Errorf("recorder: opening stream for site %d: %w", site, err)
+		return 0, nil, err
 	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 32*1024)
-	var out []heap.ObjectID
-	for {
-		v, err := binary.ReadUvarint(br)
-		if err == io.EOF {
-			return out, nil
-		}
+	var trace jvm.StackTrace
+	for _, frameStr := range strings.Split(traceStr, ";") {
+		loc, err := jvm.ParseCodeLoc(frameStr)
 		if err != nil {
-			return nil, fmt.Errorf("recorder: decoding stream for site %d: %w", site, err)
+			return 0, nil, err
 		}
-		out = append(out, heap.ObjectID(v))
+		trace = append(trace, loc)
 	}
+	if len(trace) == 0 {
+		return 0, nil, fmt.Errorf("empty trace")
+	}
+	return heap.SiteID(id), trace, nil
 }

@@ -1,0 +1,363 @@
+package recorder
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polm2/internal/faultio"
+	"polm2/internal/heap"
+)
+
+// Checked-in artifact directories: v1 was recorded before the framed
+// format existed, v2 by the identical run after it.
+const (
+	v1RecDir = "../../testdata/artifacts/v1/records"
+	v2RecDir = "../../testdata/artifacts/v2/records"
+)
+
+func TestReadV1Artifacts(t *testing.T) {
+	table, err := LoadSiteTable(v1RecDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) == 0 {
+		t.Fatal("v1 site table decoded empty")
+	}
+	var total int
+	for sid := range table {
+		ids, err := ReadIDs(v1RecDir, sid)
+		if err != nil {
+			t.Fatalf("site %d: %v", sid, err)
+		}
+		total += len(ids)
+	}
+	if total == 0 {
+		t.Fatal("v1 streams decoded no ids")
+	}
+}
+
+func TestV1AndV2ArtifactsCarrySameRecords(t *testing.T) {
+	// The v2 artifacts were produced by re-running the exact v1 profiling
+	// configuration after the format bump: every stream must decode to
+	// the same id sequence, and every v2 stream must actually be framed.
+	tableV1, err := LoadSiteTable(v1RecDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableV2, err := LoadSiteTable(v2RecDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tableV1) != len(tableV2) {
+		t.Fatalf("site counts differ: v1=%d v2=%d", len(tableV1), len(tableV2))
+	}
+	for sid := range tableV1 {
+		a, err := ReadIDs(v1RecDir, sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadIDs(v2RecDir, sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("site %d: id counts differ (v1=%d v2=%d)", sid, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("site %d id %d differs", sid, i)
+			}
+		}
+		data, err := os.ReadFile(filepath.Join(v2RecDir, streamFile(sid)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data[:4]) != streamMagic {
+			t.Fatalf("site %d v2 stream is not framed", sid)
+		}
+	}
+}
+
+// recordStream writes one framed stream of sequential ids and returns its
+// path, leaving the stream committed (Close) or live (Flush only).
+func recordStream(t *testing.T, dir string, site heap.SiteID, n int, commit bool) string {
+	t.Helper()
+	path := filepath.Join(dir, streamFile(site))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := newStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := w.appendID(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if commit {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestLiveStreamStrictRefusesSalvageAccepts(t *testing.T) {
+	dir := t.TempDir()
+	recordStream(t, dir, 3, 5000, false)
+
+	if _, err := ReadIDs(dir, 3); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("strict read of a live stream: err = %v, want ErrTruncated", err)
+	}
+	ids, sal, err := SalvageIDs(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5000 {
+		t.Fatalf("salvaged %d ids, want all 5000 (flush seals frames)", len(ids))
+	}
+	if sal.Complete || sal.LostBytes != 0 || sal.Confidence() != 1 {
+		t.Fatalf("live-stream salvage = %+v", sal)
+	}
+}
+
+func TestStreamTypedErrorsAndSalvagePrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := recordStream(t, dir, 9, 5000, true)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation mid-stream: strict refuses with ErrTruncated, salvage
+	// recovers a non-empty prefix.
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIDs(dir, 9); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated strict err = %v", err)
+	}
+	ids, sal, err := SalvageIDs(dir, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || len(ids) >= 5000 || sal.Frames == 0 {
+		t.Fatalf("truncated salvage: %d ids, %+v", len(ids), sal)
+	}
+	for i, id := range ids {
+		if id != heap.ObjectID(i+1) {
+			t.Fatalf("salvaged id %d = %d, not a prefix", i, id)
+		}
+	}
+
+	// A flipped payload bit: the damaged frame and everything after drop,
+	// the prefix before it survives.
+	mangled := append([]byte(nil), full...)
+	mangled[len(mangled)/2] ^= 0x40
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIDs(dir, 9); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("bit-flip strict err = %v", err)
+	}
+	ids, sal, err = SalvageIDs(dir, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) >= 5000 || sal.Complete {
+		t.Fatalf("bit-flip salvage recovered too much: %d ids, %+v", len(ids), sal)
+	}
+
+	// Trailing junk after the commit trailer: corrupt in strict mode, but
+	// salvage keeps every committed id.
+	junk := append(append([]byte(nil), full...), 0xde, 0xad)
+	if err := os.WriteFile(path, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIDs(dir, 9); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing-junk strict err = %v", err)
+	}
+	ids, _, err = SalvageIDs(dir, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5000 {
+		t.Fatalf("trailing-junk salvage = %d ids, want 5000", len(ids))
+	}
+}
+
+func TestSiteTableFooterDetectsTruncation(t *testing.T) {
+	vm := newEngine(t)
+	dir := t.TempDir()
+	rec, err := New(Config{Dir: dir}, vm.Heap(), vm.Sites(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Attach(vm)
+	th := vm.NewThread("t")
+	th.Enter("Main", "run")
+	for line := 10; line < 20; line++ {
+		if _, err := th.Alloc(line, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, SiteTableFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), siteTableHeader) {
+		t.Fatalf("v2 site table missing header: %q", data[:20])
+	}
+	if _, err := LoadSiteTable(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the footer off: strict load refuses, salvage recovers the
+	// entries and says why it is incomplete.
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	cut := strings.Join(lines[:len(lines)-3], "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, SiteTableFile), []byte(cut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSiteTable(dir); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("footerless strict err = %v", err)
+	}
+	got, tsal, err := SalvageSiteTable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsal.Complete || tsal.Version != 2 || len(got) != len(lines)-4 {
+		t.Fatalf("footerless salvage: %d sites, %+v", len(got), tsal)
+	}
+}
+
+func TestSiteTableSalvageSkipsMalformedLines(t *testing.T) {
+	dir := t.TempDir()
+	table := "1\tMain.run:10\ngarbage-without-tab\n2\tMain.run:11\n"
+	if err := writeBytes(filepath.Join(dir, SiteTableFile), []byte(table)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSiteTable(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("malformed strict err = %v", err)
+	}
+	got, tsal, err := SalvageSiteTable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || tsal.BadLines != 1 || tsal.Complete {
+		t.Fatalf("malformed salvage: %d sites, %+v", len(got), tsal)
+	}
+}
+
+func TestRecorderUnderTornFault(t *testing.T) {
+	vm := newEngine(t)
+	dir := t.TempDir()
+	// Tear past the first 4 KiB frame so a verified prefix survives the cut.
+	plan, err := faultio.ParseSpec("torn:site-*.bin@8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(Config{Dir: dir, Fault: faultio.New(plan)}, vm.Heap(), vm.Sites(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Attach(vm)
+	th := vm.NewThread("t")
+	th.Enter("Main", "run")
+	var site heap.SiteID
+	for i := 0; i < 8000; i++ {
+		obj, err := th.Alloc(10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site = obj.Site
+		if i%1000 == 999 {
+			th.ReleaseLocals()
+		}
+	}
+	// The fault is silent: the recorder believes everything succeeded.
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReadIDs(dir, site); err == nil {
+		t.Fatal("strict read of a torn stream should fail")
+	}
+	ids, sal, err := SalvageIDs(dir, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || len(ids) >= 8000 {
+		t.Fatalf("torn salvage recovered %d of 8000 ids", len(ids))
+	}
+	if sal.Complete || sal.LostBytes == 0 {
+		t.Fatalf("torn salvage account = %+v", sal)
+	}
+	// The table was not matched by the glob and survives whole.
+	if _, err := LoadSiteTable(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderCrashLosesSuffixOnly(t *testing.T) {
+	vm := newEngine(t)
+	dir := t.TempDir()
+	plan, err := faultio.ParseSpec("crash#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(Config{Dir: dir, Fault: faultio.New(plan)}, vm.Heap(), vm.Sites(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Attach(vm)
+	th := vm.NewThread("t")
+	th.Enter("Main", "run")
+	var site heap.SiteID
+	for i := 0; i < 20000; i++ {
+		obj, err := th.Alloc(10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site = obj.Site
+		if i%1000 == 999 {
+			th.ReleaseLocals()
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash cut the stream short but what landed is decodable.
+	ids, sal, err := SalvageIDs(dir, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sal.Complete {
+		t.Fatal("crashed stream cannot carry a commit trailer")
+	}
+	if len(ids) == 0 || len(ids) >= 20000 {
+		t.Fatalf("crash salvage recovered %d of 20000 ids", len(ids))
+	}
+	// The site table's atomic rename was skipped after the crash: the
+	// final file never appears, rather than appearing half-written.
+	if _, err := os.Stat(filepath.Join(dir, SiteTableFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("site table after crash: %v", err)
+	}
+}

@@ -78,6 +78,7 @@ func TestCodecRejectsGarbage(t *testing.T) {
 func TestWriteDirReadDir(t *testing.T) {
 	dir := t.TempDir()
 	a := sampleSnapshot()
+	a.Incremental = false // chain base: ReadDir refuses a rootless chain
 	b := sampleSnapshot()
 	b.Seq = 4
 	b.Incremental = false

@@ -1,0 +1,244 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polm2/internal/faultio"
+)
+
+// v1Dir points at the checked-in pre-PR artifact directory: images written
+// by the version-1 codec before CRC framing existed.
+const v1Dir = "../../testdata/artifacts/v1/snaps"
+
+func TestReadV1Artifacts(t *testing.T) {
+	snaps, err := ReadDir(v1Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no v1 images decoded")
+	}
+	for i, s := range snaps {
+		if s.Seq != i+1 {
+			t.Fatalf("image %d has seq %d", i, s.Seq)
+		}
+		if !s.Incremental || len(s.Regions) == 0 {
+			t.Fatalf("image %d implausible: %+v", i, s)
+		}
+	}
+	// The replayed store view must be non-empty: the images carry data.
+	store := NewStore()
+	for _, s := range snaps {
+		if err := store.Apply(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(store.LiveIDs()) == 0 {
+		t.Fatal("v1 replay reconstructed an empty heap")
+	}
+}
+
+func TestV1RoundTripsThroughV2(t *testing.T) {
+	snaps, err := ReadDir(v1Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := snaps[len(snaps)-1]
+	var buf bytes.Buffer
+	if err := src.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewStore(), NewStore()
+	if err := a.Apply(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(got); err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.LiveIDs(), b.LiveIDs()
+	if len(av) == 0 || len(av) != len(bv) {
+		t.Fatalf("views differ: %d vs %d ids", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("id %d differs", i)
+		}
+	}
+}
+
+func TestReadTypedErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSnapshot().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncation anywhere before the trailer reports ErrTruncated.
+	for _, cut := range []int{5, 7, len(full) / 2, len(full) - 2} {
+		_, err := Read(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// A bit flip in a section payload reports ErrCorrupt.
+	for _, off := range []int{6, 12, len(full) / 2, len(full) - 3} {
+		mangled := append([]byte(nil), full...)
+		mangled[off] ^= 0x10
+		_, err := Read(bytes.NewReader(mangled))
+		if err == nil {
+			t.Errorf("flip at %d: accepted", off)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+			t.Errorf("flip at %d: untyped error %v", off, err)
+		}
+	}
+	// An absurd section length is corrupt, not an allocation attempt.
+	huge := append([]byte(nil), full[:5]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := Read(bytes.NewReader(huge)); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("huge section err = %v", err)
+	}
+}
+
+func TestWriteDirAtomicNoTemporaries(t *testing.T) {
+	dir := t.TempDir()
+	a := sampleSnapshot()
+	a.Incremental = false // chain base: ReadDir refuses a rootless chain
+	b := sampleSnapshot()
+	b.Seq = 4
+	if err := WriteDir(dir, []*Snapshot{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temporary %s left behind", e.Name())
+		}
+	}
+	if _, err := ReadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDirCrashLeavesNoAmbiguousImage(t *testing.T) {
+	dir := t.TempDir()
+	var snaps []*Snapshot
+	for i := 1; i <= 6; i++ {
+		s := sampleSnapshot()
+		s.Seq = i
+		snaps = append(snaps, s)
+	}
+	plan, err := faultio.ParseSpec("crash#3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDirFaulty(dir, snaps, faultio.New(plan)); err != nil {
+		t.Fatal(err)
+	}
+	// Every published image decodes; the crash lost a suffix, never a
+	// half-written file.
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("published images must be whole: %v", err)
+	}
+	if len(got) == 0 || len(got) >= 6 {
+		t.Fatalf("crash published %d of 6 images", len(got))
+	}
+	for i, s := range got {
+		if s.Seq != i+1 {
+			t.Fatalf("published images are not a prefix: %+v", got)
+		}
+	}
+}
+
+func TestReadDirSalvagePrefixAndGap(t *testing.T) {
+	dir := t.TempDir()
+	var snaps []*Snapshot
+	for i := 1; i <= 5; i++ {
+		s := sampleSnapshot()
+		s.Seq = i
+		snaps = append(snaps, s)
+	}
+	if err := WriteDir(dir, snaps); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean directory: everything usable.
+	got, sal, err := ReadDirSalvage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sal.Clean() || len(got) != 5 {
+		t.Fatalf("clean dir salvage = %+v", sal)
+	}
+
+	// Truncate image 3: images 1-2 remain usable, 3-5 drop.
+	if err := os.Truncate(filepath.Join(dir, FileName(3)), 9); err != nil {
+		t.Fatal(err)
+	}
+	got, sal, err = ReadDirSalvage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || sal.Usable != 2 || sal.Total != 5 || len(sal.Dropped) != 3 {
+		t.Fatalf("truncated salvage: %d snaps, %+v", len(got), sal)
+	}
+
+	// A missing image severs the chain the same way.
+	if err := WriteDir(dir, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, FileName(2))); err != nil {
+		t.Fatal(err)
+	}
+	got, sal, err = ReadDirSalvage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || sal.Usable != 1 {
+		t.Fatalf("gap salvage: %d snaps, %+v", len(got), sal)
+	}
+}
+
+func TestReadDirSalvageFullSnapshotRestartsChain(t *testing.T) {
+	dir := t.TempDir()
+	var snaps []*Snapshot
+	for i := 1; i <= 5; i++ {
+		s := sampleSnapshot()
+		s.Seq = i
+		snaps = append(snaps, s)
+	}
+	snaps[3].Incremental = false // image 4 is a full dump
+	if err := WriteDir(dir, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(dir, FileName(2)), 9); err != nil {
+		t.Fatal(err)
+	}
+	got, sal, err := ReadDirSalvage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 usable, 2 damaged, 3 dropped (incremental after break), 4 full
+	// restarts the chain, 5 chains onto it.
+	if len(got) != 3 || got[0].Seq != 1 || got[1].Seq != 4 || got[2].Seq != 5 {
+		t.Fatalf("salvage = %+v (%+v)", got, sal)
+	}
+	// The salvaged sequence replays through the store without error.
+	store := NewStore()
+	for _, s := range got {
+		if err := store.Apply(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
