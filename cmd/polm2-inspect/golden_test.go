@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/profilestore"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files from current output")
@@ -67,6 +70,47 @@ func TestSnapshotsGolden(t *testing.T) {
 	if !bytes.Equal(outputs["v1"], outputs["v2"]) {
 		t.Fatal("v1 and v2 snapshot listings differ: the format bump changed decoded content")
 	}
+}
+
+// TestProfilesGolden pins the repository listing. The store is rebuilt in
+// a temporary directory from fixed profiles on every run, so the listing
+// exercises the full store write/read path and must still come out
+// byte-identical.
+func TestProfilesGolden(t *testing.T) {
+	dir := t.TempDir()
+	store, err := profilestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*analyzer.Profile{
+		{
+			App: "Cassandra", Workload: "WI", Generations: 2, Conflicts: 1,
+			Allocs: []analyzer.AllocDirective{
+				{Loc: "Memtable.put:10", Gen: 2, Direct: true},
+				{Loc: "Cell.make:4", Gen: 1, Direct: true},
+			},
+			Sites: []analyzer.SiteStat{
+				{Trace: "S.serve:1;Memtable.put:10", Allocated: 9000, Buckets: []uint64{1000, 3000, 5000}, Gen: 2},
+				{Trace: "S.serve:1;Cell.make:4", Allocated: 4000, Buckets: []uint64{1500, 2500}, Gen: 1, Tainted: 250},
+			},
+		},
+		{
+			App: "Lucene", Workload: "default", Generations: 1,
+			Allocs: []analyzer.AllocDirective{{Loc: "Index.add:7", Gen: 1, Direct: true}},
+			Sites: []analyzer.SiteStat{
+				{Trace: "Main.run:1;Index.add:7", Allocated: 500, Buckets: []uint64{100, 400}, Gen: 1},
+			},
+		},
+	} {
+		if err := store.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := showProfiles(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "profiles.golden", buf.Bytes())
 }
 
 // TestVerifyReportsDamage corrupts a copy of the v2 artifacts and checks

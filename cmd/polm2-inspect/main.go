@@ -8,6 +8,7 @@
 //	polm2-inspect dot wi.json > tree.dot     # Graphviz rendering
 //	polm2-inspect diff old.json new.json     # directive-level diff
 //	polm2-inspect snapshots ./images         # decode a snapshot image dir
+//	polm2-inspect profiles ./profiles        # list a profile repository
 //	polm2-inspect verify ./artifacts         # integrity-check artifact dirs
 //	polm2-inspect --verify ./artifacts       # same, flag spelling
 //
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"polm2/internal/analyzer"
+	"polm2/internal/profilestore"
 	"polm2/internal/snapshot"
 )
 
@@ -31,7 +33,7 @@ func main() {
 }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|verify> <args...>")
+	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|profiles|verify> <args...>")
 	return 2
 }
 
@@ -60,6 +62,8 @@ func run() int {
 		err = diffProfiles(args[1], args[2])
 	case "snapshots":
 		err = showSnapshots(os.Stdout, args[1])
+	case "profiles":
+		err = showProfiles(os.Stdout, args[1])
 	case "verify":
 		var clean bool
 		clean, err = verifyArtifacts(os.Stdout, args[1])
@@ -168,6 +172,41 @@ func diffProfiles(oldPath, newPath string) error {
 			fmt.Printf("- alloc %s\n", a.Loc)
 		}
 	}
+	return nil
+}
+
+// showProfiles lists a profile repository (profilestore.Store): one line
+// per (app, workload) key with the plan shape and the evidence behind it —
+// the view an operator wants of a polm2d daemon's store.
+func showProfiles(w io.Writer, dir string) error {
+	store, err := profilestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	keys, err := store.List()
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(w, "no profiles found")
+		return nil
+	}
+	fmt.Fprintf(w, "%-24s %-6s %-8s %-6s %-12s %-10s\n",
+		"app/workload", "gens", "sites", "instr", "evidence", "tainted")
+	for _, k := range keys {
+		p, err := store.Get(k.App, k.Workload)
+		if err != nil {
+			return err
+		}
+		var allocated, tainted uint64
+		for _, s := range p.Sites {
+			allocated += s.Allocated
+			tainted += s.Tainted
+		}
+		fmt.Fprintf(w, "%-24s %-6d %-8d %-6d %-12d %-10d\n",
+			k.String(), p.Generations, len(p.Sites), p.InstrumentedSites(), allocated, tainted)
+	}
+	fmt.Fprintf(w, "%d profiles\n", len(keys))
 	return nil
 }
 

@@ -32,6 +32,7 @@ func run() int {
 		manual      = flag.Bool("manual", false, "use the expert's hand-written NG2C profile instead")
 		onlineMode  = flag.Bool("online", false, "continuous profiling: re-analyze and hot-swap the plan while running")
 		reprofile   = flag.Duration("reprofile", 0, "online re-analysis interval (default 5m)")
+		daemonURL   = flag.String("daemon", "", "polm2d base URL for fleet mode: upload evidence, install the merged fleet plan (needs -online)")
 		duration    = flag.Duration("duration", 0, "simulated run duration (default: 30m, the paper's)")
 		warmup      = flag.Duration("warmup", 0, "ignored warmup window (default: 5m, the paper's)")
 		scale       = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
@@ -55,14 +56,31 @@ func run() int {
 		return 2
 	}
 
+	if *daemonURL != "" && !*onlineMode {
+		fmt.Fprintln(os.Stderr, "polm2-run: -daemon needs -online (fleet sync happens on re-profiles)")
+		return 2
+	}
+
 	if *onlineMode {
-		return runOnline(app, *workload, polm2.OnlineOptions{
+		opts := polm2.OnlineOptions{
 			Duration:  *duration,
 			Warmup:    *warmup,
 			Scale:     *scale,
 			Seed:      *seed,
 			Reprofile: *reprofile,
-		})
+		}
+		if *daemonURL != "" {
+			fc, err := polm2.NewFleetClient(polm2.FleetClientOptions{
+				BaseURL: *daemonURL,
+				Seed:    *seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+				return 2
+			}
+			opts.Fleet = fc
+		}
+		return runOnline(app, *workload, opts)
 	}
 
 	plan := polm2.PlanNone
@@ -150,6 +168,13 @@ func runOnline(app polm2.App, workload string, opts polm2.OnlineOptions) int {
 	for _, u := range res.Updates {
 		fmt.Printf("    at %-10v sites=%d gens=%d conflicts=%d\n",
 			u.At.Round(time.Second), u.Instrumented, u.Generations, u.Conflicts)
+	}
+	for _, ev := range res.FleetEvents {
+		if ev.Fallback {
+			fmt.Printf("    at %-10v fleet daemon unreachable, installed last good plan\n", ev.At.Round(time.Second))
+		} else {
+			fmt.Printf("    at %-10v fleet sync failed, kept previous plan: %s\n", ev.At.Round(time.Second), ev.Err)
+		}
 	}
 	fmt.Printf("  pause percentiles (ms): p50=%.1f p99=%.1f worst=%.1f\n",
 		ms(res.WarmPauses.Percentile(50)), ms(res.WarmPauses.Percentile(99)), ms(res.WarmPauses.Max()))

@@ -1,0 +1,99 @@
+// Command polm2d is the POLM2 plan-distribution daemon: it fronts an
+// on-disk profile repository (internal/profilestore) and serves versioned
+// instrumentation plans to a fleet of production instances, merging the
+// profiling evidence they upload into one fleet-wide plan per
+// (application, workload). See internal/planserver for the endpoints and
+// wire format.
+//
+// Usage:
+//
+//	polm2d -addr 127.0.0.1:7468 -store ./profiles
+//	polm2d -addr 127.0.0.1:0 -store ./profiles          # random port
+//	polm2d -store ./profiles -faults 'seed=7;missing:*.profile.json'
+//
+// The daemon prints its actual listen address on startup (useful with
+// -addr ...:0) and shuts down cleanly on SIGINT/SIGTERM. The -faults flag
+// interposes internal/faultio's deterministic fault plans on the store's
+// staging writes — the same fault model the profiling pipeline is tested
+// under — so operators and CI can rehearse disk trouble end to end.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"polm2/internal/faultio"
+	"polm2/internal/planserver"
+	"polm2/internal/profilestore"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7468", "TCP listen address (port 0 picks a free port)")
+		storeDir  = flag.String("store", "profiles", "profile repository directory (created if missing)")
+		faultSpec = flag.String("faults", "", "inject I/O faults into the store's writes (faultio spec, e.g. 'seed=7;missing:*.profile.json')")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "polm2d: unexpected arguments %v\n", flag.Args())
+		return 2
+	}
+
+	store, err := profilestore.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+		return 1
+	}
+	if *faultSpec != "" {
+		plan, err := faultio.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+			return 2
+		}
+		store.SetFault(faultio.New(plan))
+		fmt.Printf("polm2d: injecting store faults: %s\n", plan)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: planserver.New(store, planserver.Options{})}
+	fmt.Printf("polm2d: serving on http://%s (store %s)\n", ln.Addr(), store.Dir())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "polm2d: shutdown: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Println("polm2d: shutdown complete")
+	return 0
+}

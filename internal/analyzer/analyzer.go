@@ -220,6 +220,7 @@ func synthesize(evidence map[heap.SiteID]*siteEvidence, opts Options, degraded m
 			Allocated: ev.total,
 			Buckets:   trimBuckets(ev.survived),
 			Gen:       gens[id],
+			Tainted:   ev.tainted,
 		})
 	}
 

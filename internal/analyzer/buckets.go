@@ -30,6 +30,9 @@ type siteEvidence struct {
 	// survived[k] counts objects seen live in exactly k snapshots.
 	survived []uint64
 	total    uint64
+	// tainted counts allocations whose evidence came from damaged
+	// recordings (see SiteStat.Tainted).
+	tainted uint64
 }
 
 // gatherEvidence implements the first half of §3.3's algorithm:

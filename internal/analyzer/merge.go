@@ -1,0 +1,120 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"polm2/internal/heap"
+	"polm2/internal/jvm"
+)
+
+// MergeProfiles combines the per-site evidence of several profiles of the
+// same (application, workload) into one fleet profile and re-runs the full
+// §3.3 synthesis — estimation, clustering, STTree, conflict resolution,
+// directive emission — over the merged evidence.
+//
+// The fold is deterministic and order-independent: per-site allocation
+// totals, survival buckets and tainted counts are plain sums, sites are
+// keyed and sorted by their stack-trace string before synthesis, and every
+// downstream decision is a pure function of the summed values. Merging is
+// therefore commutative AND associative — N instances uploading partial
+// profiles converge to the same fleet plan whether their evidence arrives
+// in one batch or drips in one upload at a time, in any order.
+//
+// opts.ConfidenceFloor is reapplied post-merge: a site whose merged
+// trusted fraction 1 - Tainted/Allocated falls below the floor is degraded
+// to the young/dynamic fallback (generation zero), exactly as
+// AnalyzeSalvage degrades a damaged stream. Tainted counts themselves stay
+// pure sums, so the degrade decision re-derives identically on every
+// subsequent merge.
+//
+// Profiles with empty App/Workload labels adopt the labels of the merge;
+// labeled profiles must all agree with each other (and with opts when it
+// is labeled).
+func MergeProfiles(opts Options, profiles ...*Profile) (*Profile, error) {
+	opts = opts.withDefaults()
+	inputs := make([]*Profile, 0, len(profiles))
+	for _, p := range profiles {
+		if p != nil {
+			inputs = append(inputs, p)
+		}
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("analyzer: merging zero profiles")
+	}
+	app, workload := opts.App, opts.Workload
+	for _, p := range inputs {
+		if p.App != "" {
+			if app == "" {
+				app = p.App
+			} else if p.App != app {
+				return nil, fmt.Errorf("analyzer: merging profiles of different applications %q and %q", app, p.App)
+			}
+		}
+		if p.Workload != "" {
+			if workload == "" {
+				workload = p.Workload
+			} else if p.Workload != workload {
+				return nil, fmt.Errorf("analyzer: merging profiles of different workloads %q and %q", workload, p.Workload)
+			}
+		}
+	}
+	opts.App, opts.Workload = app, workload
+
+	type acc struct {
+		trace    jvm.StackTrace
+		total    uint64
+		tainted  uint64
+		survived []uint64
+	}
+	merged := make(map[string]*acc)
+	for _, p := range inputs {
+		for _, s := range p.Sites {
+			a := merged[s.Trace]
+			if a == nil {
+				trace, err := jvm.ParseStackTrace(s.Trace)
+				if err != nil {
+					return nil, fmt.Errorf("analyzer: merging site evidence: %w", err)
+				}
+				a = &acc{trace: trace}
+				merged[s.Trace] = a
+			}
+			a.total += s.Allocated
+			a.tainted += s.Tainted
+			for len(a.survived) < len(s.Buckets) {
+				a.survived = append(a.survived, 0)
+			}
+			for k, n := range s.Buckets {
+				a.survived[k] += n
+			}
+		}
+	}
+
+	// Synthetic site ids are assigned in sorted-trace order, so the
+	// evidence map handed to synthesize is identical for every
+	// permutation of the inputs.
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	evidence := make(map[heap.SiteID]*siteEvidence, len(keys))
+	degraded := make(map[heap.SiteID]bool)
+	for i, k := range keys {
+		a := merged[k]
+		id := heap.SiteID(i + 1)
+		evidence[id] = &siteEvidence{
+			id:       id,
+			trace:    a.trace,
+			survived: a.survived,
+			total:    a.total,
+			tainted:  a.tainted,
+		}
+		if opts.ConfidenceFloor >= 0 && a.total > 0 {
+			if 1-float64(a.tainted)/float64(a.total) < opts.ConfidenceFloor {
+				degraded[id] = true
+			}
+		}
+	}
+	return synthesize(evidence, opts, degraded)
+}

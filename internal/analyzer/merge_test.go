@@ -1,0 +1,197 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// evidenceProfile builds a profile carrying only site evidence, the shape a
+// fleet instance uploads to the plan daemon.
+func evidenceProfile(app, workload string, sites ...SiteStat) *Profile {
+	return &Profile{App: app, Workload: workload, Sites: sites}
+}
+
+func mustMerge(t *testing.T, opts Options, profiles ...*Profile) *Profile {
+	t.Helper()
+	p, err := MergeProfiles(opts, profiles...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func profileJSON(t *testing.T, p *Profile) []byte {
+	t.Helper()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// permutations returns every ordering of indices 0..n-1.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for pos := 0; pos <= len(sub); pos++ {
+			perm := make([]int, 0, n)
+			perm = append(perm, sub[:pos]...)
+			perm = append(perm, n-1)
+			perm = append(perm, sub[pos:]...)
+			out = append(out, perm)
+		}
+	}
+	return out
+}
+
+// TestMergePermutationInvariance proves order-independence: every
+// permutation of the inputs, merged in one batch, yields a byte-identical
+// profile.
+func TestMergePermutationInvariance(t *testing.T) {
+	inputs := []*Profile{
+		evidenceProfile("Cassandra", "WI",
+			SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 40, Buckets: []uint64{5, 35}},
+			SiteStat{Trace: "Main.run:12;Cache.add:7", Allocated: 20, Buckets: []uint64{18, 2}},
+		),
+		evidenceProfile("Cassandra", "WI",
+			SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 60, Buckets: []uint64{10, 20, 30}},
+			SiteStat{Trace: "Main.run:14;Log.append:3", Allocated: 30, Buckets: []uint64{2, 1, 27}},
+		),
+		evidenceProfile("Cassandra", "WI",
+			SiteStat{Trace: "Main.run:12;Cache.add:7", Allocated: 50, Buckets: []uint64{45, 5}},
+			SiteStat{Trace: "Main.run:14;Log.append:3", Allocated: 16, Buckets: []uint64{0, 0, 16}, Tainted: 16},
+		),
+		evidenceProfile("Cassandra", "WI",
+			SiteStat{Trace: "Main.run:16;Idx.build:9", Allocated: 24, Buckets: []uint64{4, 20}},
+		),
+	}
+	var want []byte
+	for i, perm := range permutations(len(inputs)) {
+		ordered := make([]*Profile, len(perm))
+		for j, idx := range perm {
+			ordered[j] = inputs[idx]
+		}
+		got := profileJSON(t, mustMerge(t, Options{}, ordered...))
+		if i == 0 {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("permutation %v changed the merged profile:\n%s\nvs\n%s", perm, got, want)
+		}
+	}
+}
+
+// TestMergeAssociativity proves incremental merging (the daemon's
+// upload-at-a-time path) converges to the same profile as one batch merge.
+func TestMergeAssociativity(t *testing.T) {
+	a := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 30, Buckets: []uint64{2, 28}},
+		SiteStat{Trace: "Main.run:14;Log.append:3", Allocated: 40, Buckets: []uint64{1, 39}, Tainted: 40},
+	)
+	b := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 25, Buckets: []uint64{3, 2, 20}},
+	)
+	c := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:14;Log.append:3", Allocated: 80, Buckets: []uint64{5, 75}},
+		SiteStat{Trace: "Main.run:16;Idx.build:9", Allocated: 12, Buckets: []uint64{0, 12}},
+	)
+	batch := profileJSON(t, mustMerge(t, Options{}, a, b, c))
+	incr := profileJSON(t, mustMerge(t, Options{}, mustMerge(t, Options{}, a, b), c))
+	if string(batch) != string(incr) {
+		t.Fatalf("incremental merge diverged from batch merge:\n%s\nvs\n%s", incr, batch)
+	}
+	incr2 := profileJSON(t, mustMerge(t, Options{}, a, mustMerge(t, Options{}, c, b)))
+	if string(batch) != string(incr2) {
+		t.Fatalf("right-fold merge diverged from batch merge:\n%s\nvs\n%s", incr2, batch)
+	}
+}
+
+// TestMergeCombinesEvidence checks that merged estimates follow the summed
+// buckets, not any single input's estimate.
+func TestMergeCombinesEvidence(t *testing.T) {
+	// Alone, a says "mostly dies young" (gen 0); b's heavier evidence says
+	// the site survives one snapshot.
+	a := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 20, Buckets: []uint64{19, 1}})
+	b := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 100, Buckets: []uint64{10, 90}})
+	p := mustMerge(t, Options{}, a, b)
+	if len(p.Sites) != 1 {
+		t.Fatalf("Sites = %+v", p.Sites)
+	}
+	s := p.Sites[0]
+	if s.Allocated != 120 || s.Buckets[0] != 29 || s.Buckets[1] != 91 {
+		t.Fatalf("merged evidence = %+v", s)
+	}
+	if s.Gen != 1 {
+		t.Fatalf("merged gen = %d, want 1 (91/120 survive one snapshot)", s.Gen)
+	}
+	if len(p.Allocs) == 0 {
+		t.Fatal("merged profile emits no directives")
+	}
+}
+
+// TestMergeConfidenceFloorReapplied checks the floor is re-derived from the
+// merged tainted/allocated ratio.
+func TestMergeConfidenceFloorReapplied(t *testing.T) {
+	tainted := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 90, Buckets: []uint64{5, 85}, Tainted: 90})
+	clean := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 30, Buckets: []uint64{2, 28}})
+
+	// 90 of 120 allocations tainted: confidence 0.25 < 0.5 floor, the site
+	// degrades to young and emits no directive.
+	p := mustMerge(t, Options{}, tainted, clean)
+	if p.Sites[0].Gen != 0 {
+		t.Fatalf("low-confidence merged site gen = %d, want 0", p.Sites[0].Gen)
+	}
+	if p.Sites[0].Tainted != 90 {
+		t.Fatalf("merged tainted = %d, want the pure sum 90", p.Sites[0].Tainted)
+	}
+	if len(p.Allocs) != 0 || len(p.Calls) != 0 {
+		t.Fatalf("degraded site emitted directives: %+v %+v", p.Allocs, p.Calls)
+	}
+
+	// More clean evidence arriving later lifts the site back over the
+	// floor — the degrade decision is recomputed, never sticky.
+	moreClean := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 120, Buckets: []uint64{10, 110}})
+	p2 := mustMerge(t, Options{}, p, moreClean)
+	if p2.Sites[0].Gen != 1 {
+		t.Fatalf("recovered site gen = %d, want 1", p2.Sites[0].Gen)
+	}
+
+	// A negative floor disables degrading.
+	p3 := mustMerge(t, Options{ConfidenceFloor: -1}, tainted, clean)
+	if p3.Sites[0].Gen != 1 {
+		t.Fatalf("floor-disabled merged site gen = %d, want 1", p3.Sites[0].Gen)
+	}
+}
+
+// TestMergeLabelRules checks label adoption and mismatch rejection.
+func TestMergeLabelRules(t *testing.T) {
+	labeled := evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 20, Buckets: []uint64{2, 18}})
+	unlabeled := evidenceProfile("", "",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 20, Buckets: []uint64{2, 18}})
+	p := mustMerge(t, Options{}, labeled, unlabeled)
+	if p.App != "Cassandra" || p.Workload != "WI" {
+		t.Fatalf("merged labels = %s/%s", p.App, p.Workload)
+	}
+	other := evidenceProfile("Lucene", "default",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 20, Buckets: []uint64{2, 18}})
+	if _, err := MergeProfiles(Options{}, labeled, other); err == nil {
+		t.Fatal("cross-application merge accepted")
+	}
+	if _, err := MergeProfiles(Options{}); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	bad := evidenceProfile("Cassandra", "WI", SiteStat{Trace: "not a trace", Allocated: 5})
+	if _, err := MergeProfiles(Options{}, bad); err == nil {
+		t.Fatal("unparseable trace accepted")
+	}
+}

@@ -49,6 +49,11 @@ type SiteStat struct {
 	// Gen is the estimated target generation (0 = young, not
 	// instrumented).
 	Gen int `json:"gen"`
+	// Tainted counts allocations whose evidence came from damaged
+	// (salvage-degraded) recordings. It is a pure sum under
+	// MergeProfiles, so fleet merges can reapply the confidence floor
+	// to Tainted/Allocated no matter how the evidence arrived.
+	Tainted uint64 `json:"tainted,omitempty"`
 }
 
 // Profile is the application allocation profile: the output of the

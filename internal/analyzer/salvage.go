@@ -122,6 +122,9 @@ func AnalyzeSalvage(recordsDir string, snaps []*snapshot.Snapshot, opts Options)
 			loss.Degraded = true
 			degraded[sid] = true
 			rep.DegradedSites++
+			// The whole site's surviving evidence is untrusted: taint it
+			// all, so a later fleet merge weighs it correctly.
+			evidence[sid].tainted = evidence[sid].total
 		}
 		rep.Sites = append(rep.Sites, loss)
 	}

@@ -1,0 +1,319 @@
+// Package fleetclient is the production instance's side of the plan
+// distribution subsystem (internal/planserver): it fetches versioned
+// instrumentation plans with conditional GETs, uploads locally analyzed
+// profiling evidence, and degrades gracefully — bounded retries with
+// exponential backoff and deterministic jitter, then a fall back to the
+// last good plan — when the daemon is unreachable.
+//
+// Determinism: no decision path consults the wall clock or a global RNG.
+// Backoff jitter derives from core.DeriveSeed over (seed, operation,
+// sequence number, attempt), so a fixed seed replays the exact retry
+// schedule, and a fleet of instances seeded differently spreads its
+// retries instead of thundering in lockstep. Only the injected Sleep
+// function (time.Sleep by default) touches real time.
+package fleetclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/core"
+)
+
+// Options parameterizes a Client.
+type Options struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7468".
+	BaseURL string
+	// Seed drives the deterministic backoff jitter. Default 1.
+	Seed int64
+	// MaxAttempts bounds tries per operation (first try included).
+	// Default 4.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay before the first retry; it
+	// doubles per retry. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter delay. Default 2s.
+	MaxDelay time.Duration
+	// HTTPClient is the transport. Default http.DefaultClient.
+	HTTPClient *http.Client
+	// Sleep waits between retries. Default time.Sleep; tests and
+	// simulations inject their own.
+	Sleep func(time.Duration)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseDelay == 0 {
+		o.BaseDelay = 50 * time.Millisecond
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Outcome classifies how FetchPlan produced its plan.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeFresh: the daemon served a (new) plan.
+	OutcomeFresh Outcome = iota + 1
+	// OutcomeNotModified: the cached plan is still current (304).
+	OutcomeNotModified
+	// OutcomeNoPlan: the daemon answered but holds no plan for the key.
+	OutcomeNoPlan
+	// OutcomeFallback: the daemon was unreachable; the last good plan
+	// was returned instead.
+	OutcomeFallback
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeFresh:
+		return "fresh"
+	case OutcomeNotModified:
+		return "not-modified"
+	case OutcomeNoPlan:
+		return "no-plan"
+	case OutcomeFallback:
+		return "fallback"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Client talks to one plan daemon. It is safe for concurrent use.
+type Client struct {
+	opts Options
+
+	mu sync.Mutex
+	// etag versions lastGood; sent as If-None-Match on fetches.
+	etag     string
+	lastGood *analyzer.Profile
+	// ops counts operations, salting each one's jitter derivation so two
+	// retry rounds of the same operation kind do not share a schedule.
+	ops uint64
+}
+
+// New builds a client. BaseURL must be set.
+func New(opts Options) (*Client, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("fleetclient: BaseURL is required")
+	}
+	return &Client{opts: opts.withDefaults()}, nil
+}
+
+// LastGood returns the most recent plan the daemon served (fetched or
+// merged), or nil.
+func (c *Client) LastGood() *analyzer.Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastGood
+}
+
+// backoff returns the post-jitter delay before retry number attempt
+// (attempt 0 = delay before the second try) of operation op/seq. Jitter is
+// the deterministic "equal jitter" scheme: half the exponential delay is
+// kept, the other half scales by a seed-derived fraction.
+func (c *Client) backoff(op string, seq uint64, attempt int) time.Duration {
+	d := c.opts.BaseDelay << attempt
+	if d > c.opts.MaxDelay || d <= 0 {
+		d = c.opts.MaxDelay
+	}
+	h := uint64(core.DeriveSeed(c.opts.Seed, "fleetclient", op,
+		strconv.FormatUint(seq, 10), strconv.Itoa(attempt)))
+	frac := float64(h%(1<<20)) / float64(1<<20)
+	return d/2 + time.Duration(float64(d/2)*frac)
+}
+
+// RetrySchedule previews the full backoff schedule (every delay slept if
+// all attempts fail) for the n-th operation of kind op. Exposed so tests
+// — and capacity planning — can inspect determinism without a server.
+func (c *Client) RetrySchedule(op string, seq uint64) []time.Duration {
+	out := make([]time.Duration, 0, c.opts.MaxAttempts-1)
+	for a := 0; a < c.opts.MaxAttempts-1; a++ {
+		out = append(out, c.backoff(op, seq, a))
+	}
+	return out
+}
+
+// nextSeq reserves the next operation sequence number.
+func (c *Client) nextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.ops
+	c.ops++
+	return seq
+}
+
+// retry runs try up to MaxAttempts times with backoff between failures.
+// A non-nil stop result ends the retries immediately (permanent outcome);
+// otherwise the last error is returned.
+func (c *Client) retry(op string, try func() (stop bool, err error)) error {
+	seq := c.nextSeq()
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		stop, err := try()
+		if err == nil || stop {
+			return err
+		}
+		lastErr = err
+		if attempt < c.opts.MaxAttempts-1 {
+			c.opts.Sleep(c.backoff(op, seq, attempt))
+		}
+	}
+	return lastErr
+}
+
+// FetchPlan fetches the plan for (app, workload). When the daemon is
+// unreachable after all retries and a last good plan exists, that plan is
+// returned with OutcomeFallback and a nil error — mirroring the online
+// runner's keep-the-previous-plan salvage behaviour.
+func (c *Client) FetchPlan(app, workload string) (*analyzer.Profile, Outcome, error) {
+	c.mu.Lock()
+	etag := c.etag
+	c.mu.Unlock()
+
+	var plan *analyzer.Profile
+	var outcome Outcome
+	url := fmt.Sprintf("%s/v1/plan?app=%s&workload=%s", c.opts.BaseURL, app, workload)
+	err := c.retry("fetch", func() (bool, error) {
+		req, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			return true, err
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			return false, fmt.Errorf("fleetclient: fetching plan: %w", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			p, newTag, err := decodePlan(resp)
+			if err != nil {
+				return false, err
+			}
+			c.remember(p, newTag)
+			plan, outcome = p, OutcomeFresh
+			return false, nil
+		case http.StatusNotModified:
+			io.Copy(io.Discard, resp.Body)
+			c.mu.Lock()
+			plan, outcome = c.lastGood, OutcomeNotModified
+			c.mu.Unlock()
+			return false, nil
+		case http.StatusNotFound:
+			io.Copy(io.Discard, resp.Body)
+			plan, outcome = nil, OutcomeNoPlan
+			return true, nil
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			err = fmt.Errorf("fleetclient: plan fetch status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+			// 4xx (other than 404) is permanent: retrying an identical bad
+			// request cannot succeed.
+			return resp.StatusCode >= 400 && resp.StatusCode < 500, err
+		}
+	})
+	if err != nil {
+		if last := c.LastGood(); last != nil {
+			return last, OutcomeFallback, nil
+		}
+		return nil, 0, err
+	}
+	return plan, outcome, nil
+}
+
+// UploadEvidence posts locally analyzed profiling evidence and returns the
+// daemon's merged fleet plan. Unreachable daemons and rejected uploads
+// surface as errors; SyncEvidence layers the fallback policy on top.
+func (c *Client) UploadEvidence(p *analyzer.Profile) (*analyzer.Profile, error) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("fleetclient: encoding evidence: %w", err)
+	}
+	var merged *analyzer.Profile
+	err = c.retry("upload", func() (bool, error) {
+		resp, err := c.opts.HTTPClient.Post(
+			c.opts.BaseURL+"/v1/evidence", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, fmt.Errorf("fleetclient: uploading evidence: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			err := fmt.Errorf("fleetclient: evidence upload status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+			// The daemon rejected the evidence itself: no retry can fix it.
+			return resp.StatusCode >= 400 && resp.StatusCode < 500, err
+		}
+		m, tag, err := decodePlan(resp)
+		if err != nil {
+			return false, err
+		}
+		c.remember(m, tag)
+		merged = m
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// SyncEvidence uploads evidence and returns the fleet's merged plan. When
+// the daemon is unreachable it falls back to the last good plan; fresh
+// reports whether the returned plan came from the daemon on this call.
+// The error is non-nil only when no plan can be offered at all.
+func (c *Client) SyncEvidence(p *analyzer.Profile) (plan *analyzer.Profile, fresh bool, err error) {
+	merged, err := c.UploadEvidence(p)
+	if err == nil {
+		return merged, true, nil
+	}
+	if last := c.LastGood(); last != nil {
+		return last, false, nil
+	}
+	return nil, false, err
+}
+
+// remember records the newest daemon-served plan and its version.
+func (c *Client) remember(p *analyzer.Profile, etag string) {
+	c.mu.Lock()
+	c.lastGood, c.etag = p, etag
+	c.mu.Unlock()
+}
+
+// decodePlan reads, validates and versions a plan response.
+func decodePlan(resp *http.Response) (*analyzer.Profile, string, error) {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", fmt.Errorf("fleetclient: reading plan: %w", err)
+	}
+	var p analyzer.Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, "", fmt.Errorf("fleetclient: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, "", fmt.Errorf("fleetclient: served plan invalid: %w", err)
+	}
+	return &p, resp.Header.Get("ETag"), nil
+}

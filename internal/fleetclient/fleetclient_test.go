@@ -1,0 +1,255 @@
+package fleetclient
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"polm2/internal/analyzer"
+)
+
+func testPlan(gen int) *analyzer.Profile {
+	return &analyzer.Profile{
+		App: "Cassandra", Workload: "WI", Generations: gen,
+		Allocs: []analyzer.AllocDirective{{Loc: "A.m:1", Gen: gen, Direct: true}},
+	}
+}
+
+// servePlan writes p with a version-derived ETag, honouring If-None-Match.
+func servePlan(w http.ResponseWriter, r *http.Request, p *analyzer.Profile) {
+	etag := fmt.Sprintf("%q", fmt.Sprintf("gen-%d", p.Generations))
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(p)
+}
+
+// sleepRecorder captures every backoff delay instead of sleeping.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (s *sleepRecorder) sleep(d time.Duration) {
+	s.mu.Lock()
+	s.delays = append(s.delays, d)
+	s.mu.Unlock()
+}
+
+func (s *sleepRecorder) slept() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.delays...)
+}
+
+func newClient(t *testing.T, opts Options) *Client {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBackoffDeterministicForSeed proves the retry schedule is a pure
+// function of (seed, operation, sequence, attempt): same seed, same
+// schedule; different seed, different jitter; delays grow exponentially
+// within the equal-jitter envelope and cap at MaxDelay.
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	opts := Options{BaseURL: "http://unused", Seed: 42, MaxAttempts: 6,
+		BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	a := newClient(t, opts)
+	b := newClient(t, opts)
+	schedA := a.RetrySchedule("fetch", 0)
+	schedB := b.RetrySchedule("fetch", 0)
+	if len(schedA) != 5 {
+		t.Fatalf("schedule length = %d, want MaxAttempts-1 = 5", len(schedA))
+	}
+	for i := range schedA {
+		if schedA[i] != schedB[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, schedA[i], schedB[i])
+		}
+	}
+	// Envelope: delay i sits in [d/2, d] for d = min(Base << i, Max).
+	for i, got := range schedA {
+		d := opts.BaseDelay << i
+		if d > opts.MaxDelay {
+			d = opts.MaxDelay
+		}
+		if got < d/2 || got > d {
+			t.Fatalf("retry %d delay %v outside [%v, %v]", i, got, d/2, d)
+		}
+	}
+	// A different seed jitters differently somewhere in the schedule.
+	opts.Seed = 43
+	schedC := newClient(t, opts).RetrySchedule("fetch", 0)
+	same := true
+	for i := range schedA {
+		if schedA[i] != schedC[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical jitter schedules")
+	}
+	// Distinct operations of the same kind decorrelate too.
+	seq1 := a.RetrySchedule("fetch", 1)
+	same = true
+	for i := range schedA {
+		if schedA[i] != seq1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("operations 0 and 1 share a jitter schedule")
+	}
+}
+
+// TestFetchFallsBackToLastGood: after a successful fetch, the daemon goes
+// down; the client retries its full deterministic schedule, then serves
+// the last good plan.
+func TestFetchFallsBackToLastGood(t *testing.T) {
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "maintenance", http.StatusServiceUnavailable)
+			return
+		}
+		servePlan(w, r, testPlan(2))
+	}))
+	defer ts.Close()
+
+	rec := &sleepRecorder{}
+	c := newClient(t, Options{BaseURL: ts.URL, Seed: 7, MaxAttempts: 3, Sleep: rec.sleep})
+	p, outcome, err := c.FetchPlan("Cassandra", "WI")
+	if err != nil || outcome != OutcomeFresh || p.Generations != 2 {
+		t.Fatalf("healthy fetch = %+v, %v, %v", p, outcome, err)
+	}
+	// Still healthy: the conditional refetch is a 304 backed by the cache.
+	p, outcome, err = c.FetchPlan("Cassandra", "WI")
+	if err != nil || outcome != OutcomeNotModified || p.Generations != 2 {
+		t.Fatalf("conditional fetch = %+v, %v, %v", p, outcome, err)
+	}
+	if len(rec.slept()) != 0 {
+		t.Fatalf("healthy fetches slept: %v", rec.slept())
+	}
+
+	down.Store(true)
+	p, outcome, err = c.FetchPlan("Cassandra", "WI")
+	if err != nil {
+		t.Fatalf("fallback fetch errored: %v", err)
+	}
+	if outcome != OutcomeFallback || p.Generations != 2 {
+		t.Fatalf("fallback fetch = %+v, %v", p, outcome)
+	}
+	// The retries slept exactly the deterministic schedule of operation 2
+	// (ops 0 and 1 were the healthy fetches).
+	want := c.RetrySchedule("fetch", 2)
+	got := rec.slept()
+	if len(got) != len(want) {
+		t.Fatalf("slept %d times, want %d (full retry schedule)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFetchErrorsWithNoFallback: an unreachable daemon with no last good
+// plan is a hard error after the bounded retries.
+func TestFetchErrorsWithNoFallback(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	rec := &sleepRecorder{}
+	c := newClient(t, Options{BaseURL: ts.URL, Seed: 7, MaxAttempts: 3, Sleep: rec.sleep})
+	if _, _, err := c.FetchPlan("Cassandra", "WI"); err == nil {
+		t.Fatal("unreachable daemon with no fallback returned a plan")
+	}
+	if len(rec.slept()) != 2 {
+		t.Fatalf("slept %d times, want MaxAttempts-1 = 2", len(rec.slept()))
+	}
+}
+
+// TestFetchNoPlanIsPermanent: 404 means "no plan yet" — no retries, no
+// error, no fallback.
+func TestFetchNoPlanIsPermanent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no plan", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	rec := &sleepRecorder{}
+	c := newClient(t, Options{BaseURL: ts.URL, Sleep: rec.sleep})
+	p, outcome, err := c.FetchPlan("Cassandra", "WI")
+	if err != nil || p != nil || outcome != OutcomeNoPlan {
+		t.Fatalf("no-plan fetch = %+v, %v, %v", p, outcome, err)
+	}
+	if len(rec.slept()) != 0 {
+		t.Fatalf("404 retried: slept %v", rec.slept())
+	}
+}
+
+// TestUploadRejectionIsPermanent: a 400 reject must not burn retries.
+func TestUploadRejectionIsPermanent(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "rejected evidence", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	rec := &sleepRecorder{}
+	c := newClient(t, Options{BaseURL: ts.URL, Sleep: rec.sleep})
+	if _, err := c.UploadEvidence(testPlan(1)); err == nil {
+		t.Fatal("rejected upload reported success")
+	}
+	if hits.Load() != 1 || len(rec.slept()) != 0 {
+		t.Fatalf("rejected upload retried: %d hits, slept %v", hits.Load(), rec.slept())
+	}
+}
+
+// TestSyncEvidenceFallsBack: when the daemon cannot be reached mid-run,
+// SyncEvidence serves the last good plan (fresh=false) instead of failing
+// the re-profile.
+func TestSyncEvidenceFallsBack(t *testing.T) {
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "maintenance", http.StatusServiceUnavailable)
+			return
+		}
+		servePlan(w, r, testPlan(3))
+	}))
+	defer ts.Close()
+	rec := &sleepRecorder{}
+	c := newClient(t, Options{BaseURL: ts.URL, Seed: 9, MaxAttempts: 2, Sleep: rec.sleep})
+
+	merged, fresh, err := c.SyncEvidence(testPlan(1))
+	if err != nil || !fresh || merged.Generations != 3 {
+		t.Fatalf("healthy sync = %+v, %v, %v", merged, fresh, err)
+	}
+	down.Store(true)
+	merged, fresh, err = c.SyncEvidence(testPlan(1))
+	if err != nil {
+		t.Fatalf("fallback sync errored: %v", err)
+	}
+	if fresh || merged.Generations != 3 {
+		t.Fatalf("fallback sync = %+v, fresh=%v", merged, fresh)
+	}
+	// With no last good plan at all, the error surfaces.
+	c2 := newClient(t, Options{BaseURL: ts.URL, MaxAttempts: 2, Sleep: rec.sleep})
+	if _, _, err := c2.SyncEvidence(testPlan(1)); err == nil {
+		t.Fatal("sync with no fallback reported success")
+	}
+}

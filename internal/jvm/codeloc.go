@@ -84,6 +84,25 @@ func (st StackTrace) String() string {
 	return strings.Join(parts, ";")
 }
 
+// ParseStackTrace parses the frame;frame;...;frame form produced by
+// String. It rejects empty traces: the engine never produces one, so an
+// empty serialized trace is corrupt input, not a value.
+func ParseStackTrace(s string) (StackTrace, error) {
+	if s == "" {
+		return nil, fmt.Errorf("jvm: empty stack trace")
+	}
+	parts := strings.Split(s, ";")
+	st := make(StackTrace, len(parts))
+	for i, p := range parts {
+		loc, err := ParseCodeLoc(p)
+		if err != nil {
+			return nil, fmt.Errorf("jvm: stack trace frame %d: %w", i, err)
+		}
+		st[i] = loc
+	}
+	return st, nil
+}
+
 // Leaf returns the allocation site's own code location. It panics on an
 // empty trace, which cannot be produced by the engine.
 func (st StackTrace) Leaf() CodeLoc {

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready.
+//
+// Counters back the plan-distribution daemon's /metricsz endpoint; unlike
+// the simulation-side Sample/Histogram/TimeSeries types they count real
+// (wall-clock-world) events, so they must be lock-free on the hot path.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Registry names a set of counters and renders them as a text exposition
+// ("name value" lines, sorted by name). The zero value is unusable; use
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, creating it on first use. Two calls
+// with the same name return the same counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// WriteTo renders every counter as "name value\n", sorted by name.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type pair struct {
+		name  string
+		value uint64
+	}
+	pairs := make([]pair, len(names))
+	for i, name := range names {
+		pairs[i] = pair{name, r.counters[name].Value()}
+	}
+	r.mu.Unlock()
+
+	var total int64
+	for _, p := range pairs {
+		n, err := fmt.Fprintf(w, "%s %d\n", p.name, p.value)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

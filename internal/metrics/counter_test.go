@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("hits")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_second").Add(2)
+	reg.Counter("a_first").Inc()
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a_first 1\nb_second 2\n"
+	if sb.String() != want {
+		t.Fatalf("exposition = %q, want %q", sb.String(), want)
+	}
+}

@@ -61,6 +61,20 @@ type Options struct {
 	// Fault optionally injects I/O faults into the recorder's artifact
 	// writes, exercising the salvage path. Nil writes straight through.
 	Fault *faultio.Injector
+	// Fleet, when non-nil, turns every clean re-profile into fleet
+	// coordination: the locally analyzed evidence is uploaded to the plan
+	// daemon and the daemon's merged fleet-wide plan is installed instead
+	// of the local one (internal/fleetclient.Client implements this). An
+	// unreachable daemon keeps the previous plan, mirroring the salvage
+	// path's behaviour on damaged artifacts.
+	Fleet PlanService
+}
+
+// PlanService is the fleet-coordination seam: upload evidence, get back
+// the merged fleet plan. fresh reports whether the plan came from the
+// daemon on this call (false = the client's last-good fallback).
+type PlanService interface {
+	SyncEvidence(p *analyzer.Profile) (plan *analyzer.Profile, fresh bool, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +124,19 @@ type SalvageEvent struct {
 	Err string
 }
 
+// FleetEvent records one fleet-coordination round that could not install
+// a fresh daemon plan.
+type FleetEvent struct {
+	// At is the simulated instant of the attempted sync.
+	At time.Duration
+	// Fallback reports the daemon was unreachable and the client's
+	// last-good plan was installed instead.
+	Fallback bool
+	// Err is the hard failure, when not even a fallback plan existed;
+	// the run keeps its previous plan.
+	Err string
+}
+
 // Result describes an online run.
 type Result struct {
 	// Pauses and WarmPauses as in core.RunResult.
@@ -122,6 +149,9 @@ type Result struct {
 	// Salvages lists every re-analysis that met damaged artifacts and
 	// kept the previous plan instead of swapping.
 	Salvages []SalvageEvent
+	// FleetEvents lists every fleet sync that fell back or failed
+	// (empty when Options.Fleet is nil or the daemon stayed healthy).
+	FleetEvents []FleetEvent
 	// MaxMemoryBytes is the committed high-water mark.
 	MaxMemoryBytes uint64
 	// SimDuration is the simulated run length.
@@ -196,6 +226,21 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 		if !report.Clean() {
 			result.Salvages = append(result.Salvages, SalvageEvent{At: clock.Now(), Report: report})
 			return
+		}
+		if opts.Fleet != nil {
+			// Fleet mode: contribute the local evidence and install the
+			// daemon's merged fleet plan in place of the local one.
+			merged, fresh, err := opts.Fleet.SyncEvidence(profile)
+			if err != nil {
+				// No plan to offer at all: keep the previous plan, as a
+				// salvage keeps it on damaged artifacts.
+				result.FleetEvents = append(result.FleetEvents, FleetEvent{At: clock.Now(), Err: err.Error()})
+				return
+			}
+			if !fresh {
+				result.FleetEvents = append(result.FleetEvents, FleetEvent{At: clock.Now(), Fallback: true})
+			}
+			profile = merged
 		}
 		plan, err := instrument.Apply(profile, pret)
 		if err != nil {

@@ -1,0 +1,299 @@
+// Package planserver implements the fleet-facing side of POLM2's
+// deployment model (§3.5) as a network service: a daemon fronts a
+// profilestore.Store and serves versioned instrumentation plans to many
+// concurrent production instances, while accepting their profiling
+// evidence and folding it into one fleet-wide plan per (application,
+// workload) with analyzer.MergeProfiles.
+//
+// The wire format is the profile JSON analyzer.Profile.Save writes; plan
+// versions are content-addressed ETags (SHA-256 of the response body), so
+// clients poll cheaply with If-None-Match and a fleet of N instances
+// converges on one plan without the daemon tracking any per-client state.
+//
+// Endpoints:
+//
+//	GET  /v1/plan?app=A&workload=W   plan fetch; conditional via ETag
+//	POST /v1/evidence                evidence upload; responds with the
+//	                                 merged fleet plan (and its ETag)
+//	GET  /healthz                    liveness
+//	GET  /metricsz                   counter exposition (internal/metrics)
+//
+// Plans are cached in memory per key with single-flight loading, and the
+// cache entry is invalidated (and re-primed) on every merge.
+package planserver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/jvm"
+	"polm2/internal/metrics"
+	"polm2/internal/profilestore"
+)
+
+// Options tunes the server. The zero value is ready.
+type Options struct {
+	// Merge tunes the analyzer pass re-run over merged fleet evidence
+	// (estimators, thresholds, ConfidenceFloor). Labels are taken from
+	// the uploads, not from here.
+	Merge analyzer.Options
+	// MaxBodyBytes caps an evidence upload. Default 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the plan-distribution HTTP service. It is an http.Handler.
+type Server struct {
+	store *profilestore.Store
+	opts  Options
+	mux   *http.ServeMux
+
+	reg         *metrics.Registry
+	fetches     *metrics.Counter // every GET /v1/plan
+	notModified *metrics.Counter // ... answered 304
+	misses      *metrics.Counter // ... answered 404
+	loads       *metrics.Counter // store loads (cache+single-flight misses)
+	merges      *metrics.Counter // accepted evidence uploads
+	rejected    *metrics.Counter // rejected evidence uploads
+	storeErrs   *metrics.Counter // store I/O failures surfaced as 500s
+
+	// mergeMu serializes the read-merge-write cycle per store; merging is
+	// commutative, so serialization only pins the store's consistency,
+	// never the result.
+	mergeMu sync.Mutex
+
+	mu     sync.Mutex
+	cache  map[profilestore.Key]*cachedPlan
+	flight map[profilestore.Key]*flight
+}
+
+// cachedPlan is one encoded, content-addressed plan.
+type cachedPlan struct {
+	etag string
+	body []byte
+}
+
+// flight is one in-progress store load other fetchers wait on.
+type flight struct {
+	done chan struct{}
+	plan *cachedPlan
+	err  error
+}
+
+// New builds a server fronting the store.
+func New(store *profilestore.Store, opts Options) *Server {
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	reg := metrics.NewRegistry()
+	s := &Server{
+		store:       store,
+		opts:        opts,
+		mux:         http.NewServeMux(),
+		reg:         reg,
+		fetches:     reg.Counter("plan_fetch_total"),
+		notModified: reg.Counter("plan_not_modified_total"),
+		misses:      reg.Counter("plan_miss_total"),
+		loads:       reg.Counter("plan_load_total"),
+		merges:      reg.Counter("evidence_merge_total"),
+		rejected:    reg.Counter("evidence_reject_total"),
+		storeErrs:   reg.Counter("store_error_total"),
+		cache:       make(map[profilestore.Key]*cachedPlan),
+		flight:      make(map[profilestore.Key]*flight),
+	}
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/evidence", s.handleEvidence)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the server's counter registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// encodePlan renders a profile to its canonical wire body and ETag.
+func encodePlan(p *analyzer.Profile) (*cachedPlan, error) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("planserver: encoding plan: %w", err)
+	}
+	body = append(body, '\n')
+	sum := sha256.Sum256(body)
+	return &cachedPlan{etag: fmt.Sprintf("%q", fmt.Sprintf("%x", sum)), body: body}, nil
+}
+
+// loadPlan returns the cached plan for key, loading it from the store at
+// most once however many fetchers arrive concurrently (single-flight).
+func (s *Server) loadPlan(k profilestore.Key) (*cachedPlan, error) {
+	s.mu.Lock()
+	if c := s.cache[k]; c != nil {
+		s.mu.Unlock()
+		return c, nil
+	}
+	if f := s.flight[k]; f != nil {
+		s.mu.Unlock()
+		<-f.done
+		return f.plan, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flight[k] = f
+	s.mu.Unlock()
+
+	s.loads.Inc()
+	p, err := s.store.Get(k.App, k.Workload)
+	var c *cachedPlan
+	if err == nil {
+		c, err = encodePlan(p)
+	}
+
+	s.mu.Lock()
+	delete(s.flight, k)
+	if err == nil {
+		s.cache[k] = c
+	}
+	s.mu.Unlock()
+	f.plan, f.err = c, err
+	close(f.done)
+	return c, err
+}
+
+// install replaces the cached plan for key (after a merge).
+func (s *Server) install(k profilestore.Key, c *cachedPlan) {
+	s.mu.Lock()
+	s.cache[k] = c
+	s.mu.Unlock()
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.fetches.Inc()
+	app := r.URL.Query().Get("app")
+	workload := r.URL.Query().Get("workload")
+	if app == "" || workload == "" {
+		http.Error(w, "planserver: app and workload query parameters are required", http.StatusBadRequest)
+		return
+	}
+	c, err := s.loadPlan(profilestore.Key{App: app, Workload: workload})
+	if err != nil {
+		if errors.Is(err, profilestore.ErrNotFound) {
+			s.misses.Inc()
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		s.storeErrs.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if match := r.Header.Get("If-None-Match"); match != "" && match == c.etag {
+		s.notModified.Inc()
+		w.Header().Set("ETag", c.etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", c.etag)
+	w.Write(c.body)
+}
+
+// checkEvidence salvage-checks an uploaded profile beyond Validate: every
+// site's evidence must be internally consistent, so a mangled or
+// hand-damaged upload cannot poison the fleet merge.
+func checkEvidence(p *analyzer.Profile) error {
+	if p.App == "" || p.Workload == "" {
+		return fmt.Errorf("evidence must carry app and workload labels")
+	}
+	for _, site := range p.Sites {
+		if _, err := jvm.ParseStackTrace(site.Trace); err != nil {
+			return fmt.Errorf("site %q: %w", site.Trace, err)
+		}
+		if site.Tainted > site.Allocated {
+			return fmt.Errorf("site %q: tainted %d exceeds allocated %d", site.Trace, site.Tainted, site.Allocated)
+		}
+		var sum uint64
+		for _, n := range site.Buckets {
+			sum += n
+		}
+		if sum != site.Allocated {
+			return fmt.Errorf("site %q: survival buckets sum to %d, allocated %d", site.Trace, sum, site.Allocated)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var up analyzer.Profile
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&up); err != nil {
+		s.rejected.Inc()
+		http.Error(w, fmt.Sprintf("planserver: decoding evidence: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := up.Validate(); err != nil {
+		s.rejected.Inc()
+		http.Error(w, fmt.Sprintf("planserver: invalid evidence: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := checkEvidence(&up); err != nil {
+		s.rejected.Inc()
+		http.Error(w, fmt.Sprintf("planserver: rejected evidence: %v", err), http.StatusBadRequest)
+		return
+	}
+	k := profilestore.Key{App: up.App, Workload: up.Workload}
+
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	existing, err := s.store.Get(k.App, k.Workload)
+	if err != nil && !errors.Is(err, profilestore.ErrNotFound) {
+		s.storeErrs.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	inputs := []*analyzer.Profile{&up}
+	if existing != nil {
+		inputs = append(inputs, existing)
+	}
+	mergeOpts := s.opts.Merge
+	mergeOpts.App, mergeOpts.Workload = k.App, k.Workload
+	merged, err := analyzer.MergeProfiles(mergeOpts, inputs...)
+	if err != nil {
+		s.rejected.Inc()
+		http.Error(w, fmt.Sprintf("planserver: merging evidence: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Put(merged); err != nil {
+		s.storeErrs.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c, err := encodePlan(merged)
+	if err != nil {
+		s.storeErrs.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The merge invalidates the served plan; prime the cache with the
+	// freshly merged one so the next fetch needs no store load.
+	s.install(k, c)
+	s.merges.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", c.etag)
+	w.Write(c.body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.WriteTo(w)
+}

@@ -1,0 +1,267 @@
+package planserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/profilestore"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *profilestore.Store) {
+	t.Helper()
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, store
+}
+
+// evidence builds one instance's upload: a profile carrying only site
+// evidence.
+func evidence(app, workload string, sites ...analyzer.SiteStat) *analyzer.Profile {
+	return &analyzer.Profile{App: app, Workload: workload, Sites: sites}
+}
+
+func site(trace string, buckets ...uint64) analyzer.SiteStat {
+	var total uint64
+	for _, n := range buckets {
+		total += n
+	}
+	return analyzer.SiteStat{Trace: trace, Allocated: total, Buckets: buckets}
+}
+
+func postEvidence(t *testing.T, url string, p *analyzer.Profile) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/evidence", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func fetchPlan(t *testing.T, url, app, workload, etag string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", fmt.Sprintf("%s/v1/plan?app=%s&workload=%s", url, app, workload), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestPlanFetchNotFound(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, _ := fetchPlan(t, ts.URL, "Cassandra", "WI", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fetch of empty store = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = fetchPlan(t, ts.URL, "", "", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fetch without key = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUploadFetchRoundTrip(t *testing.T) {
+	srv, ts, store := newTestServer(t)
+	resp := postEvidence(t, ts.URL, evidence("Cassandra", "WI",
+		site("Main.run:10;Db.put:5", 5, 95)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload = %d", resp.StatusCode)
+	}
+	mergedETag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if mergedETag == "" {
+		t.Fatal("upload response missing ETag")
+	}
+
+	// Fresh fetch returns the plan with the same ETag.
+	resp, body := fetchPlan(t, ts.URL, "Cassandra", "WI", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != mergedETag {
+		t.Fatalf("fetch ETag %s != upload ETag %s", got, mergedETag)
+	}
+	var p analyzer.Profile
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.App != "Cassandra" || p.Workload != "WI" || len(p.Sites) != 1 || p.Sites[0].Allocated != 100 {
+		t.Fatalf("served plan = %+v", p)
+	}
+
+	// Conditional refetch with the current ETag is a 304.
+	resp, _ = fetchPlan(t, ts.URL, "Cassandra", "WI", mergedETag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional refetch = %d, want 304", resp.StatusCode)
+	}
+
+	// A second instance's evidence merges; the ETag moves and the merged
+	// evidence is the sum.
+	resp = postEvidence(t, ts.URL, evidence("Cassandra", "WI",
+		site("Main.run:10;Db.put:5", 10, 40)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second upload = %d", resp.StatusCode)
+	}
+	newETag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if newETag == mergedETag {
+		t.Fatal("merge did not move the ETag")
+	}
+	resp, body = fetchPlan(t, ts.URL, "Cassandra", "WI", mergedETag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refetch after merge = %d, want 200 (stale ETag)", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Sites[0].Allocated != 150 {
+		t.Fatalf("merged evidence = %d, want 150", p.Sites[0].Allocated)
+	}
+
+	// The store holds the merged plan too (durability, not just cache).
+	stored, err := store.Get("Cassandra", "WI")
+	if err != nil || stored.Sites[0].Allocated != 150 {
+		t.Fatalf("stored plan = %+v, %v", stored, err)
+	}
+
+	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != 2 {
+		t.Fatalf("evidence_merge_total = %d, want 2", got)
+	}
+	if got := srv.Metrics().Counter("plan_not_modified_total").Value(); got != 1 {
+		t.Fatalf("plan_not_modified_total = %d, want 1", got)
+	}
+}
+
+func TestUploadRejections(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", "{"},
+		{"unlabeled", `{"generations":0}`},
+		{"bucket mismatch", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"A.m:1","allocated":10,"buckets":[1,2],"gen":0}]}`},
+		{"tainted overflow", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"A.m:1","allocated":3,"buckets":[1,2],"gen":0,"tainted":5}]}`},
+		{"bad trace", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"nope","allocated":1,"buckets":[1],"gen":0}]}`},
+		{"invalid directive", `{"app":"A","workload":"W","generations":0,"allocs":[{"loc":"A.m:1","gen":5,"direct":true}]}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/evidence", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if got := srv.Metrics().Counter("evidence_reject_total").Value(); got != uint64(len(cases)) {
+		t.Fatalf("evidence_reject_total = %d, want %d", got, len(cases))
+	}
+	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != 0 {
+		t.Fatalf("evidence_merge_total = %d, want 0", got)
+	}
+}
+
+func TestHealthzAndMetricsz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+	fetchPlan(t, ts.URL, "Cassandra", "WI", "") // a 404 miss, to move counters
+	resp, err = http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"plan_fetch_total 1", "plan_miss_total 1", "evidence_merge_total 0"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metricsz missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestSingleFlightLoads checks that concurrent cold fetches of one key
+// produce exactly one store load.
+func TestSingleFlightLoads(t *testing.T) {
+	srv, ts, store := newTestServer(t)
+	prof := evidence("Cassandra", "WI", site("Main.run:10;Db.put:5", 5, 95))
+	merged, err := analyzer.MergeProfiles(analyzer.Options{}, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(merged); err != nil {
+		t.Fatal(err)
+	}
+	const fetchers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, fetchers)
+	start := make(chan struct{})
+	for i := 0; i < fetchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := http.Get(ts.URL + "/v1/plan?app=Cassandra&workload=WI")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All fetchers served; the store was loaded at most a handful of times
+	// (exactly once unless the HTTP server admitted requests before the
+	// first completed — single-flight makes concurrent ones share).
+	loads := srv.Metrics().Counter("plan_load_total").Value()
+	if loads == 0 || loads > 2 {
+		t.Fatalf("plan_load_total = %d, want 1 (single-flight)", loads)
+	}
+	if got := srv.Metrics().Counter("plan_fetch_total").Value(); got != fetchers {
+		t.Fatalf("plan_fetch_total = %d, want %d", got, fetchers)
+	}
+}

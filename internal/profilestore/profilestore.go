@@ -4,17 +4,28 @@
 // same application, one for each possible workload. Then, whenever the
 // application is launched in the production phase, one allocation profile
 // can be chosen according to the estimated workload."
+//
+// A Store is safe for concurrent use: the plan-distribution daemon
+// (internal/planserver) fronts one store with many goroutines. Writes stage
+// under a temporary name and rename into place, so readers never observe a
+// half-written profile even across processes.
 package profilestore
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"polm2/internal/analyzer"
+	"polm2/internal/faultio"
 )
 
 // ErrNotFound reports a missing profile.
@@ -29,9 +40,17 @@ type Key struct {
 func (k Key) String() string { return k.App + "/" + k.Workload }
 
 // Store is an on-disk profile repository. Profiles are stored as the same
-// JSON files Profile.Save produces, named <app>__<workload>.profile.json.
+// JSON files Profile.Save produces, named
+// <app>__<workload>-<hash>.profile.json, where <hash> fingerprints the raw
+// key so two keys that sanitize to the same text cannot overwrite each
+// other. Legacy entries without the hash suffix keep loading forever.
 type Store struct {
 	dir string
+
+	mu sync.Mutex
+	// fault optionally interposes on the staging writes (polm2d -faults);
+	// nil writes straight through.
+	fault *faultio.Injector
 }
 
 // Open opens (creating if needed) a store rooted at dir.
@@ -44,6 +63,14 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetFault interposes an I/O fault injector on the store's staging writes.
+// A nil injector (the default) writes straight through.
+func (s *Store) SetFault(in *faultio.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = in
+}
 
 // sanitize keeps file names safe for any filesystem.
 func sanitize(name string) string {
@@ -59,25 +86,116 @@ func sanitize(name string) string {
 	return sb.String()
 }
 
+// keyHash fingerprints the raw (unsanitized) key, so keys that sanitize to
+// the same text — "app v1" and "app_v1" — still map to distinct files.
+func keyHash(k Key) string {
+	h := fnv.New32a()
+	h.Write([]byte(k.App))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Workload))
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
 func (s *Store) path(k Key) string {
+	name := sanitize(k.App) + "__" + sanitize(k.Workload) + "-" + keyHash(k) + ".profile.json"
+	return filepath.Join(s.dir, name)
+}
+
+// legacyPath is the pre-hash file name, kept readable for stores written by
+// older builds.
+func (s *Store) legacyPath(k Key) string {
 	return filepath.Join(s.dir, sanitize(k.App)+"__"+sanitize(k.Workload)+".profile.json")
 }
 
 // Put stores a profile under its own App/Workload labels, replacing any
 // previous version.
 func (s *Store) Put(p *analyzer.Profile) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(p)
+}
+
+func (s *Store) putLocked(p *analyzer.Profile) error {
 	if p.App == "" || p.Workload == "" {
 		return fmt.Errorf("profilestore: profile must carry App and Workload labels")
 	}
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("profilestore: %w", err)
 	}
-	return p.Save(s.path(Key{App: p.App, Workload: p.Workload}))
+	k := Key{App: p.App, Workload: p.Workload}
+	if err := s.writeProfile(p, s.path(k)); err != nil {
+		return err
+	}
+	// Retire this key's legacy-named file so the store holds one entry per
+	// key. A colliding legacy file that belongs to a *different* raw key
+	// is left alone — that other key's data is not ours to delete.
+	legacy := s.legacyPath(k)
+	if old, err := analyzer.LoadProfile(legacy); err == nil && old.App == k.App && old.Workload == k.Workload {
+		os.Remove(legacy)
+	}
+	return nil
+}
+
+// writeProfile stages the JSON under a temporary name (through the fault
+// injector, when one is set) and renames it into place.
+func (s *Store) writeProfile(p *analyzer.Profile, path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profilestore: encoding profile: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	var w io.WriteCloser
+	if s.fault != nil {
+		w, err = s.fault.Create(tmp)
+	} else {
+		w, err = os.Create(tmp)
+	}
+	if err != nil {
+		return fmt.Errorf("profilestore: staging profile: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("profilestore: writing profile: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("profilestore: closing profile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		if s.fault != nil && errors.Is(err, fs.ErrNotExist) {
+			// The injected fault swallowed the staging file wholesale (a
+			// crash or missing-file fault): per the fault model the writing
+			// process never observes its own lost write, so report success
+			// and leave the previous version in place.
+			return nil
+		}
+		return fmt.Errorf("profilestore: publishing profile: %w", err)
+	}
+	return nil
 }
 
 // Get loads the profile for the exact (app, workload) pair.
 func (s *Store) Get(app, workload string) (*analyzer.Profile, error) {
-	p, err := analyzer.LoadProfile(s.path(Key{App: app, Workload: workload}))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(app, workload)
+}
+
+func (s *Store) getLocked(app, workload string) (*analyzer.Profile, error) {
+	k := Key{App: app, Workload: workload}
+	p, err := analyzer.LoadProfile(s.path(k))
+	if errors.Is(err, os.ErrNotExist) {
+		// Fall back to the legacy (pre-hash) name — but only trust it when
+		// its labels match the requested raw key: a collision-victim file
+		// holds some other key's profile.
+		p, err = analyzer.LoadProfile(s.legacyPath(k))
+		if err == nil && (p.App != app || p.Workload != workload) {
+			return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, app, workload)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, app, workload)
@@ -90,26 +208,40 @@ func (s *Store) Get(app, workload string) (*analyzer.Profile, error) {
 // Delete removes a stored profile. Deleting a missing profile returns
 // ErrNotFound.
 func (s *Store) Delete(app, workload string) error {
-	err := os.Remove(s.path(Key{App: app, Workload: workload}))
-	if errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("%w: %s/%s", ErrNotFound, app, workload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := Key{App: app, Workload: workload}
+	err := os.Remove(s.path(k))
+	if !errors.Is(err, os.ErrNotExist) {
+		return err
 	}
-	return err
+	legacy := s.legacyPath(k)
+	if p, lerr := analyzer.LoadProfile(legacy); lerr == nil && p.App == app && p.Workload == workload {
+		return os.Remove(legacy)
+	}
+	return fmt.Errorf("%w: %s/%s", ErrNotFound, app, workload)
 }
 
 // List returns the keys of every stored profile, sorted.
 func (s *Store) List() ([]Key, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	paths, err := filepath.Glob(filepath.Join(s.dir, "*.profile.json"))
 	if err != nil {
 		return nil, fmt.Errorf("profilestore: %w", err)
 	}
+	seen := make(map[Key]bool)
 	var keys []Key
 	for _, path := range paths {
 		p, err := analyzer.LoadProfile(path)
 		if err != nil {
 			return nil, fmt.Errorf("profilestore: corrupt entry %s: %w", filepath.Base(path), err)
 		}
-		keys = append(keys, Key{App: p.App, Workload: p.Workload})
+		k := Key{App: p.App, Workload: p.Workload}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	return keys, nil
@@ -135,6 +267,12 @@ type AuditReport struct {
 // on the first corrupt one. The error is non-nil only when the store
 // directory itself cannot be scanned.
 func (s *Store) Audit() (*AuditReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auditLocked()
+}
+
+func (s *Store) auditLocked() (*AuditReport, error) {
 	paths, err := filepath.Glob(filepath.Join(s.dir, "*.profile.json"))
 	if err != nil {
 		return nil, fmt.Errorf("profilestore: %w", err)
@@ -162,24 +300,28 @@ func (s *Store) Audit() (*AuditReport, error) {
 // Corrupt entries are skipped, not fatal: a damaged store degrades to
 // whatever healthy profiles remain.
 func (s *Store) Select(app, estimatedWorkload string) (*analyzer.Profile, error) {
-	p, err := s.Get(app, estimatedWorkload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.getLocked(app, estimatedWorkload)
 	if err == nil {
 		return p, nil
 	}
 	// The exact entry is missing or corrupt: fall back over the healthy
 	// remainder.
-	audit, auditErr := s.Audit()
+	audit, auditErr := s.auditLocked()
 	if auditErr != nil {
 		return nil, auditErr
 	}
+	seen := make(map[Key]bool)
 	var candidates []Key
 	for _, e := range audit.Entries {
-		if e.Err == "" && e.Key.App == app {
+		if e.Err == "" && e.Key.App == app && !seen[e.Key] {
+			seen[e.Key] = true
 			candidates = append(candidates, e.Key)
 		}
 	}
 	if len(candidates) == 1 {
-		return s.Get(candidates[0].App, candidates[0].Workload)
+		return s.getLocked(candidates[0].App, candidates[0].Workload)
 	}
 	if !errors.Is(err, ErrNotFound) {
 		// The exact entry exists but is corrupt and no unambiguous

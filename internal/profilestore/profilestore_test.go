@@ -2,9 +2,12 @@ package profilestore
 
 import (
 	"errors"
+	"os"
+	"sync"
 	"testing"
 
 	"polm2/internal/analyzer"
+	"polm2/internal/faultio"
 )
 
 func sampleProfile(app, workload string) *analyzer.Profile {
@@ -127,5 +130,161 @@ func TestSelectExactAndFallback(t *testing.T) {
 func TestSanitize(t *testing.T) {
 	if got := sanitize("a/b c*d"); got != "a_b_c_d" {
 		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+// TestSanitizeCollisionKeepsBothKeys is the regression test for the silent
+// overwrite bug: "app v1" and "app_v1" sanitize to the same text, and the
+// pre-hash naming mapped both to one file.
+func TestSanitizeCollisionKeepsBothKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleProfile("app v1", "WI")
+	b := sampleProfile("app_v1", "WI")
+	a.Generations, b.Generations = 2, 1
+	a.Calls, b.Calls = nil, nil
+	a.Allocs = []analyzer.AllocDirective{{Loc: "A.m:1", Gen: 2, Direct: true}}
+	b.Allocs = []analyzer.AllocDirective{{Loc: "B.n:2", Gen: 1, Direct: true}}
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := s.Get("app v1", "WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := s.Get("app_v1", "WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA.App != "app v1" || gotA.Generations != 2 {
+		t.Fatalf("first colliding key overwritten: %+v", gotA)
+	}
+	if gotB.App != "app_v1" || gotB.Generations != 1 {
+		t.Fatalf("second colliding key wrong: %+v", gotB)
+	}
+	keys, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("List after colliding Puts = %v, want both keys", keys)
+	}
+}
+
+// TestLegacyNameKeepsLoading checks stores written by pre-hash builds stay
+// readable: Get falls back to the unhashed file name, and a Put under the
+// same key retires the legacy file.
+func TestLegacyNameKeepsLoading(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := sampleProfile("Cassandra", "WI")
+	if err := legacy.Save(s.legacyPath(Key{App: "Cassandra", Workload: "WI"})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("Cassandra", "WI")
+	if err != nil || got.App != "Cassandra" {
+		t.Fatalf("legacy Get = %+v, %v", got, err)
+	}
+	if p, err := s.Select("Cassandra", "WI"); err != nil || p.Workload != "WI" {
+		t.Fatalf("legacy Select = %+v, %v", p, err)
+	}
+	// A fresh Put migrates the entry to the hashed name.
+	if err := s.Put(sampleProfile("Cassandra", "WI")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.legacyPath(Key{App: "Cassandra", Workload: "WI"})); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy file survived migration: %v", err)
+	}
+	if _, err := s.Get("Cassandra", "WI"); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a legacy-only entry works too.
+	if err := legacy.Save(s.legacyPath(Key{App: "Lucene", Workload: "default"})); err != nil {
+		t.Fatal(err)
+	}
+	// (The file carries Cassandra/WI labels, so deleting Lucene/default
+	// must refuse: the legacy file is not that key's profile.)
+	if err := s.Delete("Lucene", "default"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete of mislabeled legacy file = %v, want ErrNotFound", err)
+	}
+}
+
+// TestConcurrentPutGet exercises the store's mutex under the race detector:
+// many goroutines writing and reading disjoint and overlapping keys.
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	workloads := []string{"WI", "WR", "RI"}
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := workloads[i%len(workloads)]
+			for j := 0; j < 20; j++ {
+				if err := s.Put(sampleProfile("Cassandra", w)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get("Cassandra", w); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.List(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	keys, err := s.List()
+	if err != nil || len(keys) != len(workloads) {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+}
+
+// TestFaultedWriteKeepsPreviousVersion checks the injected-fault write
+// path: a write whose staging file never reaches the directory reports
+// success (the fault model's silent loss) and leaves the previous version
+// intact.
+func TestFaultedWriteKeepsPreviousVersion(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sampleProfile("Cassandra", "WI")
+	if err := s.Put(first); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faultio.ParseSpec("missing:*.profile.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFault(faultio.New(plan))
+	second := sampleProfile("Cassandra", "WI")
+	second.Generations = 3
+	second.Allocs = []analyzer.AllocDirective{{Loc: "A.m:1", Gen: 3, Direct: true}}
+	second.Calls = nil
+	if err := s.Put(second); err != nil {
+		t.Fatalf("faulted Put surfaced an error the process could not observe: %v", err)
+	}
+	s.SetFault(nil)
+	got, err := s.Get("Cassandra", "WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generations != 2 {
+		t.Fatalf("faulted write half-applied: generations = %d, want the previous 2", got.Generations)
 	}
 }

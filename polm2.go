@@ -38,6 +38,7 @@ import (
 	"polm2/internal/apps/lucene"
 	"polm2/internal/bench"
 	"polm2/internal/core"
+	"polm2/internal/fleetclient"
 	"polm2/internal/online"
 	"polm2/internal/profilestore"
 )
@@ -179,6 +180,9 @@ type (
 	OnlineResult = online.Result
 	// PlanUpdate is one runtime re-instrumentation.
 	PlanUpdate = online.PlanUpdate
+	// FleetEvent is one fleet sync that could not install a fresh
+	// daemon plan.
+	FleetEvent = online.FleetEvent
 )
 
 // RunOnline executes a workload with the Recorder and Dumper attached in
@@ -202,6 +206,29 @@ var ErrProfileNotFound = profilestore.ErrNotFound
 // OpenProfileStore opens (creating if needed) a profile repository at dir.
 func OpenProfileStore(dir string) (*ProfileStore, error) {
 	return profilestore.Open(dir)
+}
+
+// Fleet plan distribution (the polm2d daemon and its client; see
+// internal/planserver and internal/fleetclient).
+type (
+	// FleetClient talks to a polm2d plan daemon: conditional plan
+	// fetches, evidence uploads, deterministic backoff, last-good-plan
+	// fallback. It satisfies OnlineOptions.Fleet.
+	FleetClient = fleetclient.Client
+	// FleetClientOptions parameterizes a FleetClient.
+	FleetClientOptions = fleetclient.Options
+)
+
+// NewFleetClient builds a client for a polm2d daemon.
+func NewFleetClient(opts FleetClientOptions) (*FleetClient, error) {
+	return fleetclient.New(opts)
+}
+
+// MergeProfiles merges per-instance profiling evidence into one fleet-wide
+// profile. The merge is deterministic and order-independent: any permutation
+// or incremental regrouping of the same profiles yields the same result.
+func MergeProfiles(opts AnalyzerOptions, profiles ...*Profile) (*Profile, error) {
+	return analyzer.MergeProfiles(opts, profiles...)
 }
 
 // RenderSTTree renders a profile's stack-trace tree as text — the paper's

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the polm2d plan-distribution daemon, run as a
+# real OS process over real TCP (CI job polm2d-smoke; fine to run locally).
+#
+# Scenario: start the daemon on a random port, confirm there is no plan,
+# upload profiling evidence from two simulated fleet instances, check the
+# re-fetched plan carries the merged evidence and a stable ETag (304 on a
+# conditional re-fetch), then shut down cleanly with SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail() { echo "polm2d-smoke: FAIL: $*" >&2; [ -f "${log:-}" ] && cat "$log" >&2; exit 1; }
+
+go build -o /tmp/polm2d-smoke-bin ./cmd/polm2d
+
+store=$(mktemp -d)
+log=$(mktemp)
+/tmp/polm2d-smoke-bin -addr 127.0.0.1:0 -store "$store" >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+url=
+for _ in $(seq 100); do
+  url=$(sed -n 's|^polm2d: serving on \(http://[^ ]*\).*|\1|p' "$log")
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || fail "daemon never printed its listen address"
+echo "daemon up at $url (store $store)"
+
+[ "$(curl -s "$url/healthz")" = "ok" ] || fail "healthz did not answer ok"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' "$url/v1/plan?app=Cassandra&workload=WI")
+[ "$code" = "404" ] || fail "expected 404 before any evidence, got $code"
+
+# Evidence documents from two instances of the same workload: one shared
+# allocation site with different counts, one site unique to each instance.
+evidence1='{"app":"Cassandra","workload":"WI","generations":0,"allocs":[],"calls":[],"conflicts":0,
+  "sites":[{"trace":"S.serve:1;Memtable.put:10","allocated":100,"buckets":[10,90],"gen":0},
+           {"trace":"S.serve:1;Cell.make:4","allocated":40,"buckets":[40],"gen":0}]}'
+evidence2='{"app":"Cassandra","workload":"WI","generations":0,"allocs":[],"calls":[],"conflicts":0,
+  "sites":[{"trace":"S.serve:1;Memtable.put:10","allocated":50,"buckets":[5,45],"gen":0},
+           {"trace":"S.serve:1;Index.flush:9","allocated":30,"buckets":[30],"gen":0}]}'
+
+for ev in "$evidence1" "$evidence2"; do
+  code=$(curl -s -o /tmp/polm2d-smoke-merge.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$ev" "$url/v1/evidence")
+  [ "$code" = "200" ] || fail "evidence upload status $code: $(cat /tmp/polm2d-smoke-merge.json)"
+done
+
+# The merged plan must sum the shared site's evidence and keep both
+# instance-unique sites.
+curl -s -D /tmp/polm2d-smoke-headers.txt -o /tmp/polm2d-smoke-plan.json \
+  "$url/v1/plan?app=Cassandra&workload=WI"
+shared=$(jq '[.sites[] | select(.trace=="S.serve:1;Memtable.put:10") | .allocated] | add' \
+  /tmp/polm2d-smoke-plan.json)
+[ "$shared" = "150" ] || fail "shared site evidence $shared, want 100+50=150"
+nsites=$(jq '.sites | length' /tmp/polm2d-smoke-plan.json)
+[ "$nsites" = "3" ] || fail "merged plan has $nsites sites, want 3"
+
+etag=$(tr -d '\r' </tmp/polm2d-smoke-headers.txt | sed -n 's/^[Ee][Tt][Aa][Gg]: //p')
+[ -n "$etag" ] || fail "plan response carried no ETag"
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H "If-None-Match: $etag" "$url/v1/plan?app=Cassandra&workload=WI")
+[ "$code" = "304" ] || fail "conditional re-fetch status $code, want 304"
+
+# Internally inconsistent evidence (buckets exceed the allocation total)
+# must be rejected and must not disturb the stored plan.
+bad='{"app":"Cassandra","workload":"WI","generations":0,"allocs":[],"calls":[],"conflicts":0,
+  "sites":[{"trace":"S.serve:1;Memtable.put:10","allocated":1,"buckets":[2],"gen":0}]}'
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$bad" "$url/v1/evidence")
+[ "$code" = "400" ] || fail "inconsistent evidence status $code, want 400"
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H "If-None-Match: $etag" "$url/v1/plan?app=Cassandra&workload=WI")
+[ "$code" = "304" ] || fail "rejected upload moved the plan version"
+
+kill -TERM "$pid"
+wait "$pid" || fail "daemon exited non-zero after SIGTERM"
+grep -q 'shutdown complete' "$log" || fail "daemon did not report a clean shutdown"
+
+echo "polm2d-smoke: PASS"
