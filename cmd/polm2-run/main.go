@@ -33,6 +33,7 @@ func run() int {
 		onlineMode  = flag.Bool("online", false, "continuous profiling: re-analyze and hot-swap the plan while running")
 		reprofile   = flag.Duration("reprofile", 0, "online re-analysis interval (default 5m)")
 		daemonURL   = flag.String("daemon", "", "polm2d base URL for fleet mode: upload evidence, install the merged fleet plan (needs -online)")
+		instanceID  = flag.String("instance", "", "stable fleet instance id for evidence uploads (default: derived from -seed)")
 		duration    = flag.Duration("duration", 0, "simulated run duration (default: 30m, the paper's)")
 		warmup      = flag.Duration("warmup", 0, "ignored warmup window (default: 5m, the paper's)")
 		scale       = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
@@ -60,6 +61,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "polm2-run: -daemon needs -online (fleet sync happens on re-profiles)")
 		return 2
 	}
+	if *instanceID != "" && *daemonURL == "" {
+		fmt.Fprintln(os.Stderr, "polm2-run: -instance needs -daemon (it identifies this instance's evidence uploads)")
+		return 2
+	}
 
 	if *onlineMode {
 		opts := polm2.OnlineOptions{
@@ -71,8 +76,9 @@ func run() int {
 		}
 		if *daemonURL != "" {
 			fc, err := polm2.NewFleetClient(polm2.FleetClientOptions{
-				BaseURL: *daemonURL,
-				Seed:    *seed,
+				BaseURL:    *daemonURL,
+				Seed:       *seed,
+				InstanceID: *instanceID,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)

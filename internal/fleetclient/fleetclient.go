@@ -1,7 +1,10 @@
 // Package fleetclient is the production instance's side of the plan
 // distribution subsystem (internal/planserver): it fetches versioned
 // instrumentation plans with conditional GETs, uploads locally analyzed
-// profiling evidence, and degrades gracefully — bounded retries with
+// profiling evidence under a stable instance id (the daemon keeps only
+// each instance's latest evidence, so cumulative re-profiles and retried
+// uploads replace instead of double-count), and degrades gracefully —
+// bounded retries with
 // exponential backoff and deterministic jitter, then a fall back to the
 // last good plan — when the daemon is unreachable.
 //
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -27,12 +31,24 @@ import (
 	"polm2/internal/core"
 )
 
+// InstanceHeader names the evidence-upload header carrying the client's
+// stable instance id (mirrors planserver.InstanceHeader; redeclared to
+// keep the packages decoupled).
+const InstanceHeader = "X-Polm2-Instance"
+
 // Options parameterizes a Client.
 type Options struct {
 	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7468".
 	BaseURL string
 	// Seed drives the deterministic backoff jitter. Default 1.
 	Seed int64
+	// InstanceID is this instance's stable identity, sent with every
+	// evidence upload so the daemon replaces — rather than adds to — this
+	// instance's earlier contribution (uploads carry cumulative evidence,
+	// and retries may replay an already-applied one). Default: derived
+	// from Seed, which suffices when every instance in the fleet runs a
+	// distinct seed; give instances sharing a seed explicit distinct ids.
+	InstanceID string
 	// MaxAttempts bounds tries per operation (first try included).
 	// Default 4.
 	MaxAttempts int
@@ -66,6 +82,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
+	}
+	if o.InstanceID == "" {
+		o.InstanceID = fmt.Sprintf("i-%016x",
+			uint64(core.DeriveSeed(o.Seed, "fleetclient", "instance")))
 	}
 	return o
 }
@@ -120,6 +140,9 @@ func New(opts Options) (*Client, error) {
 	}
 	return &Client{opts: opts.withDefaults()}, nil
 }
+
+// InstanceID returns the stable identity sent with evidence uploads.
+func (c *Client) InstanceID() string { return c.opts.InstanceID }
 
 // LastGood returns the most recent plan the daemon served (fetched or
 // merged), or nil.
@@ -194,9 +217,14 @@ func (c *Client) FetchPlan(app, workload string) (*analyzer.Profile, Outcome, er
 
 	var plan *analyzer.Profile
 	var outcome Outcome
-	url := fmt.Sprintf("%s/v1/plan?app=%s&workload=%s", c.opts.BaseURL, app, workload)
+	// Keys are arbitrary strings (the store hashes raw keys for exactly
+	// that reason), so the query must be escaped, not spliced.
+	q := url.Values{}
+	q.Set("app", app)
+	q.Set("workload", workload)
+	planURL := c.opts.BaseURL + "/v1/plan?" + q.Encode()
 	err := c.retry("fetch", func() (bool, error) {
-		req, err := http.NewRequest("GET", url, nil)
+		req, err := http.NewRequest("GET", planURL, nil)
 		if err != nil {
 			return true, err
 		}
@@ -254,8 +282,16 @@ func (c *Client) UploadEvidence(p *analyzer.Profile) (*analyzer.Profile, error) 
 	}
 	var merged *analyzer.Profile
 	err = c.retry("upload", func() (bool, error) {
-		resp, err := c.opts.HTTPClient.Post(
-			c.opts.BaseURL+"/v1/evidence", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest("POST", c.opts.BaseURL+"/v1/evidence", bytes.NewReader(body))
+		if err != nil {
+			return true, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// The instance id makes the upload idempotent: the daemon replaces
+		// this instance's evidence, so a retry after a lost response
+		// cannot double-count what the first attempt already applied.
+		req.Header.Set(InstanceHeader, c.opts.InstanceID)
+		resp, err := c.opts.HTTPClient.Do(req)
 		if err != nil {
 			return false, fmt.Errorf("fleetclient: uploading evidence: %w", err)
 		}

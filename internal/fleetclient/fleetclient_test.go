@@ -201,6 +201,74 @@ func TestFetchNoPlanIsPermanent(t *testing.T) {
 	}
 }
 
+// TestUploadCarriesStableInstanceID: every evidence upload carries the
+// client's instance id — the identity the daemon replaces evidence per —
+// derived deterministically from the seed, stable across uploads and
+// restarts, decorrelated across seeds, and overridable.
+func TestUploadCarriesStableInstanceID(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(InstanceHeader))
+		mu.Unlock()
+		servePlan(w, r, testPlan(1))
+	}))
+	defer ts.Close()
+	c := newClient(t, Options{BaseURL: ts.URL, Seed: 5})
+	if c.InstanceID() == "" {
+		t.Fatal("client derived no instance id")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.UploadEvidence(testPlan(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	got := append([]string(nil), seen...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != c.InstanceID() || got[1] != c.InstanceID() {
+		t.Fatalf("uploads carried instance ids %v, want stable %q", got, c.InstanceID())
+	}
+	// Same seed, same identity (a restarted instance keeps replacing its
+	// own evidence); different seeds decorrelate; an explicit id wins.
+	if same := newClient(t, Options{BaseURL: ts.URL, Seed: 5}); same.InstanceID() != c.InstanceID() {
+		t.Fatalf("seed 5 re-derived %q, want %q", same.InstanceID(), c.InstanceID())
+	}
+	if other := newClient(t, Options{BaseURL: ts.URL, Seed: 6}); other.InstanceID() == c.InstanceID() {
+		t.Fatalf("seeds 5 and 6 share instance id %q", c.InstanceID())
+	}
+	if explicit := newClient(t, Options{BaseURL: ts.URL, Seed: 5, InstanceID: "rack-7"}); explicit.InstanceID() != "rack-7" {
+		t.Fatalf("explicit instance id not honoured: %q", explicit.InstanceID())
+	}
+}
+
+// TestFetchPlanEscapesKey: (app, workload) are arbitrary strings, so the
+// plan query must be URL-encoded — '&', '=', '#', spaces and non-ASCII
+// must arrive at the server intact.
+func TestFetchPlanEscapesKey(t *testing.T) {
+	var mu sync.Mutex
+	var gotApp, gotWorkload string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		gotApp = r.URL.Query().Get("app")
+		gotWorkload = r.URL.Query().Get("workload")
+		mu.Unlock()
+		servePlan(w, r, testPlan(1))
+	}))
+	defer ts.Close()
+	c := newClient(t, Options{BaseURL: ts.URL})
+	app, workload := "my app&v=1", "write#heavy 50%é"
+	if _, _, err := c.FetchPlan(app, workload); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotApp != app || gotWorkload != workload {
+		t.Fatalf("server saw (%q, %q), want (%q, %q)", gotApp, gotWorkload, app, workload)
+	}
+}
+
 // TestUploadRejectionIsPermanent: a 400 reject must not burn retries.
 func TestUploadRejectionIsPermanent(t *testing.T) {
 	var hits atomic.Int64

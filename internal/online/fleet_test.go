@@ -52,8 +52,20 @@ func TestOnlineFleetInstallsMergedPlan(t *testing.T) {
 	}
 	f := newFleetFixture(t)
 
-	var evidenceAfterFirst uint64
-	for i, seed := range []int64{1, 2} {
+	storedTotal := func(i int) uint64 {
+		t.Helper()
+		stored, err := f.store.Get("shift", "w")
+		if err != nil {
+			t.Fatalf("daemon store after instance %d: %v", i, err)
+		}
+		var total uint64
+		for _, s := range stored.Sites {
+			total += s.Allocated
+		}
+		return total
+	}
+	runInstance := func(i int, seed int64) {
+		t.Helper()
 		res, err := Run(&shiftApp{}, "w", Options{
 			Duration:  16 * time.Minute,
 			Warmup:    2 * time.Minute,
@@ -70,14 +82,12 @@ func TestOnlineFleetInstallsMergedPlan(t *testing.T) {
 		if len(res.FleetEvents) != 0 {
 			t.Fatalf("instance %d met fleet trouble against a healthy daemon: %+v", i, res.FleetEvents)
 		}
-		stored, err := f.store.Get("shift", "w")
-		if err != nil {
-			t.Fatalf("daemon store after instance %d: %v", i, err)
-		}
-		var total uint64
-		for _, s := range stored.Sites {
-			total += s.Allocated
-		}
+	}
+
+	var evidenceAfterFirst, evidenceAfterSecond uint64
+	for i, seed := range []int64{1, 2} {
+		runInstance(i, seed)
+		total := storedTotal(i)
 		if total == 0 {
 			t.Fatalf("fleet profile after instance %d carries no evidence", i)
 		}
@@ -85,7 +95,18 @@ func TestOnlineFleetInstallsMergedPlan(t *testing.T) {
 			evidenceAfterFirst = total
 		} else if total <= evidenceAfterFirst {
 			t.Fatalf("second instance's evidence did not merge: %d then %d", evidenceAfterFirst, total)
+		} else {
+			evidenceAfterSecond = total
 		}
+	}
+	// Re-running an instance (same seed, hence the same derived instance
+	// id) replays the identical cumulative evidence; the daemon replaces
+	// that instance's contribution, so the fleet totals must not inflate —
+	// within a run, each instance's n cumulative re-profiles already
+	// counted once, and across runs the replay counts the same once.
+	runInstance(1, 2)
+	if total := storedTotal(1); total != evidenceAfterSecond {
+		t.Fatalf("re-running instance 2 moved the fleet evidence %d -> %d (double-counted)", evidenceAfterSecond, total)
 	}
 	if got := f.srv.Metrics().Counter("evidence_merge_total").Value(); got < 2 {
 		t.Fatalf("evidence_merge_total = %d, want at least one merge per instance", got)

@@ -64,7 +64,12 @@ type Options struct {
 	// Fleet, when non-nil, turns every clean re-profile into fleet
 	// coordination: the locally analyzed evidence is uploaded to the plan
 	// daemon and the daemon's merged fleet-wide plan is installed instead
-	// of the local one (internal/fleetclient.Client implements this). An
+	// of the local one (internal/fleetclient.Client implements this).
+	// Each re-analysis covers everything recorded since t=0, so the
+	// uploads are cumulative — the daemon replaces this instance's
+	// previous evidence with each one (keyed by the client's instance
+	// id) rather than summing them, keeping the instance counted exactly
+	// once in the fleet plan however often it re-profiles. An
 	// unreachable daemon keeps the previous plan, mirroring the salvage
 	// path's behaviour on damaged artifacts.
 	Fleet PlanService

@@ -16,11 +16,14 @@ import (
 
 // TestFleetLoad drives 256 concurrent clients against the daemon: every
 // client uploads its own profiling evidence for the same (app, workload)
-// and polls the plan with conditional GETs while the merges land. The
-// merged fleet plan must account for every instance's evidence exactly
-// once, whatever the arrival order — the end-to-end form of
-// MergeProfiles' order-independence — and the run doubles as the data
-// race stress for the cache, single-flight and store paths under -race.
+// — twice, the second a byte-identical replay as a retry after a lost
+// response would send — and polls the plan with conditional GETs while
+// the merges land. The merged fleet plan must account for every
+// instance's evidence exactly once, whatever the arrival order and
+// despite the replays — the end-to-end form of MergeProfiles'
+// order-independence plus the daemon's replace-per-instance model — and
+// the run doubles as the data race stress for the cache, single-flight
+// and store paths under -race.
 func TestFleetLoad(t *testing.T) {
 	store, err := profilestore.Open(t.TempDir())
 	if err != nil {
@@ -100,8 +103,8 @@ func TestFleetLoad(t *testing.T) {
 		t.Fatalf("stored plan has %d sites, served %d", len(stored.Sites), len(p.Sites))
 	}
 
-	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != clients {
-		t.Fatalf("evidence_merge_total = %d, want %d", got, clients)
+	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != 2*clients {
+		t.Fatalf("evidence_merge_total = %d, want %d (each client uploads twice)", got, 2*clients)
 	}
 	if got := srv.Metrics().Counter("evidence_reject_total").Value(); got != 0 {
 		t.Fatalf("evidence_reject_total = %d, want 0", got)
@@ -134,18 +137,29 @@ func runFleetClient(client *http.Client, baseURL string, i int, sharedTrace stri
 	if err != nil {
 		return err
 	}
-	resp, err = client.Post(baseURL+"/v1/evidence", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	msg, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("upload status %d: %s", resp.StatusCode, msg)
-	}
-	etag := resp.Header.Get("ETag")
-	if etag == "" {
-		return fmt.Errorf("upload response missing ETag")
+	// Upload twice under the same instance id: the replay stands in for a
+	// retry after a lost response and must replace, not double-count.
+	var etag string
+	for round := 0; round < 2; round++ {
+		req, err := http.NewRequest("POST", baseURL+"/v1/evidence", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(InstanceHeader, fmt.Sprintf("inst-%d", i))
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("upload round %d status %d: %s", round, resp.StatusCode, msg)
+		}
+		etag = resp.Header.Get("ETag")
+		if etag == "" {
+			return fmt.Errorf("upload response missing ETag")
+		}
 	}
 
 	// Conditional poll: either our merged version is still current (304)

@@ -13,10 +13,19 @@
 // Endpoints:
 //
 //	GET  /v1/plan?app=A&workload=W   plan fetch; conditional via ETag
-//	POST /v1/evidence                evidence upload; responds with the
+//	POST /v1/evidence                evidence upload (X-Polm2-Instance
+//	                                 header required); responds with the
 //	                                 merged fleet plan (and its ETag)
 //	GET  /healthz                    liveness
 //	GET  /metricsz                   counter exposition (internal/metrics)
+//
+// Aggregation is last-write-wins per instance: the daemon keeps each
+// instance's latest evidence (persisted under <store>/evidence) and
+// recomputes the fleet plan as the merge of those latest documents on
+// every upload. Online re-profiles upload *cumulative* evidence, so
+// replacing — never adding to — an instance's earlier contribution is
+// what makes n re-profiles count once, and makes retried uploads
+// idempotent.
 //
 // Plans are cached in memory per key with single-flight loading, and the
 // cache entry is invalidated (and re-primed) on every merge.
@@ -63,12 +72,26 @@ type Server struct {
 
 	// mergeMu serializes the read-merge-write cycle per store; merging is
 	// commutative, so serialization only pins the store's consistency,
-	// never the result.
+	// never the result. It also guards evidence.
 	mergeMu sync.Mutex
+	// evidence is the write-through image of the store's per-instance
+	// evidence: each instance's *latest* upload, keyed by (app, workload)
+	// then instance id. The fleet plan is recomputed from this map on
+	// every upload, so a re-upload (a cumulative online re-profile, or a
+	// client retry after a lost response) replaces its instance's prior
+	// contribution instead of double-counting it.
+	evidence map[profilestore.Key]map[string]*analyzer.Profile
 
 	mu     sync.Mutex
 	cache  map[profilestore.Key]*cachedPlan
 	flight map[profilestore.Key]*flight
+	// gen counts installs per key; a load flight that began before a
+	// merge installed a newer plan must not overwrite it (see loadPlan).
+	gen map[profilestore.Key]uint64
+
+	// testHookAfterLoad, when non-nil, runs between a flight's store read
+	// and its cache write — test-only, to interleave a merge install.
+	testHookAfterLoad func()
 }
 
 // cachedPlan is one encoded, content-addressed plan.
@@ -102,8 +125,10 @@ func New(store *profilestore.Store, opts Options) *Server {
 		merges:      reg.Counter("evidence_merge_total"),
 		rejected:    reg.Counter("evidence_reject_total"),
 		storeErrs:   reg.Counter("store_error_total"),
+		evidence:    make(map[profilestore.Key]map[string]*analyzer.Profile),
 		cache:       make(map[profilestore.Key]*cachedPlan),
 		flight:      make(map[profilestore.Key]*flight),
+		gen:         make(map[profilestore.Key]uint64),
 	}
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/evidence", s.handleEvidence)
@@ -144,6 +169,7 @@ func (s *Server) loadPlan(k profilestore.Key) (*cachedPlan, error) {
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flight[k] = f
+	start := s.gen[k]
 	s.mu.Unlock()
 
 	s.loads.Inc()
@@ -152,10 +178,19 @@ func (s *Server) loadPlan(k profilestore.Key) (*cachedPlan, error) {
 	if err == nil {
 		c, err = encodePlan(p)
 	}
+	if s.testHookAfterLoad != nil {
+		s.testHookAfterLoad()
+	}
 
 	s.mu.Lock()
 	delete(s.flight, k)
-	if err == nil {
+	if s.gen[k] != start {
+		// A merge installed a newer plan while this flight was reading
+		// the store; writing the pre-merge read back would serve a stale
+		// plan (and stale ETag) until the next merge. Serve the installed
+		// plan instead.
+		c, err = s.cache[k], nil
+	} else if err == nil {
 		s.cache[k] = c
 	}
 	s.mu.Unlock()
@@ -164,9 +199,11 @@ func (s *Server) loadPlan(k profilestore.Key) (*cachedPlan, error) {
 	return c, err
 }
 
-// install replaces the cached plan for key (after a merge).
+// install replaces the cached plan for key (after a merge), advancing
+// the key's generation so in-flight loads cannot overwrite it.
 func (s *Server) install(k profilestore.Key, c *cachedPlan) {
 	s.mu.Lock()
+	s.gen[k]++
 	s.cache[k] = c
 	s.mu.Unlock()
 }
@@ -226,6 +263,45 @@ func checkEvidence(p *analyzer.Profile) error {
 	return nil
 }
 
+// seedInstance is the reserved instance id under which a pre-fleet plan
+// (seeded offline by polm2-profile) is adopted as baseline evidence the
+// first time a key sees an upload.
+const seedInstance = "__seed__"
+
+// InstanceHeader names the request header carrying the uploader's stable
+// instance id. The daemon keeps only each instance's latest evidence, so
+// cumulative re-profiles and retried uploads replace rather than add.
+const InstanceHeader = "X-Polm2-Instance"
+
+// evidenceFor returns the write-through evidence image for k, loading it
+// from the store on first touch (caller holds mergeMu). A store holding
+// a plan but no evidence — seeded offline, or written by a pre-evidence
+// build — contributes that plan once, as baseline evidence under
+// seedInstance.
+func (s *Server) evidenceFor(k profilestore.Key) (map[string]*analyzer.Profile, error) {
+	if ev := s.evidence[k]; ev != nil {
+		return ev, nil
+	}
+	ev, err := s.store.Evidence(k.App, k.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if len(ev) == 0 {
+		seed, err := s.store.Get(k.App, k.Workload)
+		if err != nil && !errors.Is(err, profilestore.ErrNotFound) {
+			return nil, err
+		}
+		if seed != nil && checkEvidence(seed) == nil {
+			if err := s.store.PutEvidence(seedInstance, seed); err != nil {
+				return nil, err
+			}
+			ev[seedInstance] = seed
+		}
+	}
+	s.evidence[k] = ev
+	return ev, nil
+}
+
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var up analyzer.Profile
@@ -234,6 +310,12 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&up); err != nil {
 		s.rejected.Inc()
 		http.Error(w, fmt.Sprintf("planserver: decoding evidence: %v", err), http.StatusBadRequest)
+		return
+	}
+	instance := r.Header.Get(InstanceHeader)
+	if instance == "" || len(instance) > 128 {
+		s.rejected.Inc()
+		http.Error(w, fmt.Sprintf("planserver: evidence must carry a non-empty %s header of at most 128 bytes", InstanceHeader), http.StatusBadRequest)
 		return
 	}
 	if err := up.Validate(); err != nil {
@@ -250,24 +332,45 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
-	existing, err := s.store.Get(k.App, k.Workload)
-	if err != nil && !errors.Is(err, profilestore.ErrNotFound) {
+	ev, err := s.evidenceFor(k)
+	if err != nil {
 		s.storeErrs.Inc()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// The fleet plan is the merge of every instance's *latest* evidence,
+	// this upload replacing its instance's previous one — so n cumulative
+	// re-profiles from one instance count once, not n times, and a retry
+	// of a lost response replays harmlessly.
 	inputs := []*analyzer.Profile{&up}
-	if existing != nil {
-		inputs = append(inputs, existing)
+	for inst, p := range ev {
+		if inst != instance {
+			inputs = append(inputs, p)
+		}
 	}
 	mergeOpts := s.opts.Merge
 	mergeOpts.App, mergeOpts.Workload = k.App, k.Workload
 	merged, err := analyzer.MergeProfiles(mergeOpts, inputs...)
 	if err != nil {
-		s.rejected.Inc()
-		http.Error(w, fmt.Sprintf("planserver: merging evidence: %v", err), http.StatusBadRequest)
+		// The upload already passed validation; decide whether the merge
+		// failure is its fault or comes from the stored fleet evidence —
+		// a server-side condition a client retry can never fix must not
+		// masquerade as a 400.
+		if _, upErr := analyzer.MergeProfiles(mergeOpts, &up); upErr != nil {
+			s.rejected.Inc()
+			http.Error(w, fmt.Sprintf("planserver: merging evidence: %v", upErr), http.StatusBadRequest)
+			return
+		}
+		s.storeErrs.Inc()
+		http.Error(w, fmt.Sprintf("planserver: merging stored fleet evidence: %v", err), http.StatusInternalServerError)
 		return
 	}
+	if err := s.store.PutEvidence(instance, &up); err != nil {
+		s.storeErrs.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ev[instance] = &up
 	if err := s.store.Put(merged); err != nil {
 		s.storeErrs.Inc()
 		http.Error(w, err.Error(), http.StatusInternalServerError)

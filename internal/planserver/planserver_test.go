@@ -41,13 +41,26 @@ func site(trace string, buckets ...uint64) analyzer.SiteStat {
 	return analyzer.SiteStat{Trace: trace, Allocated: total, Buckets: buckets}
 }
 
-func postEvidence(t *testing.T, url string, p *analyzer.Profile) *http.Response {
+func postEvidence(t *testing.T, url, instance string, p *analyzer.Profile) *http.Response {
 	t.Helper()
 	body, err := json.Marshal(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url+"/v1/evidence", "application/json", bytes.NewReader(body))
+	return postRaw(t, url, instance, body)
+}
+
+func postRaw(t *testing.T, url, instance string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/evidence", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if instance != "" {
+		req.Header.Set(InstanceHeader, instance)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +102,7 @@ func TestPlanFetchNotFound(t *testing.T) {
 
 func TestUploadFetchRoundTrip(t *testing.T) {
 	srv, ts, store := newTestServer(t)
-	resp := postEvidence(t, ts.URL, evidence("Cassandra", "WI",
+	resp := postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI",
 		site("Main.run:10;Db.put:5", 5, 95)))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("upload = %d", resp.StatusCode)
@@ -124,7 +137,7 @@ func TestUploadFetchRoundTrip(t *testing.T) {
 
 	// A second instance's evidence merges; the ETag moves and the merged
 	// evidence is the sum.
-	resp = postEvidence(t, ts.URL, evidence("Cassandra", "WI",
+	resp = postEvidence(t, ts.URL, "inst-2", evidence("Cassandra", "WI",
 		site("Main.run:10;Db.put:5", 10, 40)))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("second upload = %d", resp.StatusCode)
@@ -159,24 +172,154 @@ func TestUploadFetchRoundTrip(t *testing.T) {
 	}
 }
 
-func TestUploadRejections(t *testing.T) {
-	srv, ts, _ := newTestServer(t)
-	cases := []struct {
-		name string
-		body string
-	}{
-		{"not json", "{"},
-		{"unlabeled", `{"generations":0}`},
-		{"bucket mismatch", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"A.m:1","allocated":10,"buckets":[1,2],"gen":0}]}`},
-		{"tainted overflow", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"A.m:1","allocated":3,"buckets":[1,2],"gen":0,"tainted":5}]}`},
-		{"bad trace", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"nope","allocated":1,"buckets":[1],"gen":0}]}`},
-		{"invalid directive", `{"app":"A","workload":"W","generations":0,"allocs":[{"loc":"A.m:1","gen":5,"direct":true}]}`},
-	}
-	for _, tc := range cases {
-		resp, err := http.Post(ts.URL+"/v1/evidence", "application/json", strings.NewReader(tc.body))
-		if err != nil {
+// TestUploadReplacesPerInstance pins the aggregation model: an instance's
+// re-upload (a cumulative online re-profile, or a client retrying a lost
+// response) replaces its earlier evidence instead of adding to it, so the
+// fleet plan counts every instance exactly once however often it syncs.
+func TestUploadReplacesPerInstance(t *testing.T) {
+	srv, ts, store := newTestServer(t)
+	trace := "Main.run:10;Db.put:5"
+
+	fetchAllocated := func() uint64 {
+		t.Helper()
+		resp, body := fetchPlan(t, ts.URL, "Cassandra", "WI", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fetch = %d", resp.StatusCode)
+		}
+		var p analyzer.Profile
+		if err := json.Unmarshal(body, &p); err != nil {
 			t.Fatal(err)
 		}
+		var total uint64
+		for _, s := range p.Sites {
+			total += s.Allocated
+		}
+		return total
+	}
+
+	// Instance 1 re-profiles three times, each upload cumulative over the
+	// last; only the latest (300) may count.
+	for _, n := range []uint64{100, 200, 300} {
+		resp := postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI",
+			site(trace, n/4, n-n/4)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload of %d = %d", n, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if got := fetchAllocated(); got != 300 {
+		t.Fatalf("after 3 cumulative re-uploads allocated = %d, want 300 (latest only)", got)
+	}
+
+	// A second instance adds once...
+	resp := postEvidence(t, ts.URL, "inst-2", evidence("Cassandra", "WI", site(trace, 10, 40)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inst-2 upload = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if got := fetchAllocated(); got != 350 {
+		t.Fatalf("after second instance allocated = %d, want 350", got)
+	}
+	// ... and a byte-identical retry (lost response replay) is a no-op:
+	// same total, same ETag.
+	resp = postEvidence(t, ts.URL, "inst-2", evidence("Cassandra", "WI", site(trace, 10, 40)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inst-2 retry = %d", resp.StatusCode)
+	}
+	retryTag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if got := fetchAllocated(); got != 350 {
+		t.Fatalf("after retried upload allocated = %d, want 350 (idempotent)", got)
+	}
+	if retryTag != etag {
+		t.Fatalf("retried identical upload moved the ETag: %s -> %s", etag, retryTag)
+	}
+
+	// The per-instance evidence is durable: a fresh server over the same
+	// store reloads it and keeps replacing, not adding.
+	srv2 := New(store, Options{})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	resp = postEvidence(t, ts2.URL, "inst-1", evidence("Cassandra", "WI", site(trace, 75, 225)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart upload = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, body := fetchPlan(t, ts2.URL, "Cassandra", "WI", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart fetch = %d", resp.StatusCode)
+	}
+	var p analyzer.Profile
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, s := range p.Sites {
+		total += s.Allocated
+	}
+	if total != 350 {
+		t.Fatalf("post-restart allocated = %d, want 350 (inst-1 replaced, inst-2 kept)", total)
+	}
+	// Every accepted upload is a merge, replacement or not.
+	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != 5 {
+		t.Fatalf("evidence_merge_total = %d, want 5", got)
+	}
+}
+
+// TestSeedPlanCountsOnce: a plan seeded into the store offline (no
+// evidence files) is adopted as baseline evidence exactly once, then
+// instance uploads merge around it.
+func TestSeedPlanCountsOnce(t *testing.T) {
+	_, ts, store := newTestServer(t)
+	seeded, err := analyzer.MergeProfiles(analyzer.Options{},
+		evidence("Cassandra", "WI", site("Main.run:10;Db.put:5", 20, 80)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(seeded); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp := postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI",
+			site("Main.run:10;Db.put:5", 10, 40)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload %d = %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, body := fetchPlan(t, ts.URL, "Cassandra", "WI", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch = %d", resp.StatusCode)
+	}
+	var p analyzer.Profile
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sites) != 1 || p.Sites[0].Allocated != 150 {
+		t.Fatalf("seeded+uploaded evidence = %+v, want one site with 100+50=150", p.Sites)
+	}
+}
+
+func TestUploadRejections(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	valid := `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"A.m:1","allocated":1,"buckets":[1],"gen":0}]}`
+	cases := []struct {
+		name     string
+		instance string
+		body     string
+	}{
+		{"not json", "inst-1", "{"},
+		{"unlabeled", "inst-1", `{"generations":0}`},
+		{"bucket mismatch", "inst-1", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"A.m:1","allocated":10,"buckets":[1,2],"gen":0}]}`},
+		{"tainted overflow", "inst-1", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"A.m:1","allocated":3,"buckets":[1,2],"gen":0,"tainted":5}]}`},
+		{"bad trace", "inst-1", `{"app":"A","workload":"W","generations":0,"sites":[{"trace":"nope","allocated":1,"buckets":[1],"gen":0}]}`},
+		{"invalid directive", "inst-1", `{"app":"A","workload":"W","generations":0,"allocs":[{"loc":"A.m:1","gen":5,"direct":true}]}`},
+		{"missing instance id", "", valid},
+		{"oversized instance id", strings.Repeat("x", 129), valid},
+	}
+	for _, tc := range cases {
+		resp := postRaw(t, ts.URL, tc.instance, []byte(tc.body))
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
@@ -212,6 +355,81 @@ func TestHealthzAndMetricsz(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("metricsz missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestMergeDuringLoadWins: a plan fetch whose store read races a
+// concurrent evidence merge must not overwrite the freshly installed
+// merged plan with its pre-merge read — that would serve a stale plan
+// (and stale ETag) until the next merge. The test-only hook interleaves
+// a full evidence upload between the flight's store read and its cache
+// write, deterministically reproducing the race.
+func TestMergeDuringLoadWins(t *testing.T) {
+	srv, ts, store := newTestServer(t)
+	seeded, err := analyzer.MergeProfiles(analyzer.Options{},
+		evidence("Cassandra", "WI", site("Main.run:10;Db.put:5", 20, 80)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(seeded); err != nil {
+		t.Fatal(err)
+	}
+
+	var mergedTag string
+	var once sync.Once
+	srv.testHookAfterLoad = func() {
+		// Runs on the GET handler's goroutine: only t.Error here.
+		once.Do(func() {
+			up, err := json.Marshal(evidence("Cassandra", "WI",
+				site("Main.run:10;Db.put:5", 10, 40)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req, err := http.NewRequest("POST", ts.URL+"/v1/evidence", bytes.NewReader(up))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(InstanceHeader, "inst-1")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("mid-load upload = %d", resp.StatusCode)
+				return
+			}
+			mergedTag = resp.Header.Get("ETag")
+		})
+	}
+
+	resp, body := fetchPlan(t, ts.URL, "Cassandra", "WI", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("racing fetch = %d", resp.StatusCode)
+	}
+	if mergedTag == "" {
+		t.Fatal("hook never merged")
+	}
+	if got := resp.Header.Get("ETag"); got != mergedTag {
+		t.Fatalf("racing fetch served ETag %s, want the merged plan's %s", got, mergedTag)
+	}
+	var p analyzer.Profile
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sites) != 1 || p.Sites[0].Allocated != 150 {
+		t.Fatalf("racing fetch served %+v, want the merged evidence (150)", p.Sites)
+	}
+	// The cache must hold the merged plan too: a conditional fetch with
+	// its ETag is a 304, not a stale 200.
+	resp, _ = fetchPlan(t, ts.URL, "Cassandra", "WI", mergedTag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional fetch after race = %d, want 304", resp.StatusCode)
 	}
 }
 

@@ -143,8 +143,15 @@ func (s *Store) writeProfile(p *analyzer.Profile, path string) error {
 	if err != nil {
 		return fmt.Errorf("profilestore: encoding profile: %w", err)
 	}
+	return s.writeFile(data, path)
+}
+
+// writeFile stages data under a temporary name (through the fault
+// injector, when one is set) and renames it into place.
+func (s *Store) writeFile(data []byte, path string) error {
 	data = append(data, '\n')
 	tmp := path + ".tmp"
+	var err error
 	var w io.WriteCloser
 	if s.fault != nil {
 		w, err = s.fault.Create(tmp)
@@ -291,6 +298,95 @@ func (s *Store) auditLocked() (*AuditReport, error) {
 		rep.Entries = append(rep.Entries, e)
 	}
 	return rep, nil
+}
+
+// evidenceEntry is the on-disk form of one instance's evidence: the
+// uploaded profile plus the instance id it replaces-per, which the
+// sanitized file name cannot carry losslessly.
+type evidenceEntry struct {
+	Instance string            `json:"instance"`
+	Profile  *analyzer.Profile `json:"profile"`
+}
+
+// evidenceDir holds per-instance evidence, separate from the merged
+// plans so *.profile.json globs (List, Audit, polm2-inspect) see only
+// plans.
+func (s *Store) evidenceDir() string { return filepath.Join(s.dir, "evidence") }
+
+// evidenceHash fingerprints the raw (app, workload, instance) triple so
+// triples that sanitize identically still map to distinct files.
+func evidenceHash(k Key, instance string) string {
+	h := fnv.New32a()
+	h.Write([]byte(k.App))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Workload))
+	h.Write([]byte{0})
+	h.Write([]byte(instance))
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+func (s *Store) evidencePath(k Key, instance string) string {
+	name := sanitize(k.App) + "__" + sanitize(k.Workload) + "__" + sanitize(instance) +
+		"-" + evidenceHash(k, instance) + ".evidence.json"
+	return filepath.Join(s.evidenceDir(), name)
+}
+
+// PutEvidence stores one instance's latest evidence for the profile's
+// (App, Workload), replacing that instance's previous upload — the
+// last-write-wins-per-instance model that keeps fleet aggregation
+// idempotent under cumulative re-uploads and retried requests.
+func (s *Store) PutEvidence(instance string, p *analyzer.Profile) error {
+	if instance == "" {
+		return fmt.Errorf("profilestore: evidence must carry an instance id")
+	}
+	if p.App == "" || p.Workload == "" {
+		return fmt.Errorf("profilestore: evidence must carry App and Workload labels")
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.evidenceDir(), 0o755); err != nil {
+		return fmt.Errorf("profilestore: %w", err)
+	}
+	data, err := json.MarshalIndent(evidenceEntry{Instance: instance, Profile: p}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profilestore: encoding evidence: %w", err)
+	}
+	return s.writeFile(data, s.evidencePath(Key{App: p.App, Workload: p.Workload}, instance))
+}
+
+// Evidence loads every instance's latest evidence for (app, workload),
+// keyed by instance id. A key with no evidence returns an empty map.
+func (s *Store) Evidence(app, workload string) (map[string]*analyzer.Profile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	paths, err := filepath.Glob(filepath.Join(s.evidenceDir(), "*.evidence.json"))
+	if err != nil {
+		return nil, fmt.Errorf("profilestore: %w", err)
+	}
+	out := make(map[string]*analyzer.Profile)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("profilestore: reading evidence: %w", err)
+		}
+		var e evidenceEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("profilestore: corrupt evidence %s: %w", filepath.Base(path), err)
+		}
+		if e.Instance == "" || e.Profile == nil {
+			return nil, fmt.Errorf("profilestore: corrupt evidence %s: missing instance or profile", filepath.Base(path))
+		}
+		if err := e.Profile.Validate(); err != nil {
+			return nil, fmt.Errorf("profilestore: corrupt evidence %s: %w", filepath.Base(path), err)
+		}
+		if e.Profile.App == app && e.Profile.Workload == workload {
+			out[e.Instance] = e.Profile
+		}
+	}
+	return out, nil
 }
 
 // Select returns the profile for the estimated workload, falling back to

@@ -288,3 +288,103 @@ func TestFaultedWriteKeepsPreviousVersion(t *testing.T) {
 		t.Fatalf("faulted write half-applied: generations = %d, want the previous 2", got.Generations)
 	}
 }
+
+// TestEvidenceRoundTripAndReplace: per-instance evidence is keyed by
+// (app, workload, instance); a re-upload replaces that instance's entry,
+// other keys and instances are untouched, and List/Audit (which feed the
+// plan-serving paths and polm2-inspect) never see evidence files.
+func TestEvidenceRoundTripAndReplace(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(app, workload string, allocated uint64) *analyzer.Profile {
+		return &analyzer.Profile{App: app, Workload: workload, Sites: []analyzer.SiteStat{
+			{Trace: "A.m:1", Allocated: allocated, Buckets: []uint64{allocated}},
+		}}
+	}
+	if err := s.PutEvidence("inst-1", mk("Cassandra", "WI", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutEvidence("inst-2", mk("Cassandra", "WI", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutEvidence("inst-1", mk("Cassandra", "WR", 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Replacement: inst-1's second WI upload supersedes its first.
+	if err := s.PutEvidence("inst-1", mk("Cassandra", "WI", 300)); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Evidence("Cassandra", "WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 || ev["inst-1"].Sites[0].Allocated != 300 || ev["inst-2"].Sites[0].Allocated != 50 {
+		t.Fatalf("WI evidence = %+v, want inst-1:300 (replaced) and inst-2:50", ev)
+	}
+	other, err := s.Evidence("Cassandra", "WR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(other) != 1 || other["inst-1"].Sites[0].Allocated != 7 {
+		t.Fatalf("WR evidence = %+v, want only inst-1:7", other)
+	}
+	if none, err := s.Evidence("Lucene", "WI"); err != nil || len(none) != 0 {
+		t.Fatalf("unknown key evidence = %+v, %v, want empty", none, err)
+	}
+	// Evidence must not masquerade as stored plans.
+	keys, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("List sees evidence entries as plans: %v", keys)
+	}
+	if _, err := s.Get("Cassandra", "WI"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get found a plan where only evidence exists: %v", err)
+	}
+}
+
+// TestEvidenceInstanceSanitizeCollision: instance ids that sanitize to
+// the same file name ("a b" vs "a_b") must stay distinct entries, the
+// same FNV-suffix guarantee the plan files have.
+func TestEvidenceInstanceSanitizeCollision(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(allocated uint64) *analyzer.Profile {
+		return &analyzer.Profile{App: "A", Workload: "W", Sites: []analyzer.SiteStat{
+			{Trace: "A.m:1", Allocated: allocated, Buckets: []uint64{allocated}},
+		}}
+	}
+	if err := s.PutEvidence("a b", mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutEvidence("a_b", mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Evidence("A", "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 || ev["a b"].Sites[0].Allocated != 1 || ev["a_b"].Sites[0].Allocated != 2 {
+		t.Fatalf("colliding instance ids merged on disk: %+v", ev)
+	}
+}
+
+// TestPutEvidenceValidates: unlabeled or anonymous evidence is refused.
+func TestPutEvidenceValidates(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sampleProfile("Cassandra", "WI")
+	if err := s.PutEvidence("", p); err == nil {
+		t.Fatal("empty instance id accepted")
+	}
+	if err := s.PutEvidence("inst-1", &analyzer.Profile{Workload: "WI"}); err == nil {
+		t.Fatal("unlabeled evidence accepted")
+	}
+}

@@ -42,13 +42,31 @@ evidence2='{"app":"Cassandra","workload":"WI","generations":0,"allocs":[],"calls
   "sites":[{"trace":"S.serve:1;Memtable.put:10","allocated":50,"buckets":[5,45],"gen":0},
            {"trace":"S.serve:1;Index.flush:9","allocated":30,"buckets":[30],"gen":0}]}'
 
+i=0
 for ev in "$evidence1" "$evidence2"; do
+  i=$((i + 1))
   code=$(curl -s -o /tmp/polm2d-smoke-merge.json -w '%{http_code}' \
-    -H 'Content-Type: application/json' -d "$ev" "$url/v1/evidence")
+    -H 'Content-Type: application/json' -H "X-Polm2-Instance: smoke-$i" \
+    -d "$ev" "$url/v1/evidence")
   [ "$code" = "200" ] || fail "evidence upload status $code: $(cat /tmp/polm2d-smoke-merge.json)"
 done
 
-# The merged plan must sum the shared site's evidence and keep both
+# A replayed upload (same instance id, same body — what a client retry
+# after a lost response sends) replaces instance 2's evidence instead of
+# double-counting it.
+code=$(curl -s -o /tmp/polm2d-smoke-merge.json -w '%{http_code}' \
+  -H 'Content-Type: application/json' -H 'X-Polm2-Instance: smoke-2' \
+  -d "$evidence2" "$url/v1/evidence")
+[ "$code" = "200" ] || fail "replayed upload status $code: $(cat /tmp/polm2d-smoke-merge.json)"
+
+# An upload without an instance id is rejected: the daemon cannot know
+# whose evidence to replace.
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$evidence2" "$url/v1/evidence")
+[ "$code" = "400" ] || fail "anonymous upload status $code, want 400"
+
+# The merged plan must sum the shared site's evidence — each instance
+# counted exactly once despite the replay — and keep both
 # instance-unique sites.
 curl -s -D /tmp/polm2d-smoke-headers.txt -o /tmp/polm2d-smoke-plan.json \
   "$url/v1/plan?app=Cassandra&workload=WI"
@@ -69,7 +87,8 @@ code=$(curl -s -o /dev/null -w '%{http_code}' \
 bad='{"app":"Cassandra","workload":"WI","generations":0,"allocs":[],"calls":[],"conflicts":0,
   "sites":[{"trace":"S.serve:1;Memtable.put:10","allocated":1,"buckets":[2],"gen":0}]}'
 code=$(curl -s -o /dev/null -w '%{http_code}' \
-  -H 'Content-Type: application/json' -d "$bad" "$url/v1/evidence")
+  -H 'Content-Type: application/json' -H 'X-Polm2-Instance: smoke-1' \
+  -d "$bad" "$url/v1/evidence")
 [ "$code" = "400" ] || fail "inconsistent evidence status $code, want 400"
 code=$(curl -s -o /dev/null -w '%{http_code}' \
   -H "If-None-Match: $etag" "$url/v1/plan?app=Cassandra&workload=WI")
