@@ -9,6 +9,7 @@
 //	polm2-bench -exp fig5       # one experiment
 //	polm2-bench -workers 4      # compute simulations on 4 workers
 //	polm2-bench -json out.json  # also write a machine-readable report
+//	polm2-bench -trace t.jsonl  # write a deterministic trace of every run
 //	polm2-bench -list           # list experiment names
 //
 // Host-level performance investigation hooks (all write to files or stderr,
@@ -23,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,15 +43,16 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "", "single experiment to run (default: all); see -list")
-		list    = flag.Bool("list", false, "list experiment names and exit")
-		quick   = flag.Bool("quick", false, "shorten production runs to 10 simulated minutes")
-		scale   = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
-		seed    = flag.Int64("seed", 1, "workload random seed")
-		workers = flag.Int("workers", 1, "number of concurrent simulations")
-		faults  = flag.String("faults", "", `inject I/O faults into every profiling run's artifact writes (faultio spec, e.g. "seed=7;torn:site-*.bin")`)
-		jsonOut = flag.String("json", "", "write a JSON report (outputs + timings) to this file")
-		quiet   = flag.Bool("quiet", false, "suppress per-simulation progress lines")
+		exp      = flag.String("exp", "", "single experiment to run (default: all); see -list")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		quick    = flag.Bool("quick", false, "shorten production runs to 10 simulated minutes")
+		scale    = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		workers  = flag.Int("workers", 1, "number of concurrent simulations")
+		faults   = flag.String("faults", "", `inject I/O faults into every profiling run's artifact writes (faultio spec, e.g. "seed=7;torn:site-*.bin")`)
+		jsonOut  = flag.String("json", "", "write a JSON report (outputs + timings) to this file")
+		traceOut = flag.String("trace", "", "write a deterministic JSONL trace of every simulation to this file (internal/trace)")
+		quiet    = flag.Bool("quiet", false, "suppress per-simulation progress lines")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -85,7 +88,7 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := polm2.BenchConfig{Scale: *scale, Seed: *seed, FaultSpec: *faults}
+	cfg := polm2.BenchConfig{Scale: *scale, Seed: *seed, FaultSpec: *faults, Trace: *traceOut != ""}
 	if *quick {
 		cfg.RunDuration = 10 * time.Minute
 		cfg.Warmup = 2 * time.Minute
@@ -106,6 +109,12 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "polm2-bench: %v\n", err)
 		return 1
+	}
+	if *traceOut != "" {
+		if err := writeTraceFile(session, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-bench: %v\n", err)
+			return 1
+		}
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -134,6 +143,26 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// writeTraceFile persists the session's accumulated trace. Like stdout,
+// the bytes depend only on the configuration, never on -workers: units
+// trace into private buffers and are concatenated in sorted key order.
+func writeTraceFile(session *polm2.BenchSession, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := session.WriteTrace(bw); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }
 
 // printMemStats reports the host Go runtime's allocation behaviour over the

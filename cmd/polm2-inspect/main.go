@@ -9,6 +9,7 @@
 //	polm2-inspect diff old.json new.json     # directive-level diff
 //	polm2-inspect snapshots ./images         # decode a snapshot image dir
 //	polm2-inspect profiles ./profiles        # list a profile repository
+//	polm2-inspect trace trace.jsonl          # summarize a trace file
 //	polm2-inspect verify ./artifacts         # integrity-check artifact dirs
 //	polm2-inspect --verify ./artifacts       # same, flag spelling
 //
@@ -33,7 +34,7 @@ func main() {
 }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|profiles|verify> <args...>")
+	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|profiles|trace|verify> <args...>")
 	return 2
 }
 
@@ -64,6 +65,8 @@ func run() int {
 		err = showSnapshots(os.Stdout, args[1])
 	case "profiles":
 		err = showProfiles(os.Stdout, args[1])
+	case "trace":
+		err = showTrace(os.Stdout, args[1])
 	case "verify":
 		var clean bool
 		clean, err = verifyArtifacts(os.Stdout, args[1])

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"polm2/internal/trace"
+)
+
+// showTrace summarizes a JSONL trace file (internal/trace): record totals
+// per component, the GC pause breakdown by cost-model phase, and the
+// online/fleet round timeline. The output is deterministic for a
+// deterministic trace, so it goldens the whole emit-encode-decode loop.
+func showTrace(w io.Writer, path string) error {
+	recs, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "empty trace")
+		return nil
+	}
+
+	var events, spans int
+	perComp := make(map[string]int)
+	var comps []string
+	for _, r := range recs {
+		if r.Kind == trace.KindSpan {
+			spans++
+		} else {
+			events++
+		}
+		if perComp[r.Comp] == 0 {
+			comps = append(comps, r.Comp)
+		}
+		perComp[r.Comp]++
+	}
+	sort.Strings(comps)
+	fmt.Fprintf(w, "trace: %d records (%d spans, %d events)\n", len(recs), spans, events)
+	for _, c := range comps {
+		fmt.Fprintf(w, "  %-12s %d\n", c, perComp[c])
+	}
+
+	showGCBreakdown(w, recs)
+	showTimeline(w, recs)
+	return nil
+}
+
+// showGCBreakdown totals the per-phase pause spans internal/gc emits. The
+// phases of one cycle sum exactly to the cycle's pause, so the shares
+// answer "where do the stop-the-world milliseconds go" for the whole run.
+func showGCBreakdown(w io.Writer, recs []trace.Record) {
+	var cycles int
+	var totalPause time.Duration
+	phaseTotal := make(map[string]time.Duration)
+	var phases []string
+	for _, r := range recs {
+		if r.Comp != "gc" || r.Kind != trace.KindSpan {
+			continue
+		}
+		switch r.Name {
+		case "cycle":
+			cycles++
+			totalPause += r.Duration()
+		case "phase":
+			name := r.Str("phase")
+			if _, ok := phaseTotal[name]; !ok {
+				phases = append(phases, name) // first-emission order: safepoint..scan
+			}
+			phaseTotal[name] += r.Duration()
+		}
+	}
+	if cycles == 0 {
+		return
+	}
+	fmt.Fprintf(w, "gc pauses: %d cycles, total pause %v (mean %v)\n",
+		cycles, totalPause.Round(time.Microsecond),
+		(totalPause / time.Duration(cycles)).Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-10s %-14s %s\n", "phase", "total", "share")
+	for _, name := range phases {
+		d := phaseTotal[name]
+		share := 0.0
+		if totalPause > 0 {
+			share = 100 * float64(d) / float64(totalPause)
+		}
+		fmt.Fprintf(w, "  %-10s %-14v %.1f%%\n", name, d.Round(time.Microsecond), share)
+	}
+}
+
+// showTimeline prints the coordination-plane records — online re-profile
+// rounds, fleet client attempts, daemon request handling — in file order
+// (each tracer's records are seq-ordered; bench traces group by unit).
+func showTimeline(w io.Writer, recs []trace.Record) {
+	headed := false
+	for _, r := range recs {
+		switch r.Comp {
+		case "online", "fleetclient", "planserver":
+		default:
+			continue
+		}
+		if !headed {
+			fmt.Fprintln(w, "online/fleet timeline:")
+			headed = true
+		}
+		fmt.Fprintf(w, "  [%v] %s %s%s\n", r.Time().Round(time.Millisecond), r.Comp, r.Name, fmtAttrs(r))
+	}
+}
+
+// fmtAttrs renders a record's attributes as sorted key=value pairs.
+// Integer-valued JSON numbers print as integers; durations stay raw
+// nanosecond counts, exactly as encoded.
+func fmtAttrs(r trace.Record) string {
+	if len(r.Att) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(r.Att))
+	for k := range r.Att {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += " " + k + "=" + fmtAttrValue(r.Att[k])
+	}
+	return out
+}
+
+func fmtAttrValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		if x == float64(int64(x)) {
+			return strconv.FormatInt(int64(x), 10)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(x)
+	}
+}

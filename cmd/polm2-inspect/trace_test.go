@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"polm2/internal/gc"
+	"polm2/internal/trace"
+)
+
+// writeSyntheticTrace emits a small but representative trace — a run span,
+// GC cycles with their phase breakdowns, online rounds, fleet client
+// attempts — through the real tracer, so the golden covers the whole
+// emit-encode-decode-summarize loop.
+func writeSyntheticTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Options{Writer: f})
+
+	model := gc.CostModel{
+		Base:            500 * time.Microsecond,
+		PerRegion:       50 * time.Microsecond,
+		PerRemsetEntry:  100 * time.Nanosecond,
+		PerCopiedByte:   2 * time.Nanosecond,
+		PerCopiedObject: 300 * time.Nanosecond,
+	}
+	for cycle := uint64(1); cycle <= 3; cycle++ {
+		gc.TraceCycle(tr, model, gc.Pause{
+			Start:            time.Duration(cycle) * 10 * time.Second,
+			Duration:         time.Duration(cycle) * 6 * time.Millisecond,
+			Kind:             gc.PauseYoung,
+			Cycle:            cycle,
+			BytesCopied:      cycle << 20,
+			ObjectsCopied:    int(cycle) * 400,
+			RegionsCollected: 64,
+			RegionsFreed:     60,
+		})
+	}
+
+	tr.EventAt(2*time.Minute, "online", "reprofile",
+		trace.Uint64("cycle", 9), trace.Int64("round", 1))
+	tr.EventAt(2*time.Minute+80*time.Millisecond, "fleetclient", "attempt",
+		trace.String("op", "upload"), trace.Uint64("seq", 1),
+		trace.Int64("attempt", 1), trace.String("outcome", "ok"))
+	tr.EventAt(2*time.Minute+80*time.Millisecond, "fleetclient", "upload_result",
+		trace.String("outcome", "merged"))
+	tr.EventAt(2*time.Minute+90*time.Millisecond, "online", "plan_swap",
+		trace.Int64("update", 1), trace.Int64("instrumented", 4),
+		trace.Int64("generations", 2), trace.Int64("conflicts", 0))
+	tr.EventAt(130*time.Millisecond, "planserver", "evidence_upload",
+		trace.String("app", "churn"), trace.String("workload", "w"),
+		trace.String("instance", "i-1"), trace.String("outcome", "merged"),
+		trace.Dur("latency", 350*time.Microsecond))
+	tr.Span("online", "run", 0, 16*time.Minute,
+		trace.String("app", "churn"), trace.String("workload", "w"),
+		trace.Int64("updates", 1), trace.Int64("salvages", 0),
+		trace.Int64("fleet_events", 0), trace.Uint64("gc_cycles", 3))
+
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceGolden pins polm2-inspect trace's summary of a synthetic
+// deterministic trace: component totals, the per-phase GC pause breakdown
+// (phases must sum to the cycles' pauses), and the coordination timeline.
+func TestTraceGolden(t *testing.T) {
+	path := writeSyntheticTrace(t)
+	var buf bytes.Buffer
+	if err := showTrace(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace-summary.golden", buf.Bytes())
+}
+
+// TestTraceEmpty keeps the subcommand graceful on an empty file.
+func TestTraceEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := showTrace(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "empty trace\n" {
+		t.Fatalf("empty trace output = %q", got)
+	}
+}

@@ -10,12 +10,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"polm2"
+	"polm2/internal/trace"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func run() int {
 		warmup      = flag.Duration("warmup", 0, "ignored warmup window (default: 5m, the paper's)")
 		scale       = flag.Uint64("scale", 0, "heap scale divisor vs the paper's 12 GB setup (default 64)")
 		seed        = flag.Int64("seed", 1, "workload random seed")
+		tracePath   = flag.String("trace", "", "write a deterministic JSONL trace of the run to this file (internal/trace)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,29 @@ func run() int {
 		return 2
 	}
 
+	// The tracer's records are stamped from the simulated clock, so the
+	// file is byte-identical across runs of the same configuration.
+	var tracer *trace.Tracer
+	finishTrace := func() error { return nil }
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-run: creating trace file: %v\n", err)
+			return 1
+		}
+		bw := bufio.NewWriter(f)
+		tracer = trace.New(trace.Options{Writer: bw})
+		finishTrace = func() error {
+			if err := tracer.Err(); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+
 	if *onlineMode {
 		opts := polm2.OnlineOptions{
 			Duration:  *duration,
@@ -73,6 +99,7 @@ func run() int {
 			Scale:     *scale,
 			Seed:      *seed,
 			Reprofile: *reprofile,
+			Tracer:    tracer,
 		}
 		if *daemonURL != "" {
 			fc, err := polm2.NewFleetClient(polm2.FleetClientOptions{
@@ -86,7 +113,12 @@ func run() int {
 			}
 			opts.Fleet = fc
 		}
-		return runOnline(app, *workload, opts)
+		code := runOnline(app, *workload, opts)
+		if err := finishTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "polm2-run: writing trace: %v\n", err)
+			return 1
+		}
+		return code
 	}
 
 	plan := polm2.PlanNone
@@ -136,9 +168,14 @@ func run() int {
 		Warmup:   *warmup,
 		Scale:    *scale,
 		Seed:     *seed,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "polm2-run: %v\n", err)
+		return 1
+	}
+	if err := finishTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "polm2-run: writing trace: %v\n", err)
 		return 1
 	}
 

@@ -10,19 +10,26 @@
 //	polm2d -addr 127.0.0.1:7468 -store ./profiles
 //	polm2d -addr 127.0.0.1:0 -store ./profiles          # random port
 //	polm2d -store ./profiles -faults 'seed=7;missing:*.profile.json'
+//	polm2d -store ./profiles -trace trace.jsonl         # also log spans to disk
 //
 // The daemon prints its actual listen address on startup (useful with
 // -addr ...:0) and shuts down cleanly on SIGINT/SIGTERM. The -faults flag
 // interposes internal/faultio's deterministic fault plans on the store's
 // staging writes — the same fault model the profiling pipeline is tested
 // under — so operators and CI can rehearse disk trouble end to end.
+//
+// Request handling is always traced into a bounded in-memory ring served
+// at GET /tracez (newest window, JSONL); -trace additionally appends every
+// record to a file. -trace-ring sizes the ring.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -33,46 +40,76 @@ import (
 	"polm2/internal/faultio"
 	"polm2/internal/planserver"
 	"polm2/internal/profilestore"
+	"polm2/internal/trace"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is the daemon body, factored from main so the lifecycle test can
+// drive a full start/serve/SIGTERM cycle in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("polm2d", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7468", "TCP listen address (port 0 picks a free port)")
-		storeDir  = flag.String("store", "profiles", "profile repository directory (created if missing)")
-		faultSpec = flag.String("faults", "", "inject I/O faults into the store's writes (faultio spec, e.g. 'seed=7;missing:*.profile.json')")
+		addr      = fs.String("addr", "127.0.0.1:7468", "TCP listen address (port 0 picks a free port)")
+		storeDir  = fs.String("store", "profiles", "profile repository directory (created if missing)")
+		faultSpec = fs.String("faults", "", "inject I/O faults into the store's writes (faultio spec, e.g. 'seed=7;missing:*.profile.json')")
+		traceOut  = fs.String("trace", "", "append every trace record to this JSONL file (the in-memory /tracez ring is always on)")
+		ringSize  = fs.Int("trace-ring", 0, "trace ring capacity in records (default 4096)")
 	)
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "polm2d: unexpected arguments %v\n", flag.Args())
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "polm2d: unexpected arguments %v\n", fs.Args())
 		return 2
 	}
 
 	store, err := profilestore.Open(*storeDir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+		fmt.Fprintf(stderr, "polm2d: %v\n", err)
 		return 1
 	}
 	if *faultSpec != "" {
 		plan, err := faultio.ParseSpec(*faultSpec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+			fmt.Fprintf(stderr, "polm2d: %v\n", err)
 			return 2
 		}
 		store.SetFault(faultio.New(plan))
-		fmt.Printf("polm2d: injecting store faults: %s\n", plan)
+		fmt.Fprintf(stdout, "polm2d: injecting store faults: %s\n", plan)
 	}
+
+	// The ring is always on — /tracez answering is part of the daemon's
+	// contract — while the file sink is opt-in.
+	topts := trace.Options{Ring: trace.NewRing(*ringSize)}
+	var flushTrace func() error
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "polm2d: creating trace file: %v\n", err)
+			return 1
+		}
+		bw := bufio.NewWriter(f)
+		topts.Writer = bw
+		flushTrace = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+	tracer := trace.New(topts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+		fmt.Fprintf(stderr, "polm2d: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: planserver.New(store, planserver.Options{})}
-	fmt.Printf("polm2d: serving on http://%s (store %s)\n", ln.Addr(), store.Dir())
+	srv := &http.Server{Handler: planserver.New(store, planserver.Options{Tracer: tracer})}
+	fmt.Fprintf(stdout, "polm2d: serving on http://%s (store %s)\n", ln.Addr(), store.Dir())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -82,7 +119,7 @@ func run() int {
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "polm2d: %v\n", err)
+			fmt.Fprintf(stderr, "polm2d: %v\n", err)
 			return 1
 		}
 	case <-ctx.Done():
@@ -90,10 +127,16 @@ func run() int {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "polm2d: shutdown: %v\n", err)
+			fmt.Fprintf(stderr, "polm2d: shutdown: %v\n", err)
 			return 1
 		}
 	}
-	fmt.Println("polm2d: shutdown complete")
+	if flushTrace != nil {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintf(stderr, "polm2d: writing trace: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(stdout, "polm2d: shutdown complete")
 	return 0
 }

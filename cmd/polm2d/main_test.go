@@ -1,0 +1,149 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a Writer the daemon goroutine and the test can share.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb syncBuffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("run with unknown flag = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "flag provided but not defined") {
+		t.Errorf("stderr missing flag error:\n%s", errb.String())
+	}
+
+	errb = syncBuffer{}
+	if code := run([]string{"stray"}, &out, &errb); code != 2 {
+		t.Fatalf("run with positional arg = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unexpected arguments") {
+		t.Errorf("stderr missing positional-arg error:\n%s", errb.String())
+	}
+
+	errb = syncBuffer{}
+	if code := run([]string{"-store", t.TempDir(), "-faults", "not-a-spec::"}, &out, &errb); code != 2 {
+		t.Fatalf("run with bad fault spec = %d, want 2", code)
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on a random port, confirms it
+// serves requests and exposes the trace ring, then delivers SIGTERM and
+// checks for a clean, trace-flushing shutdown.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.jsonl")
+	var out, errb syncBuffer
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-store", filepath.Join(dir, "store"),
+			"-trace", traceFile,
+			"-trace-ring", "64",
+		}, &out, &errb)
+	}()
+
+	// The daemon prints its resolved listen address once the socket is up.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout:\n%s\nstderr:\n%s", out.String(), errb.String())
+		}
+		if s := out.String(); strings.Contains(s, "serving on http://") {
+			rest := s[strings.Index(s, "http://"):]
+			base = strings.Fields(rest)[0]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+	// A plan fetch for an unknown key: a traced request that both feeds the
+	// ring and lands in the trace file.
+	if resp, _ := get("/v1/plan?app=nosuch&workload=w"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/plan for unknown key = %d, want 404", resp.StatusCode)
+	}
+	resp, body := get("/tracez")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /tracez = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(body, `"comp":"planserver"`) {
+		t.Errorf("/tracez carries no planserver records:\n%s", body)
+	}
+	if resp, body := get("/metricsz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "trace_ring_records") {
+		t.Errorf("GET /metricsz = %d, body missing trace_ring_records:\n%s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exited %d after SIGTERM; stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "shutdown complete") {
+		t.Errorf("stdout missing shutdown message:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("trace file is empty after a traced request and clean shutdown")
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		if !strings.HasPrefix(line, `{"seq":`) {
+			t.Fatalf("trace line %d is not a record: %s", i, line)
+		}
+	}
+}

@@ -9,8 +9,11 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"time"
 
 	"polm2/internal/analyzer"
@@ -19,6 +22,7 @@ import (
 	"polm2/internal/apps/lucene"
 	"polm2/internal/core"
 	"polm2/internal/faultio"
+	"polm2/internal/trace"
 )
 
 // Target names one evaluated (application, workload) pair.
@@ -66,6 +70,12 @@ type Config struct {
 	// analyzes in salvage mode — the resilience benchmark. Empty runs
 	// faultless and strict.
 	FaultSpec string
+	// Trace, when true, records a deterministic trace of every simulated
+	// unit (profiling and production runs). Each unit traces into its own
+	// buffer; WriteTrace concatenates the buffers sorted by unit key, so
+	// the bytes are identical however many workers executed the units —
+	// the same discipline the harness applies to its stdout.
+	Trace bool
 }
 
 // Session caches profiles and runs across experiments. All cache methods
@@ -81,11 +91,59 @@ type Session struct {
 	profiles memo[*core.ProfileResult]
 	compare  memo[*core.ProfileResult] // with jmap comparison dumps
 	runs     memo[*core.RunResult]
+
+	// traceMu guards traces: each simulated unit's finished trace bytes,
+	// keyed "kind:unit key". Units write into private buffers first, so
+	// worker scheduling never interleaves records.
+	traceMu sync.Mutex
+	traces  map[string][]byte
 }
 
 // NewSession builds an empty session.
 func NewSession(cfg Config) *Session {
-	return &Session{cfg: cfg}
+	return &Session{cfg: cfg, traces: make(map[string][]byte)}
+}
+
+// traceUnit starts the per-unit tracer for one simulation (nil when the
+// session does not trace), returning it with a done function that files
+// the unit's bytes for WriteTrace. The unit's first record names it, so a
+// concatenated session trace stays self-describing.
+func (s *Session) traceUnit(kind, key string) (*trace.Tracer, func()) {
+	if !s.cfg.Trace {
+		return nil, func() {}
+	}
+	buf := &bytes.Buffer{}
+	tr := trace.New(trace.Options{Writer: buf})
+	tr.Event("bench", "unit", trace.String("kind", kind), trace.String("key", key))
+	return tr, func() {
+		s.traceMu.Lock()
+		s.traces[kind+":"+key] = append([]byte(nil), buf.Bytes()...)
+		s.traceMu.Unlock()
+	}
+}
+
+// WriteTrace writes every traced unit's records, units sorted by key —
+// the deterministic serial order, independent of how many workers ran the
+// session. Within a unit, records keep their emission order (and per-unit
+// seq numbering restarts at zero).
+func (s *Session) WriteTrace(w io.Writer) error {
+	s.traceMu.Lock()
+	keys := make([]string, 0, len(s.traces))
+	for k := range s.traces {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bufs := make([][]byte, len(keys))
+	for i, k := range keys {
+		bufs[i] = s.traces[k]
+	}
+	s.traceMu.Unlock()
+	for _, b := range bufs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // profileSeed derives the RNG seed of target t's profiling run. The
@@ -137,10 +195,13 @@ func (s *Session) profileVariant(t Target, variant string, mutate func(*core.Pro
 		if mutate != nil {
 			mutate(&opts)
 		}
+		tr, done := s.traceUnit("profile", key)
+		opts.Tracer = tr
 		res, err := core.ProfileApp(t.App, t.Workload, opts)
 		if err != nil {
 			return nil, fmt.Errorf("bench: profiling %s: %w", key, err)
 		}
+		done()
 		return res, nil
 	})
 }
@@ -213,15 +274,18 @@ func (s *Session) runVariant(t Target, collectorName string, plan core.PlanKind,
 		default:
 			return nil, fmt.Errorf("bench: unknown plan kind %q", plan)
 		}
+		tr, done := s.traceUnit("run", key)
 		res, err := core.RunApp(t.App, t.Workload, collectorName, plan, profile, core.RunOptions{
 			Scale:    s.cfg.Scale,
 			Duration: s.cfg.RunDuration,
 			Warmup:   s.cfg.Warmup,
 			Seed:     s.runSeed(t, collectorName, plan),
+			Tracer:   tr,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: running %s under %s/%s: %w", t.Key(), collectorName, plan, err)
 		}
+		done()
 		return res, nil
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"polm2/internal/recorder"
 	"polm2/internal/simclock"
 	"polm2/internal/snapshot"
+	"polm2/internal/trace"
 	"polm2/internal/workload"
 )
 
@@ -50,6 +51,10 @@ type ProfileOptions struct {
 	// the analysis runs in salvage mode and the result carries the
 	// salvage report. Nil writes straight through and analyzes strictly.
 	Fault *faultio.Injector
+	// Tracer, when non-nil, receives a deterministic trace of the run:
+	// a "core"/"profile" span plus per-cycle GC pause spans with phase
+	// breakdowns (internal/trace). Nil traces nothing at zero cost.
+	Tracer *trace.Tracer
 }
 
 func (o ProfileOptions) withDefaults() ProfileOptions {
@@ -180,6 +185,15 @@ func ProfileApp(app App, workloadName string, opts ProfileOptions) (*ProfileResu
 	if jmap != nil {
 		result.JmapSnapshots = jmap.Snapshots()
 	}
+	if opts.Tracer.Enabled() {
+		opts.Tracer.Span("core", "profile", 0, result.SimDuration,
+			trace.String("app", app.Name()),
+			trace.String("workload", workloadName),
+			trace.Uint64("gc_cycles", result.GCCycles),
+			trace.Int64("snapshots", int64(len(result.Snapshots))),
+			trace.Int64("instrumented_sites", int64(profile.InstrumentedSites())))
+		gc.TracePauses(opts.Tracer, ScaledCostModel(opts.Scale), col.Pauses())
+	}
 	return result, nil
 }
 
@@ -205,6 +219,10 @@ type RunOptions struct {
 	Warmup time.Duration
 	// Seed drives the workload's randomness. Default 1.
 	Seed int64
+	// Tracer, when non-nil, receives a deterministic trace of the run:
+	// a "core"/"run" span plus per-cycle GC pause spans with phase
+	// breakdowns (internal/trace). Nil traces nothing at zero cost.
+	Tracer *trace.Tracer
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -321,6 +339,16 @@ func RunApp(app App, workloadName, collectorName string, plan PlanKind, profile 
 	if c4col, ok := col.(*c4.Collector); ok {
 		result.MaxMemoryBytes = c4col.PreReservedBytes()
 		result.PreReserved = true
+	}
+	if opts.Tracer.Enabled() {
+		opts.Tracer.Span("core", "run", 0, result.SimDuration,
+			trace.String("app", app.Name()),
+			trace.String("workload", workloadName),
+			trace.String("collector", collectorName),
+			trace.String("plan", string(plan)),
+			trace.Uint64("gc_cycles", result.GCCycles),
+			trace.Uint64("gen_switches", result.GenSwitches))
+		gc.TracePauses(opts.Tracer, ScaledCostModel(opts.Scale), result.Pauses)
 	}
 	return result, nil
 }

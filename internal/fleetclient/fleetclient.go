@@ -29,6 +29,7 @@ import (
 
 	"polm2/internal/analyzer"
 	"polm2/internal/core"
+	"polm2/internal/trace"
 )
 
 // InstanceHeader names the evidence-upload header carrying the client's
@@ -62,6 +63,11 @@ type Options struct {
 	// Sleep waits between retries. Default time.Sleep; tests and
 	// simulations inject their own.
 	Sleep func(time.Duration)
+	// Tracer, when non-nil, receives one "fleetclient" event per
+	// fetch/upload attempt, per backoff sleep, and per operation outcome.
+	// Timestamps come from the tracer's own clock (trace.Options.Now).
+	// Nil traces nothing at zero cost.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -195,12 +201,31 @@ func (c *Client) retry(op string, try func() (stop bool, err error)) error {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		stop, err := try()
+		if c.opts.Tracer.Enabled() {
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			c.opts.Tracer.Event("fleetclient", "attempt",
+				trace.String("op", op),
+				trace.Uint64("seq", seq),
+				trace.Int64("attempt", int64(attempt)),
+				trace.String("outcome", outcome))
+		}
 		if err == nil || stop {
 			return err
 		}
 		lastErr = err
 		if attempt < c.opts.MaxAttempts-1 {
-			c.opts.Sleep(c.backoff(op, seq, attempt))
+			d := c.backoff(op, seq, attempt)
+			if c.opts.Tracer.Enabled() {
+				c.opts.Tracer.Event("fleetclient", "backoff",
+					trace.String("op", op),
+					trace.Uint64("seq", seq),
+					trace.Int64("attempt", int64(attempt)),
+					trace.Dur("delay", d))
+			}
+			c.opts.Sleep(d)
 		}
 	}
 	return lastErr
@@ -265,11 +290,22 @@ func (c *Client) FetchPlan(app, workload string) (*analyzer.Profile, Outcome, er
 	})
 	if err != nil {
 		if last := c.LastGood(); last != nil {
+			c.traceResult("fetch", OutcomeFallback.String())
 			return last, OutcomeFallback, nil
 		}
+		c.traceResult("fetch", "error")
 		return nil, 0, err
 	}
+	c.traceResult("fetch", outcome.String())
 	return plan, outcome, nil
+}
+
+// traceResult emits one operation-outcome event.
+func (c *Client) traceResult(op, outcome string) {
+	if c.opts.Tracer.Enabled() {
+		c.opts.Tracer.Event("fleetclient", op+"_result",
+			trace.String("outcome", outcome))
+	}
 }
 
 // UploadEvidence posts locally analyzed profiling evidence and returns the
@@ -311,8 +347,10 @@ func (c *Client) UploadEvidence(p *analyzer.Profile) (*analyzer.Profile, error) 
 		return false, nil
 	})
 	if err != nil {
+		c.traceResult("upload", "error")
 		return nil, err
 	}
+	c.traceResult("upload", "merged")
 	return merged, nil
 }
 

@@ -2,9 +2,36 @@ package gc
 
 import (
 	"testing"
+	"time"
 
 	"polm2/internal/heap"
+	"polm2/internal/trace"
 )
+
+// benchCostModel prices the synthetic pauses the tracing guards use.
+func benchCostModel() CostModel {
+	return CostModel{
+		Base:            500 * time.Microsecond,
+		PerRegion:       50 * time.Microsecond,
+		PerRemsetEntry:  100 * time.Nanosecond,
+		PerCopiedByte:   2 * time.Nanosecond,
+		PerCopiedObject: 300 * time.Nanosecond,
+	}
+}
+
+// benchPause is a representative young-collection pause record.
+func benchPause(cycle uint64) Pause {
+	return Pause{
+		Start:            time.Duration(cycle) * 12 * time.Second,
+		Duration:         18 * time.Millisecond,
+		Kind:             PauseYoung,
+		Cycle:            cycle,
+		BytesCopied:      2 << 20,
+		ObjectsCopied:    700,
+		RegionsCollected: 128,
+		RegionsFreed:     120,
+	}
+}
 
 // benchHeap builds a heap with a long-lived rooted population in an old
 // region, simulating the retained working set a steady-state cycle scans
@@ -123,9 +150,14 @@ func reclaimYoungGarbage(b *testing.B, h *heap.Heap, regions []*heap.Region) {
 // steady-state young collection — mutator allocation churn, full-heap
 // trace, evacuation of survivors, sweep of garbage, region reclamation —
 // against a fixed retained working set. allocs/op here is what the host Go
-// runtime pays per simulated GC cycle.
+// runtime pays per simulated GC cycle. The cycle also passes through the
+// disabled trace hook every iteration: with tracing off the hook must be
+// invisible in both ns/op and allocs/op (the zero-alloc contract is pinned
+// hard by TestDisabledTracerZeroAllocs).
 func BenchmarkSteadyStateGCCycle(b *testing.B) {
 	h, retained := benchHeap(b)
+	var tracer *trace.Tracer // nil: tracing disabled
+	model := benchCostModel()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -139,6 +171,36 @@ func BenchmarkSteadyStateGCCycle(b *testing.B) {
 		}
 		unlinkSurvivors(b, h, retained)
 		reclaimYoungGarbage(b, h, cursor.Regions())
+		TraceCycle(tracer, model, benchPause(uint64(i)))
+	}
+}
+
+// BenchmarkTraceCycleDisabled isolates the disabled hook: the whole
+// per-cycle tracing surface (cycle span plus four phase spans) reduced to
+// its guard. Expect ~1ns and 0 allocs/op.
+func BenchmarkTraceCycleDisabled(b *testing.B) {
+	var tracer *trace.Tracer
+	model := benchCostModel()
+	p := benchPause(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TraceCycle(tracer, model, p)
+	}
+}
+
+// TestDisabledTracerZeroAllocs pins the cost contract the hot paths rely
+// on: a nil tracer's per-cycle hook allocates nothing. (The benchmark
+// above shows it; this fails the build the moment it regresses.)
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	var tracer *trace.Tracer
+	model := benchCostModel()
+	p := benchPause(1)
+	if got := testing.AllocsPerRun(1000, func() {
+		TraceCycle(tracer, model, p)
+		TracePauses(tracer, model, nil)
+	}); got != 0 {
+		t.Fatalf("disabled tracer allocates %v per GC cycle, want 0", got)
 	}
 }
 

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLabelName(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []Label
+		want   string
+	}{
+		{"plain", nil, "plain"},
+		{"g", []Label{{"app", "Cassandra"}}, `g{app="Cassandra"}`},
+		// labels sort by key regardless of argument order
+		{"g", []Label{{"workload", "WI"}, {"app", "Cassandra"}},
+			`g{app="Cassandra",workload="WI"}`},
+		// values escape quotes, backslashes and newlines
+		{"g", []Label{{"k", "a\"b\\c\nd"}}, `g{k="a\"b\\c\nd"}`},
+	}
+	for _, c := range cases {
+		if got := LabelName(c.name, c.labels...); got != c.want {
+			t.Errorf("LabelName(%q, %v) = %q, want %q", c.name, c.labels, got, c.want)
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestLatencyHistogramObserve(t *testing.T) {
+	h, err := newLatencyHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(time.Millisecond) // on the edge: counts into the edge's bucket (le is <=)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(time.Hour) // overflow
+	h.Observe(-5)        // clamps to zero, lands in the first bucket
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	want := time.Millisecond + 2*time.Millisecond + time.Hour
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	h, err := newLatencyHistogram(DefaultLatencyEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBadEdges(t *testing.T) {
+	if _, err := newLatencyHistogram(nil); err == nil {
+		t.Error("empty edges accepted")
+	}
+	if _, err := newLatencyHistogram([]time.Duration{2, 1}); err == nil {
+		t.Error("decreasing edges accepted")
+	}
+}
+
+// TestExpositionGolden pins the full /metricsz text exposition byte for
+// byte: sorted family names, counter/gauge value lines, cumulative
+// histogram buckets with duration-formatted le labels, _count and _sum_ns
+// trailers. The daemon's endpoint serves exactly these bytes; drift here
+// breaks scrapers silently, so the format is golden.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plan_fetch_total").Add(3)
+	r.Counter("evidence_merge_total").Inc()
+	r.Gauge(LabelName("evidence_instances", Label{"app", "Cassandra"}, Label{"workload", "WI"})).Set(2)
+	r.Gauge("trace_ring_records").Set(17)
+	h := r.Histogram("plan_fetch_latency", []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(time.Second)
+
+	const want = `evidence_instances{app="Cassandra",workload="WI"} 2
+evidence_merge_total 1
+plan_fetch_latency_bucket{le="1ms"} 2
+plan_fetch_latency_bucket{le="10ms"} 3
+plan_fetch_latency_bucket{le="100ms"} 3
+plan_fetch_latency_bucket{le="+Inf"} 4
+plan_fetch_latency_count 4
+plan_fetch_latency_sum_ns 1006000000
+plan_fetch_total 3
+trace_ring_records 17
+`
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted:\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+func TestRegistryReturnsSameInstances(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("two Counter calls returned distinct counters")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("two Gauge calls returned distinct gauges")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", nil) {
+		t.Error("two Histogram calls returned distinct histograms")
+	}
+	// Re-registering with the same explicit edges is fine.
+	edges := DefaultLatencyEdges()
+	if r.Histogram("h2", edges) != r.Histogram("h2", edges) {
+		t.Error("same-edge re-registration returned a distinct histogram")
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("x")
+	mustPanic("counter-as-gauge", func() { r.Gauge("x") })
+	mustPanic("counter-as-histogram", func() { r.Histogram("x", nil) })
+	r.Histogram("h", nil)
+	mustPanic("histogram-as-counter", func() { r.Counter("h") })
+	mustPanic("edge-change", func() { r.Histogram("h", []time.Duration{time.Second}) })
+	mustPanic("labeled-histogram", func() { r.Histogram(`h2{a="b"}`, nil) })
+}

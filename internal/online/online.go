@@ -32,6 +32,7 @@ import (
 	"polm2/internal/metrics"
 	"polm2/internal/recorder"
 	"polm2/internal/simclock"
+	"polm2/internal/trace"
 	"polm2/internal/workload"
 )
 
@@ -73,6 +74,12 @@ type Options struct {
 	// unreachable daemon keeps the previous plan, mirroring the salvage
 	// path's behaviour on damaged artifacts.
 	Fleet PlanService
+	// Tracer, when non-nil, receives a deterministic trace of the run:
+	// "online" events at every re-profile round (plan hot-swaps, salvage
+	// fallbacks, fleet rounds) stamped with simulated instants, plus the
+	// run span and per-cycle GC pause spans emitted at the end. Nil traces
+	// nothing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // PlanService is the fleet-coordination seam: upload evidence, get back
@@ -212,6 +219,11 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 			return
 		}
 		nextReprofile = clock.Now() + opts.Reprofile
+		if opts.Tracer.Enabled() {
+			opts.Tracer.EventAt(clock.Now(), "online", "reprofile",
+				trace.Uint64("cycle", cycle),
+				trace.Int64("round", int64(len(result.Updates)+len(result.Salvages)+1)))
+		}
 		if err := rec.Flush(); err != nil {
 			analyzeErr = err
 			return
@@ -226,10 +238,20 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 		profile, report, err := analyzer.AnalyzeSalvage(recordsDir, criu.Snapshots(), aOpts)
 		if err != nil {
 			result.Salvages = append(result.Salvages, SalvageEvent{At: clock.Now(), Err: err.Error()})
+			if opts.Tracer.Enabled() {
+				opts.Tracer.EventAt(clock.Now(), "online", "salvage",
+					trace.String("err", err.Error()))
+			}
 			return
 		}
 		if !report.Clean() {
 			result.Salvages = append(result.Salvages, SalvageEvent{At: clock.Now(), Report: report})
+			if opts.Tracer.Enabled() {
+				opts.Tracer.EventAt(clock.Now(), "online", "salvage",
+					trace.Int64("lost_bytes", report.LostBytes),
+					trace.Int64("damaged_sites", int64(len(report.Sites))),
+					trace.Int64("degraded_sites", int64(report.DegradedSites)))
+			}
 			return
 		}
 		if opts.Fleet != nil {
@@ -240,10 +262,20 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 				// No plan to offer at all: keep the previous plan, as a
 				// salvage keeps it on damaged artifacts.
 				result.FleetEvents = append(result.FleetEvents, FleetEvent{At: clock.Now(), Err: err.Error()})
+				if opts.Tracer.Enabled() {
+					opts.Tracer.EventAt(clock.Now(), "online", "fleet_error",
+						trace.String("err", err.Error()))
+				}
 				return
 			}
 			if !fresh {
 				result.FleetEvents = append(result.FleetEvents, FleetEvent{At: clock.Now(), Fallback: true})
+				if opts.Tracer.Enabled() {
+					opts.Tracer.EventAt(clock.Now(), "online", "fleet_fallback")
+				}
+			} else if opts.Tracer.Enabled() {
+				opts.Tracer.EventAt(clock.Now(), "online", "fleet_sync",
+					trace.Int64("instrumented", int64(merged.InstrumentedSites())))
 			}
 			profile = merged
 		}
@@ -259,6 +291,13 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 			Generations:  profile.UsedGenerations(),
 			Conflicts:    profile.Conflicts,
 		})
+		if opts.Tracer.Enabled() {
+			opts.Tracer.EventAt(clock.Now(), "online", "plan_swap",
+				trace.Int64("update", int64(len(result.Updates))),
+				trace.Int64("instrumented", int64(profile.InstrumentedSites())),
+				trace.Int64("generations", int64(profile.UsedGenerations())),
+				trace.Int64("conflicts", int64(profile.Conflicts)))
+		}
 	})
 
 	env := core.NewEnv(vm, clock, workload.NewRand(opts.Seed), opts.Duration)
@@ -283,5 +322,15 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 	}
 	result.MaxMemoryBytes = vm.Heap().Stats().MaxCommittedBytes
 	result.SimDuration = clock.Now()
+	if opts.Tracer.Enabled() {
+		opts.Tracer.Span("online", "run", 0, result.SimDuration,
+			trace.String("app", app.Name()),
+			trace.String("workload", workloadName),
+			trace.Int64("updates", int64(len(result.Updates))),
+			trace.Int64("salvages", int64(len(result.Salvages))),
+			trace.Int64("fleet_events", int64(len(result.FleetEvents))),
+			trace.Uint64("gc_cycles", col.Cycles()))
+		gc.TracePauses(opts.Tracer, core.ScaledCostModel(opts.Scale), result.Pauses)
+	}
 	return result, nil
 }

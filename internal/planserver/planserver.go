@@ -17,7 +17,8 @@
 //	                                 header required); responds with the
 //	                                 merged fleet plan (and its ETag)
 //	GET  /healthz                    liveness
-//	GET  /metricsz                   counter exposition (internal/metrics)
+//	GET  /metricsz                   metric exposition (internal/metrics)
+//	GET  /tracez                     trace ring, newest window (internal/trace)
 //
 // Aggregation is last-write-wins per instance: the daemon keeps each
 // instance's latest evidence (persisted under <store>/evidence) and
@@ -38,11 +39,13 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"polm2/internal/analyzer"
 	"polm2/internal/jvm"
 	"polm2/internal/metrics"
 	"polm2/internal/profilestore"
+	"polm2/internal/trace"
 )
 
 // Options tunes the server. The zero value is ready.
@@ -53,6 +56,14 @@ type Options struct {
 	Merge analyzer.Options
 	// MaxBodyBytes caps an evidence upload. Default 32 MiB.
 	MaxBodyBytes int64
+	// Tracer, when non-nil, receives one "planserver" event per plan
+	// fetch and evidence upload, stamped via Now. Its ring (when it has
+	// one) backs GET /tracez. Nil traces nothing at zero cost.
+	Tracer *trace.Tracer
+	// Now supplies request timestamps for traces and latency histograms.
+	// Default: wall-clock elapsed since New. Tests inject a deterministic
+	// clock to keep traces byte-stable.
+	Now func() time.Duration
 }
 
 // Server is the plan-distribution HTTP service. It is an http.Handler.
@@ -61,14 +72,16 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 
-	reg         *metrics.Registry
-	fetches     *metrics.Counter // every GET /v1/plan
-	notModified *metrics.Counter // ... answered 304
-	misses      *metrics.Counter // ... answered 404
-	loads       *metrics.Counter // store loads (cache+single-flight misses)
-	merges      *metrics.Counter // accepted evidence uploads
-	rejected    *metrics.Counter // rejected evidence uploads
-	storeErrs   *metrics.Counter // store I/O failures surfaced as 500s
+	reg          *metrics.Registry
+	fetches      *metrics.Counter // every GET /v1/plan
+	notModified  *metrics.Counter // ... answered 304
+	misses       *metrics.Counter // ... answered 404
+	loads        *metrics.Counter // store loads (cache+single-flight misses)
+	merges       *metrics.Counter // accepted evidence uploads
+	rejected     *metrics.Counter // rejected evidence uploads
+	storeErrs    *metrics.Counter // store I/O failures surfaced as 500s
+	fetchLatency *metrics.LatencyHistogram // GET /v1/plan handling time
+	mergeLatency *metrics.LatencyHistogram // POST /v1/evidence handling time
 
 	// mergeMu serializes the read-merge-write cycle per store; merging is
 	// commutative, so serialization only pins the store's consistency,
@@ -112,28 +125,35 @@ func New(store *profilestore.Store, opts Options) *Server {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = 32 << 20
 	}
+	if opts.Now == nil {
+		start := time.Now()
+		opts.Now = func() time.Duration { return time.Since(start) }
+	}
 	reg := metrics.NewRegistry()
 	s := &Server{
-		store:       store,
-		opts:        opts,
-		mux:         http.NewServeMux(),
-		reg:         reg,
-		fetches:     reg.Counter("plan_fetch_total"),
-		notModified: reg.Counter("plan_not_modified_total"),
-		misses:      reg.Counter("plan_miss_total"),
-		loads:       reg.Counter("plan_load_total"),
-		merges:      reg.Counter("evidence_merge_total"),
-		rejected:    reg.Counter("evidence_reject_total"),
-		storeErrs:   reg.Counter("store_error_total"),
-		evidence:    make(map[profilestore.Key]map[string]*analyzer.Profile),
-		cache:       make(map[profilestore.Key]*cachedPlan),
-		flight:      make(map[profilestore.Key]*flight),
-		gen:         make(map[profilestore.Key]uint64),
+		store:        store,
+		opts:         opts,
+		mux:          http.NewServeMux(),
+		reg:          reg,
+		fetches:      reg.Counter("plan_fetch_total"),
+		notModified:  reg.Counter("plan_not_modified_total"),
+		misses:       reg.Counter("plan_miss_total"),
+		loads:        reg.Counter("plan_load_total"),
+		merges:       reg.Counter("evidence_merge_total"),
+		rejected:     reg.Counter("evidence_reject_total"),
+		storeErrs:    reg.Counter("store_error_total"),
+		fetchLatency: reg.Histogram("plan_fetch_latency", nil),
+		mergeLatency: reg.Histogram("evidence_merge_latency", nil),
+		evidence:     make(map[profilestore.Key]map[string]*analyzer.Profile),
+		cache:        make(map[profilestore.Key]*cachedPlan),
+		flight:       make(map[profilestore.Key]*flight),
+		gen:          make(map[profilestore.Key]uint64),
 	}
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/evidence", s.handleEvidence)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	return s
 }
 
@@ -210,9 +230,23 @@ func (s *Server) install(k profilestore.Key, c *cachedPlan) {
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.fetches.Inc()
+	start := s.opts.Now()
 	app := r.URL.Query().Get("app")
 	workload := r.URL.Query().Get("workload")
+	outcome := "ok"
+	defer func() {
+		d := s.opts.Now() - start
+		s.fetchLatency.Observe(d)
+		if s.opts.Tracer.Enabled() {
+			s.opts.Tracer.EventAt(start, "planserver", "plan_fetch",
+				trace.String("app", app),
+				trace.String("workload", workload),
+				trace.String("outcome", outcome),
+				trace.Dur("latency", d))
+		}
+	}()
 	if app == "" || workload == "" {
+		outcome = "bad_request"
 		http.Error(w, "planserver: app and workload query parameters are required", http.StatusBadRequest)
 		return
 	}
@@ -220,15 +254,18 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, profilestore.ErrNotFound) {
 			s.misses.Inc()
+			outcome = "miss"
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
 		s.storeErrs.Inc()
+		outcome = "store_error"
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if match := r.Header.Get("If-None-Match"); match != "" && match == c.etag {
 		s.notModified.Inc()
+		outcome = "not_modified"
 		w.Header().Set("ETag", c.etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -303,28 +340,48 @@ func (s *Server) evidenceFor(k profilestore.Key) (map[string]*analyzer.Profile, 
 }
 
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	start := s.opts.Now()
+	outcome := "merged"
+	var app, workload string
+	defer func() {
+		d := s.opts.Now() - start
+		s.mergeLatency.Observe(d)
+		if s.opts.Tracer.Enabled() {
+			s.opts.Tracer.EventAt(start, "planserver", "evidence_upload",
+				trace.String("app", app),
+				trace.String("workload", workload),
+				trace.String("instance", r.Header.Get(InstanceHeader)),
+				trace.String("outcome", outcome),
+				trace.Dur("latency", d))
+		}
+	}()
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var up analyzer.Profile
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&up); err != nil {
 		s.rejected.Inc()
+		outcome = "rejected"
 		http.Error(w, fmt.Sprintf("planserver: decoding evidence: %v", err), http.StatusBadRequest)
 		return
 	}
+	app, workload = up.App, up.Workload
 	instance := r.Header.Get(InstanceHeader)
 	if instance == "" || len(instance) > 128 {
 		s.rejected.Inc()
+		outcome = "rejected"
 		http.Error(w, fmt.Sprintf("planserver: evidence must carry a non-empty %s header of at most 128 bytes", InstanceHeader), http.StatusBadRequest)
 		return
 	}
 	if err := up.Validate(); err != nil {
 		s.rejected.Inc()
+		outcome = "rejected"
 		http.Error(w, fmt.Sprintf("planserver: invalid evidence: %v", err), http.StatusBadRequest)
 		return
 	}
 	if err := checkEvidence(&up); err != nil {
 		s.rejected.Inc()
+		outcome = "rejected"
 		http.Error(w, fmt.Sprintf("planserver: rejected evidence: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -335,6 +392,7 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	ev, err := s.evidenceFor(k)
 	if err != nil {
 		s.storeErrs.Inc()
+		outcome = "store_error"
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -358,27 +416,32 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		// masquerade as a 400.
 		if _, upErr := analyzer.MergeProfiles(mergeOpts, &up); upErr != nil {
 			s.rejected.Inc()
+			outcome = "rejected"
 			http.Error(w, fmt.Sprintf("planserver: merging evidence: %v", upErr), http.StatusBadRequest)
 			return
 		}
 		s.storeErrs.Inc()
+		outcome = "store_error"
 		http.Error(w, fmt.Sprintf("planserver: merging stored fleet evidence: %v", err), http.StatusInternalServerError)
 		return
 	}
 	if err := s.store.PutEvidence(instance, &up); err != nil {
 		s.storeErrs.Inc()
+		outcome = "store_error"
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	ev[instance] = &up
 	if err := s.store.Put(merged); err != nil {
 		s.storeErrs.Inc()
+		outcome = "store_error"
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	c, err := encodePlan(merged)
 	if err != nil {
 		s.storeErrs.Inc()
+		outcome = "store_error"
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -386,6 +449,9 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	// freshly merged one so the next fetch needs no store load.
 	s.install(k, c)
 	s.merges.Inc()
+	s.reg.Gauge(metrics.LabelName("evidence_instances",
+		metrics.Label{Key: "app", Value: k.App},
+		metrics.Label{Key: "workload", Value: k.Workload})).Set(int64(len(ev)))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", c.etag)
 	w.Write(c.body)
@@ -397,6 +463,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Tracer.Enabled() {
+		if ring := s.opts.Tracer.Ring(); ring != nil {
+			s.reg.Gauge("trace_ring_records").Set(int64(ring.Len()))
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.reg.WriteTo(w)
+}
+
+// handleTracez serves the tracer's in-memory ring: the newest window of
+// trace records as JSONL, oldest first. Without a tracer (or with a
+// ringless one) the endpoint reports the feature off rather than
+// pretending an empty fleet history.
+func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
+	if !s.opts.Tracer.Enabled() || s.opts.Tracer.Ring() == nil {
+		http.Error(w, "planserver: tracing is not enabled", http.StatusNotFound)
+		return
+	}
+	ring := s.opts.Tracer.Ring()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Polm2-Trace-Total", fmt.Sprint(ring.Total()))
+	ring.WriteTo(w)
 }

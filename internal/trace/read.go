@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Record is one decoded trace record. The encoder writes fields in a fixed
+// order (seq, ts, kind, comp, name, dur, attrs) so encoded traces are
+// byte-deterministic; decoding is by name and tolerates reordering, so
+// hand-edited or third-party traces still load.
+type Record struct {
+	Seq  uint64         `json:"seq"`
+	TS   int64          `json:"ts"`
+	Kind string         `json:"kind"`
+	Comp string         `json:"comp"`
+	Name string         `json:"name"`
+	Dur  int64          `json:"dur,omitempty"`
+	Att  map[string]any `json:"attrs,omitempty"`
+}
+
+// Time returns the record's timestamp as a simulated instant.
+func (r Record) Time() time.Duration { return time.Duration(r.TS) }
+
+// Duration returns a span's length (zero for events).
+func (r Record) Duration() time.Duration { return time.Duration(r.Dur) }
+
+// Str returns the named string attribute, or "".
+func (r Record) Str(key string) string {
+	s, _ := r.Att[key].(string)
+	return s
+}
+
+// Int returns the named integer attribute, or 0. JSON numbers decode as
+// float64; every attribute the encoder writes is an integer, so the
+// conversion is exact up to 2^53 — far beyond any simulated quantity.
+func (r Record) Int(key string) int64 {
+	f, _ := r.Att[key].(float64)
+	return int64(f)
+}
+
+// Decode reads a JSONL trace stream into records, preserving order. Blank
+// lines are skipped; a malformed line fails with its line number, since a
+// trace that cannot be trusted line-for-line cannot be summarized either.
+func Decode(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile decodes a trace file written via the -trace flag.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"io"
+	"sync"
+)
+
+// Ring keeps the most recent trace records in a bounded in-memory buffer.
+// The plan-distribution daemon serves it at GET /tracez: the trace file is
+// for offline analysis, the ring is for "what has the daemon done lately"
+// without shelling into the host. Records are stored as their encoded
+// JSONL lines; once capacity is reached, each new record evicts the
+// oldest.
+type Ring struct {
+	mu    sync.Mutex
+	lines [][]byte
+	next  int
+	full  bool
+	total uint64
+}
+
+// DefaultRingSize is the record capacity the daemon uses. At roughly 150
+// bytes per encoded record the ring tops out near 600 KiB — bounded however
+// long the daemon runs, yet deep enough to hold several full fleet rounds
+// (one fetch/merge pair per instance per re-profile interval).
+const DefaultRingSize = 4096
+
+// NewRing builds a ring holding at most n records. Non-positive n falls
+// back to DefaultRingSize.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{lines: make([][]byte, n)}
+}
+
+// add copies one encoded line into the ring (the tracer reuses its
+// encoding buffer, so the ring must own its bytes).
+func (r *Ring) add(line []byte) {
+	owned := make([]byte, len(line))
+	copy(owned, line)
+	r.mu.Lock()
+	r.lines[r.next] = owned
+	r.next++
+	if r.next == len(r.lines) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of records currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.lines)
+	}
+	return r.next
+}
+
+// Total returns the number of records ever added, including evicted ones.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// WriteTo writes the held records oldest-first. It snapshots the ring
+// under the lock and writes outside it, so a slow reader cannot stall
+// emitters.
+func (r *Ring) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	snapshot := make([][]byte, 0, len(r.lines))
+	if r.full {
+		snapshot = append(snapshot, r.lines[r.next:]...)
+	}
+	snapshot = append(snapshot, r.lines[:r.next]...)
+	r.mu.Unlock()
+
+	var total int64
+	for _, line := range snapshot {
+		n, err := w.Write(line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,259 @@
+// Package trace is the deterministic observability layer of the POLM2
+// reproduction: structured span/event records, one JSON object per line
+// (JSONL), timestamped from the simulated clock (or any injected clock) and
+// sequenced per tracer — never from the wall clock — so two runs with the
+// same seed produce byte-identical traces. That determinism is what turns
+// the trace from write-only telemetry into a goldenable regression surface,
+// the same property the benchmark harness relies on for its stdout.
+//
+// The components that emit: internal/gc (per-cycle pause spans with a
+// cost-model phase breakdown), internal/online (re-profile rounds, plan
+// hot-swaps, salvage and fleet events), internal/planserver (request
+// handling and evidence merges, also served live from a bounded ring at
+// GET /tracez), and internal/fleetclient (fetch/upload attempts and
+// backoff).
+//
+// # Cost discipline
+//
+// A nil *Tracer is the disabled tracer: every method is nil-safe, and hot
+// paths guard emission with Enabled(), which compiles to a pointer nil
+// check. The contract — pinned by testing.B allocs/op assertions in
+// internal/gc — is zero allocations on the host when disabled, and bounded
+// allocation when enabled (the encoder reuses one buffer under the
+// tracer's lock; only variadic attribute slices and map growth allocate).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Record kinds.
+const (
+	// KindEvent is an instantaneous occurrence.
+	KindEvent = "event"
+	// KindSpan is an interval with a duration.
+	KindSpan = "span"
+)
+
+// Attr is one key/value attribute of a record. Construct with String,
+// Int64, Uint64 or Dur; the zero Attr renders as key "" with value 0.
+type Attr struct {
+	Key   string
+	str   string
+	num   int64
+	isStr bool
+}
+
+// String builds a string-valued attribute.
+func String(key, value string) Attr { return Attr{Key: key, str: value, isStr: true} }
+
+// Int64 builds an integer-valued attribute.
+func Int64(key string, value int64) Attr { return Attr{Key: key, num: value} }
+
+// Uint64 builds an integer-valued attribute from a uint64. Values above
+// MaxInt64 saturate; no simulated quantity gets near that.
+func Uint64(key string, value uint64) Attr {
+	if value > 1<<63-1 {
+		value = 1<<63 - 1
+	}
+	return Attr{Key: key, num: int64(value)}
+}
+
+// Dur builds an integer-valued attribute holding a duration in
+// nanoseconds. Durations are always rendered as integer nanoseconds, never
+// as formatted strings, so the encoding has no locale or rounding
+// ambiguity.
+func Dur(key string, value time.Duration) Attr { return Attr{Key: key, num: int64(value)} }
+
+// Options parameterizes a tracer. At least one of Writer and Ring should
+// be set, or the tracer encodes records nobody sees.
+type Options struct {
+	// Writer receives every encoded record, one line per record. Writes
+	// happen under the tracer's lock, in seq order. Nil discards.
+	Writer io.Writer
+	// Ring, when non-nil, additionally keeps the most recent records in
+	// memory (the daemon serves it at GET /tracez).
+	Ring *Ring
+	// Now supplies timestamps for Event and Start. Simulation-side
+	// tracers inject the simulated clock's Now; the daemon injects its
+	// own monotonic-from-start clock. Nil stamps zero — records are still
+	// totally ordered by seq.
+	Now func() time.Duration
+}
+
+// Tracer encodes and publishes records. It is safe for concurrent use; a
+// nil *Tracer is the disabled tracer and all its methods are no-ops.
+type Tracer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	ring *Ring
+	now  func() time.Duration
+	seq  uint64
+	buf  []byte
+	err  error
+}
+
+// New builds a tracer.
+func New(opts Options) *Tracer {
+	return &Tracer{w: opts.Writer, ring: opts.Ring, now: opts.Now}
+}
+
+// Enabled reports whether the tracer emits at all. Call sites on hot paths
+// guard with it so a disabled tracer costs one nil check and nothing else:
+//
+//	if tr.Enabled() {
+//	    tr.Event("gc", "cycle", trace.Uint64("cycle", n))
+//	}
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Ring returns the tracer's in-memory ring, or nil.
+func (t *Tracer) Ring() *Ring {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// Err returns the first write error the tracer met, or nil. Tracing is
+// observability, not control flow: emission never fails the traced
+// operation, but the daemon and CLIs surface this at shutdown.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Event emits an instantaneous record stamped with the tracer's clock.
+func (t *Tracer) Event(component, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	var ts time.Duration
+	if t.now != nil {
+		ts = t.now()
+	}
+	t.emit(KindEvent, component, name, ts, 0, attrs)
+}
+
+// EventAt emits an instantaneous record at an explicit instant (the
+// simulation emits at simulated instants that are not "now" for the
+// tracer).
+func (t *Tracer) EventAt(ts time.Duration, component, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit(KindEvent, component, name, ts, 0, attrs)
+}
+
+// Span emits an interval record covering [start, start+dur).
+func (t *Tracer) Span(component, name string, start, dur time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit(KindSpan, component, name, start, dur, attrs)
+}
+
+// emit encodes one record and hands it to the sinks. The buffer is owned
+// by the tracer and reused; the ring copies what it keeps.
+func (t *Tracer) emit(kind, component, name string, ts, dur time.Duration, attrs []Attr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, t.seq, 10)
+	t.seq++
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, int64(ts), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, kind...)
+	b = append(b, `","comp":`...)
+	b = appendJSONString(b, component)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, name)
+	if kind == KindSpan {
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendInt(b, int64(dur), 10)
+	}
+	if len(attrs) > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i, a := range attrs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, a.Key)
+			b = append(b, ':')
+			if a.isStr {
+				b = appendJSONString(b, a.str)
+			} else {
+				b = strconv.AppendInt(b, a.num, 10)
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if t.ring != nil {
+		t.ring.add(b)
+	}
+	if t.w != nil {
+		if _, err := t.w.Write(b); err != nil && t.err == nil {
+			t.err = fmt.Errorf("trace: writing record: %w", err)
+		}
+	}
+}
+
+// appendJSONString appends s as a JSON string literal. Control characters,
+// quotes and backslashes are escaped; invalid UTF-8 is replaced, matching
+// encoding/json. Everything the simulator emits is ASCII, so the fast path
+// is a straight copy.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c < utf8.RuneSelf {
+			b = append(b, c)
+			i++
+			continue
+		}
+		if c < utf8.RuneSelf {
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, `�`...)
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return append(b, '"')
+}
+
+func hexDigit(n byte) byte {
+	if n < 10 {
+		return '0' + n
+	}
+	return 'a' + n - 10
+}

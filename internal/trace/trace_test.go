@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// emitFixture writes a fixed record sequence through a fresh tracer and
+// returns the encoded bytes.
+func emitFixture() []byte {
+	var buf bytes.Buffer
+	var now time.Duration
+	tr := New(Options{Writer: &buf, Now: func() time.Duration { return now }})
+	tr.Event("gc", "cycle", Uint64("cycle", 1), String("kind", "young"))
+	now = 5 * time.Millisecond
+	tr.Span("gc", "pause", 2*time.Millisecond, 3*time.Millisecond,
+		Int64("bytes_copied", 4096), Dur("base", 500*time.Microsecond))
+	tr.EventAt(7*time.Millisecond, "online", "plan_swap", Int64("sites", 12))
+	tr.Event("fleet", "backoff") // no attrs: the attrs object must be absent
+	return buf.Bytes()
+}
+
+// TestDeterministicEncoding pins the exact wire bytes: field order, integer
+// timestamps, attribute order as given. Any drift here breaks every golden
+// trace downstream, so the encoding itself is golden.
+func TestDeterministicEncoding(t *testing.T) {
+	want := `{"seq":0,"ts":0,"kind":"event","comp":"gc","name":"cycle","attrs":{"cycle":1,"kind":"young"}}
+{"seq":1,"ts":2000000,"kind":"span","comp":"gc","name":"pause","dur":3000000,"attrs":{"bytes_copied":4096,"base":500000}}
+{"seq":2,"ts":7000000,"kind":"event","comp":"online","name":"plan_swap","attrs":{"sites":12}}
+{"seq":3,"ts":5000000,"kind":"event","comp":"fleet","name":"backoff"}
+`
+	got := string(emitFixture())
+	if got != want {
+		t.Errorf("encoding drifted:\n--- want\n%s--- got\n%s", want, got)
+	}
+	if !bytes.Equal(emitFixture(), emitFixture()) {
+		t.Error("two identical emission sequences produced different bytes")
+	}
+}
+
+// TestEncodingIsValidJSON runs every emitted line through encoding/json,
+// including keys and values that need escaping.
+func TestEncodingIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{Writer: &buf})
+	tr.Event("comp\"x", "na\\me", String("k\n", "v\tq\x01"), String("utf8", "héllo\xffworld"))
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("emitted line is not valid JSON: %v\n%s", err, line)
+		}
+	}
+	recs, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Comp != "comp\"x" || recs[0].Name != "na\\me" {
+		t.Errorf("escaped identity did not round-trip: %+v", recs[0])
+	}
+	if got := recs[0].Str("k\n"); got != "v\tq\x01" {
+		t.Errorf("escaped attribute did not round-trip: %q", got)
+	}
+}
+
+// TestDecodeRoundTrip checks the reader returns what the writer meant.
+func TestDecodeRoundTrip(t *testing.T) {
+	recs, err := Decode(bytes.NewReader(emitFixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("decoded %d records, want 4", len(recs))
+	}
+	span := recs[1]
+	if span.Kind != KindSpan || span.Comp != "gc" || span.Name != "pause" {
+		t.Errorf("span identity mangled: %+v", span)
+	}
+	if span.Time() != 2*time.Millisecond || span.Duration() != 3*time.Millisecond {
+		t.Errorf("span timing mangled: ts=%v dur=%v", span.Time(), span.Duration())
+	}
+	if span.Int("bytes_copied") != 4096 || span.Int("base") != int64(500*time.Microsecond) {
+		t.Errorf("span attrs mangled: %+v", span.Att)
+	}
+	if recs[0].Str("kind") != "young" {
+		t.Errorf("string attr mangled: %+v", recs[0].Att)
+	}
+	if recs[3].Att != nil {
+		t.Errorf("attr-less record decoded with attrs: %+v", recs[3].Att)
+	}
+}
+
+func TestDecodeRejectsMalformedLine(t *testing.T) {
+	_, err := Decode(strings.NewReader("{\"seq\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line not reported with its number: %v", err)
+	}
+}
+
+// TestNilTracerIsSafe exercises every method on the disabled tracer.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Ring() != nil || tr.Err() != nil {
+		t.Fatal("nil tracer leaks state")
+	}
+	tr.Event("a", "b", Int64("k", 1))
+	tr.EventAt(time.Second, "a", "b")
+	tr.Span("a", "b", 0, time.Second)
+}
+
+// TestNilTracerZeroAllocs pins the cost contract of the disabled tracer:
+// a guarded call site allocates nothing. The same contract is re-asserted
+// on the real GC hot path in internal/gc's benchmarks.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Enabled() {
+			tr.Event("gc", "cycle", Uint64("cycle", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guarded disabled-tracer call allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestRingEviction fills a ring past capacity and checks only the newest
+// records survive, oldest-first on read.
+func TestRingEviction(t *testing.T) {
+	ring := NewRing(3)
+	tr := New(Options{Ring: ring})
+	for i := 0; i < 5; i++ {
+		tr.Event("c", fmt.Sprintf("e%d", i))
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("ring holds %d records, want 3", ring.Len())
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("ring total %d, want 5", ring.Total())
+	}
+	var buf bytes.Buffer
+	if _, err := ring.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range recs {
+		names = append(names, r.Name)
+	}
+	if got, want := strings.Join(names, ","), "e2,e3,e4"; got != want {
+		t.Fatalf("ring contents %s, want %s", got, want)
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	if got := NewRing(0); len(got.lines) != DefaultRingSize {
+		t.Fatalf("NewRing(0) capacity %d, want %d", len(got.lines), DefaultRingSize)
+	}
+}
+
+// TestConcurrentEmission hammers one tracer from many goroutines; the race
+// detector checks the locking, and every line must still be whole (no
+// interleaved partial writes) with a dense seq space.
+func TestConcurrentEmission(t *testing.T) {
+	var buf bytes.Buffer
+	ring := NewRing(64)
+	tr := New(Options{Writer: &syncWriter{w: &buf}, Ring: ring})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Event("worker", "tick", Int64("g", int64(g)), Int64("i", int64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	recs, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != goroutines*per {
+		t.Fatalf("decoded %d records, want %d", len(recs), goroutines*per)
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+	for i := uint64(0); i < goroutines*per; i++ {
+		if !seen[i] {
+			t.Fatalf("seq %d missing", i)
+		}
+	}
+}
+
+// syncWriter serializes writes; bytes.Buffer alone is not goroutine-safe
+// and the tracer already holds its own lock, but the test documents that
+// the writer contract is "called under the tracer's lock".
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestWriterErrorSurfaces checks the first sink failure is retained.
+func TestWriterErrorSurfaces(t *testing.T) {
+	tr := New(Options{Writer: failWriter{}})
+	tr.Event("a", "b")
+	if err := tr.Err(); err == nil || !strings.Contains(err.Error(), "disk gone") {
+		t.Fatalf("sink error lost: %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk gone") }
+
+// BenchmarkEventDisabled measures the guarded disabled-tracer call — the
+// per-GC-cycle cost every simulation pays when -trace is off.
+func BenchmarkEventDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Event("gc", "cycle", Uint64("cycle", uint64(i)))
+		}
+	}
+}
+
+// BenchmarkEventEnabled measures an enabled emission into a ring (no I/O):
+// the low-alloc-on budget.
+func BenchmarkEventEnabled(b *testing.B) {
+	tr := New(Options{Ring: NewRing(1024)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event("gc", "cycle", Uint64("cycle", uint64(i)), String("kind", "young"))
+	}
+}
