@@ -1,0 +1,286 @@
+// Command polm2-loadgen drives a synthetic fleet against a live polm2d
+// daemon: K instances each upload M rounds of cumulative profiling
+// evidence and poll the fleet plan with conditional GETs between rounds,
+// exactly the traffic shape internal/fleetclient produces in production.
+// It reports client-side latency percentiles for both endpoints and the
+// daemon's own pipeline counters (uploads, merges, coalescing) scraped
+// from /metricsz before and after the run — the operational complement to
+// the package's micro-benchmarks.
+//
+// Usage:
+//
+//	polm2d -addr 127.0.0.1:7468 -store ./profiles &
+//	polm2-loadgen -addr http://127.0.0.1:7468 -instances 16 -uploads 8
+//
+// The generator is deterministic for a fixed flag set: instance ids,
+// site traces and allocation counts derive from -seed, so two runs load
+// the daemon with byte-identical evidence (the daemon's merge being
+// idempotent per instance, re-runs against a dirty store converge to the
+// same plan too).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// instanceResult is one synthetic instance's measurements, merged after
+// the run so the timing path takes no locks.
+type instanceResult struct {
+	uploadLat   []time.Duration
+	fetchLat    []time.Duration
+	notModified int
+	fetches     int
+	uploads     int
+	err         error
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("polm2-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "", "base URL of the polm2d daemon (required, e.g. http://127.0.0.1:7468)")
+		app       = fs.String("app", "LoadGen", "application label of the generated evidence")
+		workload  = fs.String("workload", "steady", "workload label of the generated evidence")
+		instances = fs.Int("instances", 16, "synthetic fleet size (concurrent uploaders)")
+		uploads   = fs.Int("uploads", 8, "evidence uploads per instance (each cumulative over the last)")
+		sites     = fs.Int("sites", 24, "allocation sites per instance profile (first one fleet-shared)")
+		seed      = fs.Uint64("seed", 1, "determinism seed for instance ids and evidence contents")
+		timeout   = fs.Duration("timeout", 30*time.Second, "overall deadline for requests and convergence")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "polm2-loadgen: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *addr == "" {
+		fmt.Fprintln(stderr, "polm2-loadgen: -addr is required")
+		return 2
+	}
+	if *instances <= 0 || *uploads <= 0 || *sites <= 0 {
+		fmt.Fprintln(stderr, "polm2-loadgen: -instances, -uploads and -sites must be positive")
+		return 2
+	}
+
+	transport := &http.Transport{MaxIdleConns: *instances * 2, MaxIdleConnsPerHost: *instances * 2}
+	client := &http.Client{Transport: transport, Timeout: *timeout}
+	defer transport.CloseIdleConnections()
+
+	before, err := scrapeCounters(client, *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "polm2-loadgen: scraping %s/metricsz: %v\n", *addr, err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "polm2-loadgen: %d instances × %d uploads (%d sites) against %s (%s/%s)\n",
+		*instances, *uploads, *sites, *addr, *app, *workload)
+	results := make([]instanceResult, *instances)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *instances; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runInstance(client, *addr, *app, *workload, i, *uploads, *sites, *seed)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var uploadSample, fetchSample metrics.Sample
+	okUploads, okFetches, notModified, failed := 0, 0, 0, 0
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(stderr, "polm2-loadgen: instance %d: %v\n", i, r.err)
+		}
+		okUploads += r.uploads
+		okFetches += r.fetches
+		notModified += r.notModified
+		for _, d := range r.uploadLat {
+			uploadSample.Add(d)
+		}
+		for _, d := range r.fetchLat {
+			fetchSample.Add(d)
+		}
+	}
+
+	// The daemon merges asynchronously behind its uploads; wait for the
+	// pipeline to cover them all before scraping the final counters, so
+	// the report describes a quiesced run.
+	wantCovered := before["evidence_merge_total"] + before["evidence_coalesced_total"] + uint64(okUploads)
+	deadline := time.Now().Add(*timeout)
+	var after map[string]uint64
+	for {
+		after, err = scrapeCounters(client, *addr)
+		if err != nil {
+			fmt.Fprintf(stderr, "polm2-loadgen: scraping %s/metricsz: %v\n", *addr, err)
+			return 1
+		}
+		if after["evidence_merge_total"]+after["evidence_coalesced_total"] >= wantCovered {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintln(stderr, "polm2-loadgen: daemon did not cover all uploads before the deadline")
+			return 1
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Fprintf(stdout, "uploads:  %d ok, %d instances failed, wall %s\n", okUploads, failed, elapsed.Round(time.Millisecond))
+	if uploadSample.Len() > 0 {
+		fmt.Fprintf(stdout, "  latency p50 %s  p99 %s  max %s\n",
+			uploadSample.Percentile(50).Round(time.Microsecond),
+			uploadSample.Percentile(99).Round(time.Microsecond),
+			uploadSample.Max().Round(time.Microsecond))
+	}
+	fmt.Fprintf(stdout, "fetches:  %d ok (%d not-modified)\n", okFetches, notModified)
+	if fetchSample.Len() > 0 {
+		fmt.Fprintf(stdout, "  latency p50 %s  p99 %s  max %s\n",
+			fetchSample.Percentile(50).Round(time.Microsecond),
+			fetchSample.Percentile(99).Round(time.Microsecond),
+			fetchSample.Max().Round(time.Microsecond))
+	}
+	d := func(name string) uint64 { return after[name] - before[name] }
+	fmt.Fprintf(stdout, "daemon:   %d uploads, %d merges (%d coalesced), %d rejects, %d store errors\n",
+		d("evidence_upload_total"), d("evidence_merge_total"),
+		d("evidence_coalesced_total"), d("evidence_reject_total"), d("store_error_total"))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runInstance is one synthetic fleet member: -uploads rounds of
+// cumulative evidence, a conditional plan poll after each.
+func runInstance(client *http.Client, addr, app, workload string, idx, uploads, sites int, seed uint64) instanceResult {
+	var r instanceResult
+	instance := fmt.Sprintf("loadgen-%d-%03d", seed, idx)
+	etag := ""
+	for round := 1; round <= uploads; round++ {
+		body, err := json.Marshal(buildEvidence(app, workload, idx, round, sites, seed))
+		if err != nil {
+			r.err = err
+			return r
+		}
+		req, err := http.NewRequest("POST", addr+"/v1/evidence", bytes.NewReader(body))
+		if err != nil {
+			r.err = err
+			return r
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Polm2-Instance", instance)
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		r.uploadLat = append(r.uploadLat, time.Since(t0))
+		if resp.StatusCode != http.StatusOK {
+			r.err = fmt.Errorf("upload round %d: status %d: %s", round, resp.StatusCode, bytes.TrimSpace(msg))
+			return r
+		}
+		r.uploads++
+
+		req, err = http.NewRequest("GET",
+			fmt.Sprintf("%s/v1/plan?app=%s&workload=%s", addr, app, workload), nil)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		t0 = time.Now()
+		resp, err = client.Do(req)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		r.fetchLat = append(r.fetchLat, time.Since(t0))
+		switch resp.StatusCode {
+		case http.StatusOK:
+			etag = resp.Header.Get("ETag")
+		case http.StatusNotModified:
+			r.notModified++
+		default:
+			r.err = fmt.Errorf("fetch round %d: status %d", round, resp.StatusCode)
+			return r
+		}
+		r.fetches++
+	}
+	return r
+}
+
+// buildEvidence is instance idx's cumulative evidence at the given round:
+// one site shared fleet-wide, the rest private to the instance, all
+// counts growing with the round so re-uploads replace rather than repeat.
+func buildEvidence(app, workload string, idx, round, sites int, seed uint64) *analyzer.Profile {
+	p := &analyzer.Profile{App: app, Workload: workload}
+	for s := 0; s < sites; s++ {
+		trace := fmt.Sprintf("LoadGen.serve:1;Handler.call:%d", 10+s)
+		if s > 0 {
+			trace = fmt.Sprintf("%s;Worker.run:%d", trace, 100+idx)
+		}
+		n := uint64(round) * (32 + uint64(seed)%7 + 3*uint64(s) + uint64(idx))
+		p.Sites = append(p.Sites, analyzer.SiteStat{
+			Trace:     trace,
+			Allocated: n,
+			Buckets:   []uint64{n / 3, n - n/3 - n/5, n / 5},
+		})
+	}
+	return p
+}
+
+// scrapeCounters parses /metricsz's plain "name value" exposition into a
+// map, skipping labeled series (the generator only diffs totals).
+func scrapeCounters(client *http.Client, addr string) (map[string]uint64, error) {
+	resp, err := client.Get(addr + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsAny(name, "{") {
+			continue
+		}
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			continue // histogram rows etc.
+		}
+		out[name] = n
+	}
+	return out, sc.Err()
+}

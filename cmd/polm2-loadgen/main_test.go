@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/planserver"
+	"polm2/internal/profilestore"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("run with unknown flag = %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Fatalf("run without -addr = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-addr is required") {
+		t.Errorf("stderr missing addr error:\n%s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-addr", "http://x", "-instances", "0"}, &out, &errb); code != 2 {
+		t.Fatalf("run with zero instances = %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-addr", "http://x", "stray"}, &out, &errb); code != 2 {
+		t.Fatalf("run with positional arg = %d, want 2", code)
+	}
+}
+
+// TestLoadgenAgainstDaemon runs the generator against an in-process plan
+// daemon: every upload accepted, the report consistent with the daemon's
+// own counters, and the converged plan accounting for every instance's
+// latest (cumulative) evidence exactly once.
+func TestLoadgenAgainstDaemon(t *testing.T) {
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := planserver.New(store, planserver.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const instances, uploads, sites = 4, 3, 5
+	var out, errb strings.Builder
+	code := run([]string{
+		"-addr", ts.URL,
+		"-app", "LoadGen", "-workload", "test",
+		"-instances", "4", "-uploads", "3", "-sites", "5",
+		"-seed", "7",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("loadgen exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"4 instances × 3 uploads",
+		"uploads:  12 ok, 0 instances failed",
+		"fetches:  12 ok",
+		"latency p50",
+		"daemon:   12 uploads,",
+		"0 rejects, 0 store errors",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// The daemon converged on the merge of every instance's final round.
+	resp, err := http.Get(ts.URL + "/v1/plan?app=LoadGen&workload=test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("final fetch = %d, %v", resp.StatusCode, err)
+	}
+	var p analyzer.Profile
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for i := 0; i < instances; i++ {
+		for _, s := range buildEvidence("LoadGen", "test", i, uploads, sites, 7).Sites {
+			want += s.Allocated
+		}
+	}
+	var got uint64
+	for _, s := range p.Sites {
+		got += s.Allocated
+	}
+	if got != want {
+		t.Fatalf("converged plan allocates %d, want %d (final round of each instance, once)", got, want)
+	}
+	// Re-running with the same seed is idempotent: same evidence, same plan.
+	out.Reset()
+	if code := run([]string{
+		"-addr", ts.URL,
+		"-app", "LoadGen", "-workload", "test",
+		"-instances", "4", "-uploads", "3", "-sites", "5",
+		"-seed", "7",
+	}, &out, &errb); code != 0 {
+		t.Fatalf("re-run exited %d\nstderr:\n%s", code, errb.String())
+	}
+	resp, err = http.Get(ts.URL + "/v1/plan?app=LoadGen&workload=test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-rerun fetch = %d, %v", resp.StatusCode, err)
+	}
+	if string(body2) != string(body) {
+		t.Fatal("re-run with identical seed changed the converged plan")
+	}
+}

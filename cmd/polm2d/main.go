@@ -108,7 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "polm2d: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: planserver.New(store, planserver.Options{Tracer: tracer})}
+	ps := planserver.New(store, planserver.Options{Tracer: tracer})
+	srv := &http.Server{Handler: ps}
 	fmt.Fprintf(stdout, "polm2d: serving on http://%s (store %s)\n", ln.Addr(), store.Dir())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -130,6 +131,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "polm2d: shutdown: %v\n", err)
 			return 1
 		}
+		// Merges coalesce asynchronously behind uploads; drain them so the
+		// store's plan files cover every upload the fleet got a 200 for.
+		ps.Flush()
 	}
 	if flushTrace != nil {
 		if err := flushTrace(); err != nil {

@@ -31,8 +31,13 @@ import (
 // Profiles with empty App/Workload labels adopt the labels of the merge;
 // labeled profiles must all agree with each other (and with opts when it
 // is labeled).
+//
+// Callers that merge the same key repeatedly (the plan daemon recomputing
+// one fleet plan per evidence batch) should hold a MergeAccumulator and
+// reuse it: the accumulator caches parsed stack traces and its fold state
+// across merges, cutting the per-merge allocation cost to the synthesis
+// pass alone.
 func MergeProfiles(opts Options, profiles ...*Profile) (*Profile, error) {
-	opts = opts.withDefaults()
 	inputs := make([]*Profile, 0, len(profiles))
 	for _, p := range profiles {
 		if p != nil {
@@ -61,60 +66,148 @@ func MergeProfiles(opts Options, profiles ...*Profile) (*Profile, error) {
 	}
 	opts.App, opts.Workload = app, workload
 
-	type acc struct {
-		trace    jvm.StackTrace
-		total    uint64
-		tainted  uint64
-		survived []uint64
-	}
-	merged := make(map[string]*acc)
+	acc := NewMergeAccumulator(opts)
 	for _, p := range inputs {
-		for _, s := range p.Sites {
-			a := merged[s.Trace]
-			if a == nil {
-				trace, err := jvm.ParseStackTrace(s.Trace)
-				if err != nil {
-					return nil, fmt.Errorf("analyzer: merging site evidence: %w", err)
-				}
-				a = &acc{trace: trace}
-				merged[s.Trace] = a
-			}
-			a.total += s.Allocated
-			a.tainted += s.Tainted
-			for len(a.survived) < len(s.Buckets) {
-				a.survived = append(a.survived, 0)
-			}
-			for k, n := range s.Buckets {
-				a.survived[k] += n
-			}
+		if err := acc.Add(p); err != nil {
+			return nil, err
 		}
 	}
+	return acc.Merge()
+}
 
+// mergeSite is one allocation site's fold state inside a MergeAccumulator.
+// The parsed trace is kept across Reset calls (parsing dominates the fold
+// cost for a steady fleet whose site set barely moves); the sums are
+// re-zeroed lazily via the epoch stamp.
+type mergeSite struct {
+	epoch uint64
+	ev    siteEvidence
+}
+
+// MergeAccumulator folds profiles into per-site evidence sums and
+// synthesizes fleet plans from them, reusing its internal state across
+// merges. The intended lifecycle per merge is
+//
+//	acc.Reset()
+//	for _, p := range inputs { acc.Add(p) } // error attributable to p
+//	plan, err := acc.Merge()                // synthesis over the sums
+//
+// An Add error is attributable to the profile being added (an unparsable
+// site trace, a label mismatch); a Merge error comes from the synthesis
+// over the combined evidence. That split is what lets the plan daemon
+// classify a merge failure as client-caused or store-caused without
+// re-merging anything.
+//
+// The accumulator is NOT safe for concurrent use; the daemon drives one
+// per (app, workload) key from that key's single merge worker.
+type MergeAccumulator struct {
+	opts  Options
+	epoch uint64
+	added int
+	sites map[string]*mergeSite
+
+	// Per-merge scratch, reused to keep steady-state merges allocation-
+	// light: key list for deterministic id assignment, evidence and
+	// degraded maps handed to synthesize.
+	keys     []string
+	evidence map[heap.SiteID]*siteEvidence
+	degraded map[heap.SiteID]bool
+}
+
+// NewMergeAccumulator builds an accumulator. opts carries the analyzer
+// tuning and the labels of the merged profile; profiles added later must
+// carry matching (or empty) labels when opts is labeled.
+func NewMergeAccumulator(opts Options) *MergeAccumulator {
+	return &MergeAccumulator{
+		opts:     opts.withDefaults(),
+		epoch:    1,
+		sites:    make(map[string]*mergeSite),
+		evidence: make(map[heap.SiteID]*siteEvidence),
+		degraded: make(map[heap.SiteID]bool),
+	}
+}
+
+// Reset clears the fold for a new merge. Parsed traces are retained: a
+// site contributes to the next merge only if a profile added after the
+// Reset carries it again, but its trace needs no re-parse.
+func (m *MergeAccumulator) Reset() {
+	m.epoch++
+	m.added = 0
+}
+
+// Add folds one profile's site evidence into the accumulator. A non-nil
+// error means this profile cannot participate in any merge — its labels
+// disagree with the accumulator's, or a site trace does not parse — and
+// leaves previously added profiles' sums intact except for the sites this
+// profile already touched.
+func (m *MergeAccumulator) Add(p *Profile) error {
+	if p == nil {
+		return nil
+	}
+	if p.App != "" && m.opts.App != "" && p.App != m.opts.App {
+		return fmt.Errorf("analyzer: merging profiles of different applications %q and %q", m.opts.App, p.App)
+	}
+	if p.Workload != "" && m.opts.Workload != "" && p.Workload != m.opts.Workload {
+		return fmt.Errorf("analyzer: merging profiles of different workloads %q and %q", m.opts.Workload, p.Workload)
+	}
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		ms := m.sites[s.Trace]
+		if ms == nil {
+			trace, err := jvm.ParseStackTrace(s.Trace)
+			if err != nil {
+				return fmt.Errorf("analyzer: merging site evidence: %w", err)
+			}
+			ms = &mergeSite{ev: siteEvidence{trace: trace}}
+			m.sites[s.Trace] = ms
+		}
+		if ms.epoch != m.epoch {
+			ms.epoch = m.epoch
+			ms.ev.total, ms.ev.tainted = 0, 0
+			ms.ev.survived = ms.ev.survived[:0]
+		}
+		ms.ev.total += s.Allocated
+		ms.ev.tainted += s.Tainted
+		for len(ms.ev.survived) < len(s.Buckets) {
+			ms.ev.survived = append(ms.ev.survived, 0)
+		}
+		for k, n := range s.Buckets {
+			ms.ev.survived[k] += n
+		}
+	}
+	m.added++
+	return nil
+}
+
+// Merge synthesizes the fleet profile from everything added since the
+// last Reset. The sums are left intact, so Merge can be called again (it
+// is pure over the fold state).
+func (m *MergeAccumulator) Merge() (*Profile, error) {
+	if m.added == 0 {
+		return nil, fmt.Errorf("analyzer: merging zero profiles")
+	}
 	// Synthetic site ids are assigned in sorted-trace order, so the
 	// evidence map handed to synthesize is identical for every
 	// permutation of the inputs.
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	evidence := make(map[heap.SiteID]*siteEvidence, len(keys))
-	degraded := make(map[heap.SiteID]bool)
-	for i, k := range keys {
-		a := merged[k]
-		id := heap.SiteID(i + 1)
-		evidence[id] = &siteEvidence{
-			id:       id,
-			trace:    a.trace,
-			survived: a.survived,
-			total:    a.total,
-			tainted:  a.tainted,
+	m.keys = m.keys[:0]
+	for k, ms := range m.sites {
+		if ms.epoch == m.epoch {
+			m.keys = append(m.keys, k)
 		}
-		if opts.ConfidenceFloor >= 0 && a.total > 0 {
-			if 1-float64(a.tainted)/float64(a.total) < opts.ConfidenceFloor {
-				degraded[id] = true
+	}
+	sort.Strings(m.keys)
+	clear(m.evidence)
+	clear(m.degraded)
+	for i, k := range m.keys {
+		ms := m.sites[k]
+		id := heap.SiteID(i + 1)
+		ms.ev.id = id
+		m.evidence[id] = &ms.ev
+		if m.opts.ConfidenceFloor >= 0 && ms.ev.total > 0 {
+			if 1-float64(ms.ev.tainted)/float64(ms.ev.total) < m.opts.ConfidenceFloor {
+				m.degraded[id] = true
 			}
 		}
 	}
-	return synthesize(evidence, opts, degraded)
+	return synthesize(m.evidence, m.opts, m.degraded)
 }

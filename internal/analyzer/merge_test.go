@@ -195,3 +195,99 @@ func TestMergeLabelRules(t *testing.T) {
 		t.Fatal("unparseable trace accepted")
 	}
 }
+
+// TestAccumulatorEquivalence: a reused MergeAccumulator produces byte-
+// identical plans to one-shot MergeProfiles calls, merge after merge —
+// the parse cache and scratch reuse change cost, never content.
+func TestAccumulatorEquivalence(t *testing.T) {
+	opts := Options{App: "Cassandra", Workload: "WI"}
+	acc := NewMergeAccumulator(opts)
+	rounds := [][]*Profile{
+		{
+			evidenceProfile("Cassandra", "WI",
+				SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 40, Buckets: []uint64{5, 35}}),
+		},
+		{
+			evidenceProfile("Cassandra", "WI",
+				SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 40, Buckets: []uint64{5, 35}}),
+			evidenceProfile("Cassandra", "WI",
+				SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 60, Buckets: []uint64{10, 50}},
+				SiteStat{Trace: "Main.run:12;Cache.add:7", Allocated: 20, Buckets: []uint64{18, 2}}),
+		},
+		// A shrinking round: the second profile's sites must vanish from
+		// the fold, not linger from the previous merge.
+		{
+			evidenceProfile("Cassandra", "WI",
+				SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 80, Buckets: []uint64{20, 60}}),
+		},
+	}
+	for i, inputs := range rounds {
+		acc.Reset()
+		for _, p := range inputs {
+			if err := acc.Add(p); err != nil {
+				t.Fatalf("round %d: %v", i, err)
+			}
+		}
+		got, err := acc.Merge()
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		want := mustMerge(t, opts, inputs...)
+		if string(profileJSON(t, got)) != string(profileJSON(t, want)) {
+			t.Fatalf("round %d: accumulator merge differs from MergeProfiles", i)
+		}
+	}
+}
+
+// TestAccumulatorErrorAttribution: Add fails on the offending profile
+// (label mismatch), Merge fails on an empty fold — the split the plan
+// daemon's upload-vs-store error classification rests on.
+func TestAccumulatorErrorAttribution(t *testing.T) {
+	acc := NewMergeAccumulator(Options{App: "Cassandra", Workload: "WI"})
+	if err := acc.Add(evidenceProfile("Lucene", "WI",
+		SiteStat{Trace: "Main.run:1", Allocated: 1, Buckets: []uint64{1}})); err == nil {
+		t.Fatal("Add of mismatched app did not fail")
+	}
+	if err := acc.Add(evidenceProfile("Cassandra", "batch",
+		SiteStat{Trace: "Main.run:1", Allocated: 1, Buckets: []uint64{1}})); err == nil {
+		t.Fatal("Add of mismatched workload did not fail")
+	}
+	if _, err := acc.Merge(); err == nil {
+		t.Fatal("Merge over zero added profiles did not fail")
+	}
+	// The failures left the accumulator usable.
+	if err := acc.Add(evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:1;Db.put:2", Allocated: 10, Buckets: []uint64{4, 6}})); err != nil {
+		t.Fatal(err)
+	}
+	p, err := acc.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sites) != 1 || p.Sites[0].Allocated != 10 {
+		t.Fatalf("post-error merge = %+v", p.Sites)
+	}
+}
+
+// TestAccumulatorMergeIsRepeatable: Merge is pure over the fold state —
+// calling it twice without an intervening Reset/Add yields identical
+// bytes.
+func TestAccumulatorMergeIsRepeatable(t *testing.T) {
+	acc := NewMergeAccumulator(Options{App: "Cassandra", Workload: "WI"})
+	if err := acc.Add(evidenceProfile("Cassandra", "WI",
+		SiteStat{Trace: "Main.run:10;Db.put:5", Allocated: 40, Buckets: []uint64{5, 35}},
+		SiteStat{Trace: "Main.run:12;Cache.add:7", Allocated: 20, Buckets: []uint64{18, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	first, err := acc.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := acc.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(profileJSON(t, first)) != string(profileJSON(t, second)) {
+		t.Fatal("repeated Merge over the same fold differs")
+	}
+}

@@ -376,12 +376,19 @@ func (c *Client) remember(p *analyzer.Profile, etag string) {
 	c.mu.Unlock()
 }
 
-// decodePlan reads, validates and versions a plan response.
+// decodePlan reads, validates and versions a plan response. The daemon
+// sends Content-Length (plans are served from a fully encoded in-memory
+// copy), so the body buffer is sized up front instead of growing through
+// io.ReadAll's doubling.
 func decodePlan(resp *http.Response) (*analyzer.Profile, string, error) {
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
+	var buf bytes.Buffer
+	if n := resp.ContentLength; n > 0 && n < 1<<30 {
+		buf.Grow(int(n))
+	}
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return nil, "", fmt.Errorf("fleetclient: reading plan: %w", err)
 	}
+	data := buf.Bytes()
 	var p analyzer.Profile
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, "", fmt.Errorf("fleetclient: decoding plan: %w", err)

@@ -3,7 +3,7 @@
 // profilestore.Store and serves versioned instrumentation plans to many
 // concurrent production instances, while accepting their profiling
 // evidence and folding it into one fleet-wide plan per (application,
-// workload) with analyzer.MergeProfiles.
+// workload).
 //
 // The wire format is the profile JSON analyzer.Profile.Save writes; plan
 // versions are content-addressed ETags (SHA-256 of the response body), so
@@ -15,21 +15,27 @@
 //	GET  /v1/plan?app=A&workload=W   plan fetch; conditional via ETag
 //	POST /v1/evidence                evidence upload (X-Polm2-Instance
 //	                                 header required); responds with the
-//	                                 merged fleet plan (and its ETag)
+//	                                 current fleet plan (and its ETag)
 //	GET  /healthz                    liveness
 //	GET  /metricsz                   metric exposition (internal/metrics)
 //	GET  /tracez                     trace ring, newest window (internal/trace)
 //
 // Aggregation is last-write-wins per instance: the daemon keeps each
-// instance's latest evidence (persisted under <store>/evidence) and
-// recomputes the fleet plan as the merge of those latest documents on
-// every upload. Online re-profiles upload *cumulative* evidence, so
-// replacing — never adding to — an instance's earlier contribution is
-// what makes n re-profiles count once, and makes retried uploads
-// idempotent.
+// instance's latest evidence (persisted under <store>/evidence — the
+// durable log — and mirrored in an in-memory cache) and recomputes the
+// fleet plan as the merge of those latest documents. Online re-profiles
+// upload *cumulative* evidence, so replacing — never adding to — an
+// instance's earlier contribution is what makes n re-profiles count once,
+// and makes retried uploads idempotent.
 //
-// Plans are cached in memory per key with single-flight loading, and the
-// cache entry is invalidated (and re-primed) on every merge.
+// All state is sharded by (app, workload): uploads and fetches for
+// distinct keys share nothing and never contend. Within a shard, merging
+// is a coalescing pipeline — an upload persists its evidence, bumps the
+// shard's dirty generation and returns; a single per-shard worker drains
+// the backlog, recomputing the fleet plan once per batch rather than once
+// per upload (see shard.go). Merging is commutative and associative, so
+// batching changes only how often the plan is republished, never what it
+// converges to.
 package planserver
 
 import (
@@ -38,6 +44,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -64,6 +73,21 @@ type Options struct {
 	// Default: wall-clock elapsed since New. Tests inject a deterministic
 	// clock to keep traces byte-stable.
 	Now func() time.Duration
+	// SyncMerges makes every evidence upload wait until the fleet plan
+	// covering it is published before responding, so the response body is
+	// the merge including the upload itself. The default (false) responds
+	// as soon as the evidence is durable, with the currently published
+	// plan — at most one merge batch stale — and only waits on a key's
+	// cold first batch, when no plan exists at all. Tests and fixtures
+	// that assert on upload responses turn this on; production fleets
+	// poll GET /v1/plan and should leave it off.
+	SyncMerges bool
+	// Schedule, when non-nil, launches shard merge workers instead of the
+	// default `go work()`. Tests inject schedulers to run workers inline
+	// or to gate them and observe coalescing deterministically. The
+	// worker must eventually run (or uploads waiting on it block), and
+	// Schedule is never called while shard or server locks are held.
+	Schedule func(work func())
 }
 
 // Server is the plan-distribution HTTP service. It is an http.Handler.
@@ -72,46 +96,41 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 
-	reg          *metrics.Registry
-	fetches      *metrics.Counter // every GET /v1/plan
-	notModified  *metrics.Counter // ... answered 304
-	misses       *metrics.Counter // ... answered 404
-	loads        *metrics.Counter // store loads (cache+single-flight misses)
-	merges       *metrics.Counter // accepted evidence uploads
-	rejected     *metrics.Counter // rejected evidence uploads
-	storeErrs    *metrics.Counter // store I/O failures surfaced as 500s
-	fetchLatency *metrics.LatencyHistogram // GET /v1/plan handling time
-	mergeLatency *metrics.LatencyHistogram // POST /v1/evidence handling time
+	reg           *metrics.Registry
+	fetches       *metrics.Counter          // every GET /v1/plan
+	notModified   *metrics.Counter          // ... answered 304
+	misses        *metrics.Counter          // ... answered 404
+	loads         *metrics.Counter          // plan loads from the store (cold-cache fetches)
+	evidenceLoads *metrics.Counter          // evidence-log loads from the store (cold-cache rebuilds)
+	uploads       *metrics.Counter          // accepted evidence uploads
+	merges        *metrics.Counter          // fleet merges performed (≤ uploads; batching coalesces)
+	coalesced     *metrics.Counter          // uploads covered by a batch merge beyond its first
+	rejected      *metrics.Counter          // rejected evidence uploads
+	storeErrs     *metrics.Counter          // store I/O and merge failures surfaced as 500s
+	fetchLatency  *metrics.LatencyHistogram // GET /v1/plan handling time
+	mergeLatency  *metrics.LatencyHistogram // POST /v1/evidence handling time
 
-	// mergeMu serializes the read-merge-write cycle per store; merging is
-	// commutative, so serialization only pins the store's consistency,
-	// never the result. It also guards evidence.
-	mergeMu sync.Mutex
-	// evidence is the write-through image of the store's per-instance
-	// evidence: each instance's *latest* upload, keyed by (app, workload)
-	// then instance id. The fleet plan is recomputed from this map on
-	// every upload, so a re-upload (a cumulative online re-profile, or a
-	// client retry after a lost response) replaces its instance's prior
-	// contribution instead of double-counting it.
-	evidence map[profilestore.Key]map[string]*analyzer.Profile
-
-	mu     sync.Mutex
-	cache  map[profilestore.Key]*cachedPlan
-	flight map[profilestore.Key]*flight
-	// gen counts installs per key; a load flight that began before a
-	// merge installed a newer plan must not overwrite it (see loadPlan).
-	gen map[profilestore.Key]uint64
+	shardMu sync.RWMutex
+	shards  map[profilestore.Key]*shard
 
 	// testHookAfterLoad, when non-nil, runs between a flight's store read
 	// and its cache write — test-only, to interleave a merge install.
 	testHookAfterLoad func()
 }
 
-// cachedPlan is one encoded, content-addressed plan.
+// cachedPlan is one encoded, content-addressed plan. The header value
+// slices are precomputed so the conditional-fetch fast path can assign
+// them into the response header map without allocating.
 type cachedPlan struct {
-	etag string
-	body []byte
+	etag       string
+	body       []byte
+	etagHeader []string // {etag}
+	lenHeader  []string // {strconv.Itoa(len(body))}
 }
+
+// jsonContentType is the shared Content-Type header value for plan
+// responses; assigned directly (not via Header.Set) on the fetch path.
+var jsonContentType = []string{"application/json"}
 
 // flight is one in-progress store load other fetchers wait on.
 type flight struct {
@@ -131,23 +150,23 @@ func New(store *profilestore.Store, opts Options) *Server {
 	}
 	reg := metrics.NewRegistry()
 	s := &Server{
-		store:        store,
-		opts:         opts,
-		mux:          http.NewServeMux(),
-		reg:          reg,
-		fetches:      reg.Counter("plan_fetch_total"),
-		notModified:  reg.Counter("plan_not_modified_total"),
-		misses:       reg.Counter("plan_miss_total"),
-		loads:        reg.Counter("plan_load_total"),
-		merges:       reg.Counter("evidence_merge_total"),
-		rejected:     reg.Counter("evidence_reject_total"),
-		storeErrs:    reg.Counter("store_error_total"),
-		fetchLatency: reg.Histogram("plan_fetch_latency", nil),
-		mergeLatency: reg.Histogram("evidence_merge_latency", nil),
-		evidence:     make(map[profilestore.Key]map[string]*analyzer.Profile),
-		cache:        make(map[profilestore.Key]*cachedPlan),
-		flight:       make(map[profilestore.Key]*flight),
-		gen:          make(map[profilestore.Key]uint64),
+		store:         store,
+		opts:          opts,
+		mux:           http.NewServeMux(),
+		reg:           reg,
+		fetches:       reg.Counter("plan_fetch_total"),
+		notModified:   reg.Counter("plan_not_modified_total"),
+		misses:        reg.Counter("plan_miss_total"),
+		loads:         reg.Counter("plan_load_total"),
+		evidenceLoads: reg.Counter("evidence_load_total"),
+		uploads:       reg.Counter("evidence_upload_total"),
+		merges:        reg.Counter("evidence_merge_total"),
+		coalesced:     reg.Counter("evidence_coalesced_total"),
+		rejected:      reg.Counter("evidence_reject_total"),
+		storeErrs:     reg.Counter("store_error_total"),
+		fetchLatency:  reg.Histogram("plan_fetch_latency", nil),
+		mergeLatency:  reg.Histogram("evidence_merge_latency", nil),
+		shards:        make(map[profilestore.Key]*shard),
 	}
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/evidence", s.handleEvidence)
@@ -163,6 +182,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Metrics returns the server's counter registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
+// Flush blocks until every accepted upload is covered by a published plan
+// (or by a recorded merge failure). The daemon calls it on shutdown so
+// the store's plan files reflect the last uploads the fleet delivered;
+// tests call it to quiesce the pipeline before asserting.
+func (s *Server) Flush() {
+	s.shardMu.RLock()
+	shards := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	s.shardMu.RUnlock()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		sh.awaitCoveredLocked(sh.dirty)
+		sh.mu.Unlock()
+	}
+}
+
 // encodePlan renders a profile to its canonical wire body and ETag.
 func encodePlan(p *analyzer.Profile) (*cachedPlan, error) {
 	body, err := json.Marshal(p)
@@ -171,113 +208,198 @@ func encodePlan(p *analyzer.Profile) (*cachedPlan, error) {
 	}
 	body = append(body, '\n')
 	sum := sha256.Sum256(body)
-	return &cachedPlan{etag: fmt.Sprintf("%q", fmt.Sprintf("%x", sum)), body: body}, nil
+	etag := fmt.Sprintf("%q", fmt.Sprintf("%x", sum))
+	return &cachedPlan{
+		etag:       etag,
+		body:       body,
+		etagHeader: []string{etag},
+		lenHeader:  []string{strconv.Itoa(len(body))},
+	}, nil
 }
 
-// loadPlan returns the cached plan for key, loading it from the store at
-// most once however many fetchers arrive concurrently (single-flight).
-func (s *Server) loadPlan(k profilestore.Key) (*cachedPlan, error) {
-	s.mu.Lock()
-	if c := s.cache[k]; c != nil {
-		s.mu.Unlock()
+// queryParam extracts the first value of key from a raw query string
+// without materializing a url.Values map: the plan fetch path runs for
+// every poll of every fleet instance, and the generic parser's per-request
+// allocations were its dominant cost. Unescaped values (every identifier
+// our clients send) are returned as substrings; escaped ones fall back to
+// url.QueryUnescape. Escaped *keys* are not matched — the daemon's two
+// parameter names are plain ASCII.
+func queryParam(raw, key string) string {
+	for len(raw) > 0 {
+		pair := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		if len(pair) <= len(key) || pair[len(key)] != '=' || pair[:len(key)] != key {
+			continue
+		}
+		v := pair[len(key)+1:]
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u
+			}
+			return ""
+		}
+		return v
+	}
+	return ""
+}
+
+// finishPlan records one plan fetch's latency and trace event. It is a
+// plain call (not a deferred closure) so the 304 fast path stays free of
+// per-request heap allocations.
+func (s *Server) finishPlan(start time.Duration, app, workload, outcome string) {
+	d := s.opts.Now() - start
+	s.fetchLatency.Observe(d)
+	if s.opts.Tracer.Enabled() {
+		s.opts.Tracer.EventAt(start, "planserver", "plan_fetch",
+			trace.String("app", app),
+			trace.String("workload", workload),
+			trace.String("outcome", outcome),
+			trace.Dur("latency", d))
+	}
+}
+
+// loadPlan returns the published plan for the shard, loading it from the
+// store at most once however many fetchers arrive concurrently
+// (single-flight). A store with no plan file but surviving evidence — the
+// async publish lost a race with a crash, or an operator copied only the
+// evidence log — rebuilds the plan through the merge pipeline instead of
+// reporting a miss: the evidence log is authoritative, the plan file is a
+// convenience copy.
+func (s *Server) loadPlan(sh *shard) (*cachedPlan, error) {
+	sh.mu.Lock()
+	if c := sh.plan; c != nil {
+		sh.mu.Unlock()
 		return c, nil
 	}
-	if f := s.flight[k]; f != nil {
-		s.mu.Unlock()
+	if f := sh.flight; f != nil {
+		sh.mu.Unlock()
 		<-f.done
 		return f.plan, f.err
 	}
 	f := &flight{done: make(chan struct{})}
-	s.flight[k] = f
-	start := s.gen[k]
-	s.mu.Unlock()
+	sh.flight = f
+	startGen := sh.gen
+	sh.mu.Unlock()
 
 	s.loads.Inc()
-	p, err := s.store.Get(k.App, k.Workload)
+	p, err := s.store.Get(sh.key.App, sh.key.Workload)
 	var c *cachedPlan
 	if err == nil {
 		c, err = encodePlan(p)
+	} else if errors.Is(err, profilestore.ErrNotFound) {
+		c, err = s.rebuildFromEvidence(sh, err)
 	}
 	if s.testHookAfterLoad != nil {
 		s.testHookAfterLoad()
 	}
 
-	s.mu.Lock()
-	delete(s.flight, k)
-	if s.gen[k] != start {
-		// A merge installed a newer plan while this flight was reading
-		// the store; writing the pre-merge read back would serve a stale
-		// plan (and stale ETag) until the next merge. Serve the installed
-		// plan instead.
-		c, err = s.cache[k], nil
+	sh.mu.Lock()
+	sh.flight = nil
+	if sh.gen != startGen {
+		// A merge published a newer plan while this flight was reading the
+		// store; writing the pre-merge read back would serve a stale plan
+		// (and stale ETag) until the next merge. Serve the installed plan.
+		c, err = sh.plan, nil
 	} else if err == nil {
-		s.cache[k] = c
+		sh.plan = c
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	f.plan, f.err = c, err
 	close(f.done)
 	return c, err
 }
 
-// install replaces the cached plan for key (after a merge), advancing
-// the key's generation so in-flight loads cannot overwrite it.
-func (s *Server) install(k profilestore.Key, c *cachedPlan) {
-	s.mu.Lock()
-	s.gen[k]++
-	s.cache[k] = c
-	s.mu.Unlock()
+// rebuildFromEvidence recomputes a missing plan from the evidence log by
+// pushing a synthetic generation through the shard's merge pipeline and
+// waiting for it to publish. notFound is returned unchanged when the log
+// is empty too — the key genuinely has no plan.
+func (s *Server) rebuildFromEvidence(sh *shard, notFound error) (*cachedPlan, error) {
+	sh.mu.Lock()
+	ev, err := s.loadEvidenceLocked(sh)
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	if len(ev) == 0 {
+		sh.mu.Unlock()
+		return nil, notFound
+	}
+	if sh.dirty == sh.mergedGen {
+		sh.dirty++
+	}
+	target := sh.dirty
+	launch := s.ensureWorkerLocked(sh)
+	sh.mu.Unlock()
+	if launch != nil {
+		launch()
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.awaitCoveredLocked(target); err != nil {
+		return nil, err
+	}
+	if sh.plan == nil {
+		return nil, notFound
+	}
+	return sh.plan, nil
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.fetches.Inc()
 	start := s.opts.Now()
-	app := r.URL.Query().Get("app")
-	workload := r.URL.Query().Get("workload")
-	outcome := "ok"
-	defer func() {
-		d := s.opts.Now() - start
-		s.fetchLatency.Observe(d)
-		if s.opts.Tracer.Enabled() {
-			s.opts.Tracer.EventAt(start, "planserver", "plan_fetch",
-				trace.String("app", app),
-				trace.String("workload", workload),
-				trace.String("outcome", outcome),
-				trace.Dur("latency", d))
-		}
-	}()
+	app := queryParam(r.URL.RawQuery, "app")
+	workload := queryParam(r.URL.RawQuery, "workload")
 	if app == "" || workload == "" {
-		outcome = "bad_request"
 		http.Error(w, "planserver: app and workload query parameters are required", http.StatusBadRequest)
+		s.finishPlan(start, app, workload, "bad_request")
 		return
 	}
-	c, err := s.loadPlan(profilestore.Key{App: app, Workload: workload})
-	if err != nil {
-		if errors.Is(err, profilestore.ErrNotFound) {
-			s.misses.Inc()
-			outcome = "miss"
-			http.Error(w, err.Error(), http.StatusNotFound)
+	sh := s.shard(profilestore.Key{App: app, Workload: workload})
+	sh.mu.Lock()
+	c := sh.plan
+	sh.mu.Unlock()
+	if c == nil {
+		var err error
+		if c, err = s.loadPlan(sh); err != nil {
+			if errors.Is(err, profilestore.ErrNotFound) {
+				s.misses.Inc()
+				s.dropIfEmpty(sh)
+				http.Error(w, err.Error(), http.StatusNotFound)
+				s.finishPlan(start, app, workload, "miss")
+				return
+			}
+			s.storeErrs.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.finishPlan(start, app, workload, "store_error")
 			return
 		}
-		s.storeErrs.Inc()
-		outcome = "store_error"
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
 	}
+	h := w.Header()
+	h["Etag"] = c.etagHeader
 	if match := r.Header.Get("If-None-Match"); match != "" && match == c.etag {
 		s.notModified.Inc()
-		outcome = "not_modified"
-		w.Header().Set("ETag", c.etag)
 		w.WriteHeader(http.StatusNotModified)
+		s.finishPlan(start, app, workload, "not_modified")
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("ETag", c.etag)
+	h["Content-Type"] = jsonContentType
+	h["Content-Length"] = c.lenHeader
 	w.Write(c.body)
+	s.finishPlan(start, app, workload, "ok")
 }
 
 // checkEvidence salvage-checks an uploaded profile beyond Validate: every
 // site's evidence must be internally consistent, so a mangled or
-// hand-damaged upload cannot poison the fleet merge.
+// hand-damaged upload cannot poison the fleet merge. This is the full
+// upload-side precondition for mergeability — labels present, every trace
+// parseable, tainted within allocated, buckets summing to the allocation
+// total — which is what lets the merge pipeline classify any later merge
+// failure as server-side without re-merging anything: an upload that
+// passes here cannot be the profile a fold chokes on.
 func checkEvidence(p *analyzer.Profile) error {
 	if p.App == "" || p.Workload == "" {
 		return fmt.Errorf("evidence must carry app and workload labels")
@@ -309,35 +431,6 @@ const seedInstance = "__seed__"
 // instance id. The daemon keeps only each instance's latest evidence, so
 // cumulative re-profiles and retried uploads replace rather than add.
 const InstanceHeader = "X-Polm2-Instance"
-
-// evidenceFor returns the write-through evidence image for k, loading it
-// from the store on first touch (caller holds mergeMu). A store holding
-// a plan but no evidence — seeded offline, or written by a pre-evidence
-// build — contributes that plan once, as baseline evidence under
-// seedInstance.
-func (s *Server) evidenceFor(k profilestore.Key) (map[string]*analyzer.Profile, error) {
-	if ev := s.evidence[k]; ev != nil {
-		return ev, nil
-	}
-	ev, err := s.store.Evidence(k.App, k.Workload)
-	if err != nil {
-		return nil, err
-	}
-	if len(ev) == 0 {
-		seed, err := s.store.Get(k.App, k.Workload)
-		if err != nil && !errors.Is(err, profilestore.ErrNotFound) {
-			return nil, err
-		}
-		if seed != nil && checkEvidence(seed) == nil {
-			if err := s.store.PutEvidence(seedInstance, seed); err != nil {
-				return nil, err
-			}
-			ev[seedInstance] = seed
-		}
-	}
-	s.evidence[k] = ev
-	return ev, nil
-}
 
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	start := s.opts.Now()
@@ -385,75 +478,70 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("planserver: rejected evidence: %v", err), http.StatusBadRequest)
 		return
 	}
-	k := profilestore.Key{App: up.App, Workload: up.Workload}
+	sh := s.shard(profilestore.Key{App: up.App, Workload: up.Workload})
 
-	s.mergeMu.Lock()
-	defer s.mergeMu.Unlock()
-	ev, err := s.evidenceFor(k)
+	sh.mu.Lock()
+	ev, err := s.loadEvidenceLocked(sh)
 	if err != nil {
+		sh.mu.Unlock()
 		s.storeErrs.Inc()
 		outcome = "store_error"
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	// The fleet plan is the merge of every instance's *latest* evidence,
-	// this upload replacing its instance's previous one — so n cumulative
-	// re-profiles from one instance count once, not n times, and a retry
-	// of a lost response replays harmlessly.
-	inputs := []*analyzer.Profile{&up}
-	for inst, p := range ev {
-		if inst != instance {
-			inputs = append(inputs, p)
-		}
-	}
-	mergeOpts := s.opts.Merge
-	mergeOpts.App, mergeOpts.Workload = k.App, k.Workload
-	merged, err := analyzer.MergeProfiles(mergeOpts, inputs...)
-	if err != nil {
-		// The upload already passed validation; decide whether the merge
-		// failure is its fault or comes from the stored fleet evidence —
-		// a server-side condition a client retry can never fix must not
-		// masquerade as a 400.
-		if _, upErr := analyzer.MergeProfiles(mergeOpts, &up); upErr != nil {
-			s.rejected.Inc()
-			outcome = "rejected"
-			http.Error(w, fmt.Sprintf("planserver: merging evidence: %v", upErr), http.StatusBadRequest)
-			return
-		}
-		s.storeErrs.Inc()
-		outcome = "store_error"
-		http.Error(w, fmt.Sprintf("planserver: merging stored fleet evidence: %v", err), http.StatusInternalServerError)
-		return
-	}
+	// The evidence file is the durable write-ahead record: persist before
+	// acknowledging anything, then replace the instance's prior
+	// contribution in the cache so n cumulative re-profiles count once,
+	// not n times, and a retry of a lost response replays harmlessly.
 	if err := s.store.PutEvidence(instance, &up); err != nil {
+		sh.mu.Unlock()
 		s.storeErrs.Inc()
 		outcome = "store_error"
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	ev[instance] = &up
-	if err := s.store.Put(merged); err != nil {
+	sh.dirty++
+	myGen := sh.dirty
+	if sh.instGauge == nil {
+		sh.instGauge = s.reg.Gauge(metrics.LabelName("evidence_instances",
+			metrics.Label{Key: "app", Value: up.App},
+			metrics.Label{Key: "workload", Value: up.Workload}))
+	}
+	sh.instGauge.Set(int64(len(ev)))
+	launch := s.ensureWorkerLocked(sh)
+	sh.mu.Unlock()
+	s.uploads.Inc()
+	if launch != nil {
+		launch()
+	}
+
+	sh.mu.Lock()
+	if s.opts.SyncMerges || sh.plan == nil {
+		// Synchronous mode responds with the plan covering this very
+		// upload. Async mode responds with whatever plan is published —
+		// at most one merge batch behind — and waits only on the key's
+		// cold first batch, when there is no plan at all yet.
+		if err := sh.awaitCoveredLocked(myGen); err != nil {
+			sh.mu.Unlock()
+			s.storeErrs.Inc()
+			outcome = "store_error"
+			http.Error(w, fmt.Sprintf("planserver: merging fleet evidence: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
+	c := sh.plan
+	sh.mu.Unlock()
+	if c == nil {
 		s.storeErrs.Inc()
 		outcome = "store_error"
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, "planserver: no fleet plan published", http.StatusInternalServerError)
 		return
 	}
-	c, err := encodePlan(merged)
-	if err != nil {
-		s.storeErrs.Inc()
-		outcome = "store_error"
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	// The merge invalidates the served plan; prime the cache with the
-	// freshly merged one so the next fetch needs no store load.
-	s.install(k, c)
-	s.merges.Inc()
-	s.reg.Gauge(metrics.LabelName("evidence_instances",
-		metrics.Label{Key: "app", Value: k.App},
-		metrics.Label{Key: "workload", Value: k.Workload})).Set(int64(len(ev)))
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("ETag", c.etag)
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	h["Etag"] = c.etagHeader
+	h["Content-Length"] = c.lenHeader
 	w.Write(c.body)
 }
 

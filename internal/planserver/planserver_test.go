@@ -21,7 +21,12 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *profilestore.Store
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(store, Options{})
+	// SyncMerges: these tests assert on upload responses (the returned
+	// ETag and body must be the merge including the upload itself) and on
+	// exact per-upload merge counts, which only the synchronous pipeline
+	// guarantees. The async default is exercised by the coalescing and
+	// fleet-load tests.
+	srv := New(store, Options{SyncMerges: true})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts, store
@@ -238,7 +243,7 @@ func TestUploadReplacesPerInstance(t *testing.T) {
 
 	// The per-instance evidence is durable: a fresh server over the same
 	// store reloads it and keeps replacing, not adding.
-	srv2 := New(store, Options{})
+	srv2 := New(store, Options{SyncMerges: true})
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 	resp = postEvidence(t, ts2.URL, "inst-1", evidence("Cassandra", "WI", site(trace, 75, 225)))

@@ -325,7 +325,25 @@ func evidenceHash(k Key, instance string) string {
 	return fmt.Sprintf("%08x", h.Sum32())
 }
 
+// evidenceKeyPrefix is the file-name prefix shared by every evidence
+// document of one (app, workload): the sanitized labels plus the raw-key
+// fingerprint, so the key can be matched exactly from names alone —
+// EvidenceInstances lists and counts a fleet without decoding a single
+// document. sanitize never emits glob metacharacters, so the prefix is
+// safe to embed in a pattern.
+func evidenceKeyPrefix(k Key) string {
+	return sanitize(k.App) + "__" + sanitize(k.Workload) + "-" + keyHash(k) + "__"
+}
+
 func (s *Store) evidencePath(k Key, instance string) string {
+	name := evidenceKeyPrefix(k) + sanitize(instance) + "-" + evidenceHash(k, instance) + ".evidence.json"
+	return filepath.Join(s.evidenceDir(), name)
+}
+
+// legacyEvidencePath is the pre-keyhash evidence name (no key fingerprint
+// between the workload and instance segments), kept readable for stores
+// written by older builds and retired on the next PutEvidence.
+func (s *Store) legacyEvidencePath(k Key, instance string) string {
 	name := sanitize(k.App) + "__" + sanitize(k.Workload) + "__" + sanitize(instance) +
 		"-" + evidenceHash(k, instance) + ".evidence.json"
 	return filepath.Join(s.evidenceDir(), name)
@@ -354,7 +372,83 @@ func (s *Store) PutEvidence(instance string, p *analyzer.Profile) error {
 	if err != nil {
 		return fmt.Errorf("profilestore: encoding evidence: %w", err)
 	}
-	return s.writeFile(data, s.evidencePath(Key{App: p.App, Workload: p.Workload}, instance))
+	k := Key{App: p.App, Workload: p.Workload}
+	if err := s.writeFile(data, s.evidencePath(k, instance)); err != nil {
+		return err
+	}
+	// Retire this triple's legacy-named file so the store holds one entry
+	// per (key, instance). A colliding legacy file that belongs to a
+	// different raw triple is left alone — that other triple's data is not
+	// ours to delete.
+	legacy := s.legacyEvidencePath(k, instance)
+	if data, err := os.ReadFile(legacy); err == nil {
+		var e evidenceEntry
+		if json.Unmarshal(data, &e) == nil && e.Instance == instance &&
+			e.Profile != nil && e.Profile.App == k.App && e.Profile.Workload == k.Workload {
+			os.Remove(legacy)
+		}
+	}
+	return nil
+}
+
+// EvidenceInstances lists the instances holding evidence for (app,
+// workload) without decoding any document: modern evidence names embed
+// the raw-key fingerprint, so both the key match and the instance segment
+// come straight from the file names. The returned names are the sanitized
+// display forms (file-name-safe, not necessarily the raw ids); callers
+// that need the raw ids decode via Evidence. Legacy-named files (written
+// before the key fingerprint existed) cannot be attributed by name alone
+// and fall back to a decode, one per legacy file — a population that only
+// shrinks, since PutEvidence rewrites and retires them.
+func (s *Store) EvidenceInstances(app, workload string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := Key{App: app, Workload: workload}
+	prefix := evidenceKeyPrefix(k)
+	paths, err := filepath.Glob(filepath.Join(s.evidenceDir(), prefix+"*.evidence.json"))
+	if err != nil {
+		return nil, fmt.Errorf("profilestore: %w", err)
+	}
+	seen := make(map[string]bool, len(paths))
+	names := make([]string, 0, len(paths))
+	for _, path := range paths {
+		base := filepath.Base(path)
+		name := strings.TrimSuffix(base[len(prefix):], ".evidence.json")
+		if i := strings.LastIndexByte(name, '-'); i >= 0 {
+			name = name[:i] // drop the triple fingerprint
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	// Legacy-named files: match by decoded labels, then dedupe against the
+	// modern entries through the same sanitized lens.
+	legacy, err := filepath.Glob(filepath.Join(s.evidenceDir(),
+		sanitize(app)+"__"+sanitize(workload)+"__*.evidence.json"))
+	if err != nil {
+		return nil, fmt.Errorf("profilestore: %w", err)
+	}
+	for _, path := range legacy {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("profilestore: reading evidence: %w", err)
+		}
+		var e evidenceEntry
+		if json.Unmarshal(data, &e) != nil || e.Profile == nil {
+			continue // corrupt entries are Audit's business, not a count's
+		}
+		if e.Profile.App != app || e.Profile.Workload != workload {
+			continue
+		}
+		name := sanitize(e.Instance)
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // Evidence loads every instance's latest evidence for (app, workload),
@@ -366,7 +460,9 @@ func (s *Store) Evidence(app, workload string) (map[string]*analyzer.Profile, er
 	if err != nil {
 		return nil, fmt.Errorf("profilestore: %w", err)
 	}
+	k := Key{App: app, Workload: workload}
 	out := make(map[string]*analyzer.Profile)
+	modern := make(map[string]bool)
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -382,9 +478,18 @@ func (s *Store) Evidence(app, workload string) (map[string]*analyzer.Profile, er
 		if err := e.Profile.Validate(); err != nil {
 			return nil, fmt.Errorf("profilestore: corrupt evidence %s: %w", filepath.Base(path), err)
 		}
-		if e.Profile.App == app && e.Profile.Workload == workload {
-			out[e.Instance] = e.Profile
+		if e.Profile.App != app || e.Profile.Workload != workload {
+			continue
 		}
+		// A crash between PutEvidence's write and its legacy retirement can
+		// leave both names on disk; the modern (key-fingerprinted) file is
+		// the newer write and must win regardless of glob order.
+		isModern := path == s.evidencePath(k, e.Instance)
+		if modern[e.Instance] && !isModern {
+			continue
+		}
+		modern[e.Instance] = isModern
+		out[e.Instance] = e.Profile
 	}
 	return out, nil
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Load-generation smoke test for the polm2d daemon (CI job loadgen-smoke;
+# fine to run locally): start the daemon as a real OS process, drive a
+# synthetic fleet through cmd/polm2-loadgen over real TCP, and check the
+# generator's report — every upload accepted, the daemon's own counters
+# consistent, merges coalescing below the upload count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail() { echo "loadgen-smoke: FAIL: $*" >&2; [ -f "${log:-}" ] && cat "$log" >&2; exit 1; }
+
+go build -o /tmp/polm2d-loadgen-smoke-daemon ./cmd/polm2d
+go build -o /tmp/polm2d-loadgen-smoke-gen ./cmd/polm2-loadgen
+
+store=$(mktemp -d)
+log=$(mktemp)
+/tmp/polm2d-loadgen-smoke-daemon -addr 127.0.0.1:0 -store "$store" >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+url=
+for _ in $(seq 100); do
+  url=$(sed -n 's|^polm2d: serving on \(http://[^ ]*\).*|\1|p' "$log")
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || fail "daemon never printed its listen address"
+echo "daemon up at $url (store $store)"
+
+report=$(/tmp/polm2d-loadgen-smoke-gen -addr "$url" -instances 8 -uploads 4 -sites 12 -seed 42) \
+  || fail "polm2-loadgen exited non-zero"
+echo "$report"
+
+echo "$report" | grep -q 'uploads:  32 ok, 0 instances failed' \
+  || fail "report missing the 32-upload success line"
+echo "$report" | grep -q 'daemon:   32 uploads,' \
+  || fail "daemon counter line disagrees with the client's upload count"
+echo "$report" | grep -q ' 0 rejects, 0 store errors' \
+  || fail "daemon reported rejects or store errors"
+
+# Coalescing: merges + coalesced must cover the 32 uploads exactly.
+merges=$(echo "$report" | sed -n 's/^daemon: *[0-9]* uploads, \([0-9]*\) merges (\([0-9]*\) coalesced).*/\1 \2/p')
+[ -n "$merges" ] || fail "could not parse merge counters from the report"
+set -- $merges
+[ "$(( $1 + $2 ))" = "32" ] || fail "merges ($1) + coalesced ($2) != 32 uploads"
+
+# The converged plan is fetchable with a stable ETag.
+etag=$(curl -s -D - -o /dev/null "$url/v1/plan?app=LoadGen&workload=steady" \
+  | tr -d '\r' | sed -n 's/^[Ee][Tt][Aa][Gg]: //p')
+[ -n "$etag" ] || fail "converged plan carried no ETag"
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H "If-None-Match: $etag" "$url/v1/plan?app=LoadGen&workload=steady")
+[ "$code" = "304" ] || fail "conditional re-fetch status $code, want 304"
+
+kill -TERM "$pid"
+wait "$pid" || fail "daemon exited non-zero after SIGTERM"
+grep -q 'shutdown complete' "$log" || fail "daemon did not report a clean shutdown"
+
+echo "loadgen-smoke: PASS"

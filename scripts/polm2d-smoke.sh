@@ -67,13 +67,20 @@ code=$(curl -s -o /dev/null -w '%{http_code}' \
 
 # The merged plan must sum the shared site's evidence — each instance
 # counted exactly once despite the replay — and keep both
-# instance-unique sites.
-curl -s -D /tmp/polm2d-smoke-headers.txt -o /tmp/polm2d-smoke-plan.json \
-  "$url/v1/plan?app=Cassandra&workload=WI"
-shared=$(jq '[.sites[] | select(.trace=="S.serve:1;Memtable.put:10") | .allocated] | add' \
-  /tmp/polm2d-smoke-plan.json)
+# instance-unique sites. The daemon merges asynchronously behind the
+# uploads (coalescing pipeline), so poll until the published plan covers
+# them rather than asserting on the first fetch.
+shared= nsites=
+for _ in $(seq 100); do
+  curl -s -D /tmp/polm2d-smoke-headers.txt -o /tmp/polm2d-smoke-plan.json \
+    "$url/v1/plan?app=Cassandra&workload=WI"
+  shared=$(jq '[.sites[] | select(.trace=="S.serve:1;Memtable.put:10") | .allocated] | add' \
+    /tmp/polm2d-smoke-plan.json)
+  nsites=$(jq '.sites | length' /tmp/polm2d-smoke-plan.json)
+  [ "$shared" = "150" ] && [ "$nsites" = "3" ] && break
+  sleep 0.1
+done
 [ "$shared" = "150" ] || fail "shared site evidence $shared, want 100+50=150"
-nsites=$(jq '.sites | length' /tmp/polm2d-smoke-plan.json)
 [ "$nsites" = "3" ] || fail "merged plan has $nsites sites, want 3"
 
 etag=$(tr -d '\r' </tmp/polm2d-smoke-headers.txt | sed -n 's/^[Ee][Tt][Aa][Gg]: //p')
