@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepRunsClean drives a small sweep in-process: every seed must hold
+// its invariants and the per-seed verdict lines must land on stdout.
+func TestSweepRunsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seeds", "3", "-instances", "8"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("sweep exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"seed 1: ok", "seed 2: ok", "seed 3: ok", "sweep: 3 seeds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepIsDeterministic: two identical sweeps print identical bytes —
+// the property that makes a CI failure reproducible on any machine.
+func TestSweepIsDeterministic(t *testing.T) {
+	sweep := func() string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-seeds", "2", "-instances", "6"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("sweep exit %d: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if a, b := sweep(), sweep(); a != b {
+		t.Fatalf("sweeps diverge:\n--- a\n%s--- b\n%s", a, b)
+	}
+}
+
+// TestSingleSeedReplayWritesTrace: a -seed run prints the invariant log
+// and -trace captures the byte-reproducible JSONL record of the run.
+func TestSingleSeedReplayWritesTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seed", "42", "-instances", "8", "-trace", tracePath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("replay exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "seed=42") || !strings.Contains(stdout.String(), "invariants: ok") {
+		t.Errorf("replay log incomplete:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"comp":"simnet"`)) || !bytes.Contains(data, []byte(`"comp":"planserver"`)) {
+		t.Error("trace file is missing simulator or daemon records")
+	}
+}
+
+// TestFlagErrors pins the usage contract: mutually exclusive modes, trace
+// in sweep mode, unknown fault kinds and stray arguments are all usage
+// errors (exit 2), before any simulation runs.
+func TestFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-seeds", "2", "-seed", "3"},
+		{"-seeds", "2", "-trace", "x.jsonl"},
+		{"-seed", "1", "-faults", "detonate%50"},
+		{"-seeds", "2", "stray"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package faultio
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseNetSpec(t *testing.T) {
+	spec := "seed=9;partition:inst-3..7@t=40s/20s;drop:upload%5;dup:upload%10;delay:fetch%25@250ms;err5xx%2;stale:upload%4"
+	p, err := ParseNetSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 {
+		t.Fatalf("seed = %d, want 9", p.Seed)
+	}
+	if len(p.Faults) != 6 {
+		t.Fatalf("parsed %d faults, want 6: %+v", len(p.Faults), p.Faults)
+	}
+	part := p.Faults[0]
+	if part.Kind != NetPartition || part.Prefix != "inst" || part.First != 3 || part.Last != 7 ||
+		part.Start != 40*time.Second || part.Dur != 20*time.Second {
+		t.Fatalf("partition = %+v", part)
+	}
+	if d := p.Faults[3]; d.Kind != NetDelay || d.Op != "fetch" || d.Pct != 25 || d.Delay != 250*time.Millisecond {
+		t.Fatalf("delay = %+v", p.Faults[3])
+	}
+	if e := p.Faults[4]; e.Kind != NetErr5xx || e.Op != "" || e.Pct != 2 {
+		t.Fatalf("err5xx = %+v", p.Faults[4])
+	}
+
+	// String renders back into the grammar and re-parses to the same plan.
+	rt, err := ParseNetSpec(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+	}
+	if rt.String() != p.String() {
+		t.Fatalf("round trip %q != %q", rt.String(), p.String())
+	}
+}
+
+func TestParseNetSpecPrefixedUpperBound(t *testing.T) {
+	p, err := ParseNetSpec("partition:inst-3..inst-7@t=1s/1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Faults[0]; f.First != 3 || f.Last != 7 {
+		t.Fatalf("range = %d..%d, want 3..7", f.First, f.Last)
+	}
+}
+
+func TestParseNetSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"seed=5",                       // no faults
+		"drop:upload",                  // no percentage
+		"drop:upload%101",              // pct out of range
+		"drop:reads%5",                 // unknown op
+		"flood:upload%5",               // unknown kind
+		"delay:fetch%10",               // delay without duration
+		"partition:inst-3..7",          // no window
+		"partition:inst-7..3@t=1s/1s",  // inverted range
+		"partition:3..7@t=1s/1s",       // no prefix
+		"partition:inst-3..7@t=1s/-2s", // negative duration
+		"partition:inst-a..7@t=1s/1s",  // non-numeric bound
+		"seed=banana;drop:upload%5",    // bad seed
+		"drop:upload%5@nonsense",       // bad delay
+	} {
+		if _, err := ParseNetSpec(spec); err == nil {
+			t.Errorf("ParseNetSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestPartitionWindows(t *testing.T) {
+	p, err := ParseNetSpec("partition:inst-0..1@t=10s/5s;partition:inst-4..6@t=20s/10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		inst string
+		at   time.Duration
+		want bool
+	}{
+		{"inst-0", 10 * time.Second, true},
+		{"inst-1", 14 * time.Second, true},
+		{"inst-1", 15 * time.Second, false}, // window end is exclusive
+		{"inst-2", 12 * time.Second, false},
+		{"inst-5", 25 * time.Second, true},
+		{"inst-5", 5 * time.Second, false},
+		{"node-5", 25 * time.Second, false}, // foreign prefix
+		{"inst-x", 25 * time.Second, false}, // non-numeric index
+	}
+	for _, c := range cases {
+		if got := p.Partitioned(c.inst, c.at); got != c.want {
+			t.Errorf("Partitioned(%s, %v) = %v, want %v", c.inst, c.at, got, c.want)
+		}
+	}
+	if got := p.PartitionsClearBy(); got != 30*time.Second {
+		t.Fatalf("PartitionsClearBy = %v, want 30s", got)
+	}
+	if got := len(p.Partitions()); got != 2 {
+		t.Fatalf("Partitions = %d entries, want 2", got)
+	}
+	var nilPlan *NetPlan
+	if nilPlan.Partitioned("inst-0", 0) || nilPlan.PartitionsClearBy() != 0 {
+		t.Fatal("nil plan partitions")
+	}
+}
+
+func TestDrawDeterministicAndSeedSensitive(t *testing.T) {
+	a, err := ParseNetSpec("seed=7;drop:upload%30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseNetSpec("seed=7;drop:upload%30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseNetSpec("seed=8;drop:upload%30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	var fires, differs int
+	for i := uint64(0); i < n; i++ {
+		_, fa := a.Draw(NetDrop, "upload", "inst-3", i)
+		_, fb := b.Draw(NetDrop, "upload", "inst-3", i)
+		_, fc := c.Draw(NetDrop, "upload", "inst-3", i)
+		if fa != fb {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+		if fa {
+			fires++
+		}
+		if fa != fc {
+			differs++
+		}
+	}
+	// ~30% of draws fire, and a different seed decides differently often.
+	if fires < n/5 || fires > n/2 {
+		t.Fatalf("fired %d/%d draws at 30%%", fires, n)
+	}
+	if differs == 0 {
+		t.Fatal("seeds 7 and 8 made identical decisions")
+	}
+	// Op and kind filters gate the draw.
+	if _, ok := a.Draw(NetDrop, "fetch", "inst-3", 1); ok {
+		t.Fatal("drop:upload fired on a fetch")
+	}
+	if _, ok := a.Draw(NetDup, "upload", "inst-3", 1); ok {
+		t.Fatal("dup fired with no dup fault planned")
+	}
+	var nilPlan *NetPlan
+	if _, ok := nilPlan.Draw(NetDrop, "upload", "inst-3", 1); ok {
+		t.Fatal("nil plan fired")
+	}
+}
+
+func TestNetPlanStringIncludesEverything(t *testing.T) {
+	p, err := ParseNetSpec("seed=3;delay:fetch%10@5ms;partition:inst-0..2@t=1s/2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"seed=3", "delay:fetch%10@5ms", "partition:inst-0..2@t=1s/2s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

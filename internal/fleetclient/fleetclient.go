@@ -8,12 +8,17 @@
 // exponential backoff and deterministic jitter, then a fall back to the
 // last good plan — when the daemon is unreachable.
 //
-// Determinism: no decision path consults the wall clock or a global RNG.
-// Backoff jitter derives from core.DeriveSeed over (seed, operation,
-// sequence number, attempt), so a fixed seed replays the exact retry
-// schedule, and a fleet of instances seeded differently spreads its
-// retries instead of thundering in lockstep. Only the injected Sleep
-// function (time.Sleep by default) touches real time.
+// Determinism: no decision path consults the wall clock, a global RNG, or
+// map iteration order. Backoff jitter derives from core.DeriveSeed over
+// (seed, operation, sequence number, attempt) — the injected seed stream
+// and nothing else — so a fixed seed replays the exact retry schedule
+// (pinned to golden values in backoff_golden_test.go), and a fleet of
+// instances seeded differently spreads its retries instead of thundering
+// in lockstep. The operation sequence number is the client's own call
+// counter: under a deterministic driver (a test, or internal/simnet's
+// single-threaded event loop) the whole jitter stream replays. Only the
+// injected Sleep function (time.Sleep by default) touches real time, and
+// the fleet simulator replaces it with a virtual-clock advance.
 package fleetclient
 
 import (
@@ -156,6 +161,16 @@ func (c *Client) LastGood() *analyzer.Profile {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lastGood
+}
+
+// LastETag returns the content-addressed version of the last good plan, or
+// "" when no plan has been served yet. It identifies exactly which plan
+// this instance runs — the fleet simulator's convergence invariant
+// compares it against the daemon's published version.
+func (c *Client) LastETag() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.etag
 }
 
 // backoff returns the post-jitter delay before retry number attempt

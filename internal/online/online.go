@@ -80,6 +80,14 @@ type Options struct {
 	// run span and per-cycle GC pause spans emitted at the end. Nil traces
 	// nothing at zero cost.
 	Tracer *trace.Tracer
+	// Clock is the simulated clock the run advances. Default: a fresh
+	// clock starting at zero. Injecting one lets a surrounding harness —
+	// a fidelity test, or a simulation embedding whole online instances —
+	// share a single timeline between the run, its tracer, and the fleet
+	// transport, with no hidden goroutine timing anywhere. The run's
+	// duration and warmup accounting assume the clock is at instant zero
+	// when Run starts.
+	Clock *simclock.Clock
 }
 
 // PlanService is the fleet-coordination seam: upload evidence, get back
@@ -174,7 +182,10 @@ type Result struct {
 // hot-swaps.
 func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	clock := simclock.New()
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.New()
+	}
 	geom := core.ScaledGeometry(opts.Scale)
 	col, err := core.NewCollector(core.CollectorNG2C, clock, geom, core.ScaledCostModel(opts.Scale))
 	if err != nil {

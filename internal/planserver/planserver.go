@@ -84,10 +84,23 @@ type Options struct {
 	SyncMerges bool
 	// Schedule, when non-nil, launches shard merge workers instead of the
 	// default `go work()`. Tests inject schedulers to run workers inline
-	// or to gate them and observe coalescing deterministically. The
+	// or to gate them and observe coalescing deterministically, and the
+	// fleet simulator (internal/simnet) injects its virtual-time event
+	// queue so worker execution order is owned by the simulation. The
 	// worker must eventually run (or uploads waiting on it block), and
 	// Schedule is never called while shard or server locks are held.
 	Schedule func(work func())
+	// Pump, when non-nil, replaces every blocking wait on the merge
+	// pipeline: instead of parking on a condition variable until a worker
+	// catches up, the waiter repeatedly calls Pump, which must execute
+	// scheduled work (typically one deferred Schedule callback) and
+	// report whether anything ran. This is what lets a single-threaded
+	// deterministic scheduler own the drain workers without deadlock —
+	// the goroutine that would have waited drives the pipeline itself. A
+	// Pump that reports no work while the waiter is still uncovered turns
+	// the wait into a pipeline-stalled error instead of hanging. Pump is
+	// called with no locks held.
+	Pump func() bool
 }
 
 // Server is the plan-distribution HTTP service. It is an http.Handler.
@@ -195,7 +208,7 @@ func (s *Server) Flush() {
 	s.shardMu.RUnlock()
 	for _, sh := range shards {
 		sh.mu.Lock()
-		sh.awaitCoveredLocked(sh.dirty)
+		s.awaitCovered(sh, sh.dirty) //nolint:errcheck // merge failures are recorded per shard; Flush is best-effort
 		sh.mu.Unlock()
 	}
 }
@@ -339,7 +352,7 @@ func (s *Server) rebuildFromEvidence(sh *shard, notFound error) (*cachedPlan, er
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.awaitCoveredLocked(target); err != nil {
+	if err := s.awaitCovered(sh, target); err != nil {
 		return nil, err
 	}
 	if sh.plan == nil {
@@ -522,7 +535,7 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		// upload. Async mode responds with whatever plan is published —
 		// at most one merge batch behind — and waits only on the key's
 		// cold first batch, when there is no plan at all yet.
-		if err := sh.awaitCoveredLocked(myGen); err != nil {
+		if err := s.awaitCovered(sh, myGen); err != nil {
 			sh.mu.Unlock()
 			s.storeErrs.Inc()
 			outcome = "store_error"

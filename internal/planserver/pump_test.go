@@ -1,0 +1,126 @@
+package planserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"polm2/internal/profilestore"
+)
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// workQueue is the single-threaded scheduler shape internal/simnet drives
+// the daemon with: Schedule defers workers into a FIFO, Pump runs exactly
+// one deferred worker on the caller's goroutine. Nothing here spawns a
+// goroutine — worker execution order is owned entirely by the queue.
+type workQueue struct {
+	pending []func()
+	runs    int
+}
+
+func (q *workQueue) schedule(work func()) { q.pending = append(q.pending, work) }
+
+func (q *workQueue) pump() bool {
+	if len(q.pending) == 0 {
+		return false
+	}
+	work := q.pending[0]
+	q.pending = q.pending[1:]
+	q.runs++
+	work()
+	return true
+}
+
+// TestPumpDrivesDeferredWorkers is the satellite contract for the fleet
+// simulator: with Schedule deferring every merge worker and Pump as the
+// only execution engine, a cold upload (which must wait for the first
+// published plan) completes on one goroutine, with the upload handler
+// itself pumping the drain.
+func TestPumpDrivesDeferredWorkers(t *testing.T) {
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &workQueue{}
+	srv := New(store, Options{Schedule: q.schedule, Pump: q.pump})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Cold first upload: no plan exists, so the handler waits for the
+	// batch covering it — the wait must pump the deferred drain instead
+	// of parking forever.
+	resp := postEvidence(t, ts.URL, "inst-a", evidence("Pump", "w", site("Pump.run:1;Db.put:2", 4, 12)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold upload = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if q.runs == 0 {
+		t.Fatal("upload completed without pumping the deferred worker")
+	}
+	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != 1 {
+		t.Fatalf("evidence_merge_total = %d, want 1", got)
+	}
+
+	// Steady state: a second upload responds with the published plan
+	// without waiting, leaving its drain parked in the queue until the
+	// scheduler decides to run it.
+	resp = postEvidence(t, ts.URL, "inst-b", evidence("Pump", "w", site("Pump.run:1;Db.put:2", 2, 6)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm upload = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if len(q.pending) != 1 {
+		t.Fatalf("warm upload left %d deferred workers, want 1 parked", len(q.pending))
+	}
+	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != 1 {
+		t.Fatalf("merge ran before the scheduler released it (merges = %d)", got)
+	}
+
+	// Flush pumps the parked drain to quiesce.
+	srv.Flush()
+	if got := srv.Metrics().Counter("evidence_merge_total").Value(); got != 2 {
+		t.Fatalf("evidence_merge_total after Flush = %d, want 2", got)
+	}
+	uploads := srv.Metrics().Counter("evidence_upload_total").Value()
+	coalesced := srv.Metrics().Counter("evidence_coalesced_total").Value()
+	if uploads != 2+coalesced {
+		t.Fatalf("counter accounting: uploads %d != merges 2 + coalesced %d", uploads, coalesced)
+	}
+}
+
+// TestPumpStallIsAnErrorNotADeadlock: a pump that runs dry while a waiter
+// is uncovered reports a pipeline stall as a 500 — the failure mode a
+// broken scheduler gets instead of a hung simulation.
+func TestPumpStallIsAnErrorNotADeadlock(t *testing.T) {
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule swallows the worker: nothing will ever run it.
+	srv := New(store, Options{
+		Schedule: func(func()) {},
+		Pump:     func() bool { return false },
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postEvidence(t, ts.URL, "inst-a", evidence("Stall", "w", site("Stall.run:1;Db.put:2", 4, 12)))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("stalled upload = %d, want 500", resp.StatusCode)
+	}
+	body := readBody(t, resp)
+	if !strings.Contains(body, "stalled") {
+		t.Fatalf("stall error does not name the stall: %q", body)
+	}
+}

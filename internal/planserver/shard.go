@@ -2,6 +2,7 @@ package planserver
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"polm2/internal/analyzer"
@@ -154,12 +155,25 @@ func (s *Server) ensureWorkerLocked(sh *shard) func() {
 	return func() { go work() }
 }
 
-// awaitCoveredLocked blocks until the pipeline has covered backlog
-// generation gen (caller holds sh.mu, which is held again on return) and
-// returns the failure that covered it, if any.
-func (sh *shard) awaitCoveredLocked(gen uint64) error {
+// awaitCovered blocks until the pipeline has covered backlog generation
+// gen (caller holds sh.mu, which is held again on return) and returns the
+// failure that covered it, if any. Without an injected Pump the wait parks
+// on the shard's condition variable until a worker goroutine catches up;
+// with one (single-threaded simulations) the waiter drives the scheduled
+// work itself, and a pump that runs dry while the generation is still
+// uncovered is a stalled pipeline — reported, never deadlocked.
+func (s *Server) awaitCovered(sh *shard, gen uint64) error {
 	for sh.mergedGen < gen {
-		sh.cond.Wait()
+		if s.opts.Pump == nil {
+			sh.cond.Wait()
+			continue
+		}
+		sh.mu.Unlock()
+		progressed := s.opts.Pump()
+		sh.mu.Lock()
+		if !progressed && sh.mergedGen < gen {
+			return fmt.Errorf("planserver: merge pipeline stalled waiting for generation %d of %s (nothing scheduled left to pump)", gen, sh.key)
+		}
 	}
 	if sh.lastErr != nil && sh.errGen >= gen {
 		return sh.lastErr

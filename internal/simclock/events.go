@@ -1,0 +1,120 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Queue is a deterministic virtual-time event queue bound to a Clock: the
+// discrete-event core of the fleet simulator (internal/simnet). Events are
+// ordered by (instant, priority, insertion sequence); popping an event
+// advances the clock to its instant and runs it. Two runs that schedule
+// the same events in the same order execute them in the same order — there
+// is no wall clock and no goroutine scheduling anywhere in the loop.
+//
+// The priority field is the seeded tie-break: events scheduled for the
+// same instant run in priority order, so a simulation that derives
+// priorities from its seed explores different same-instant interleavings
+// across seeds while each seed replays exactly.
+//
+// Queue is not safe for concurrent use. It is meant to be driven by one
+// loop goroutine; event functions may schedule further events.
+type Queue struct {
+	clock  *Clock
+	events eventHeap
+	seq    uint64
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	pri uint64
+	seq uint64
+	fn  func()
+}
+
+// NewQueue builds an empty queue driving clock.
+func NewQueue(clock *Clock) *Queue {
+	if clock == nil {
+		panic("simclock: NewQueue with nil clock")
+	}
+	return &Queue{clock: clock}
+}
+
+// Clock returns the clock the queue advances.
+func (q *Queue) Clock() *Clock { return q.clock }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// At schedules fn to run at instant t with tie-break priority pri.
+// Scheduling in the past is a programming error: the clock cannot move
+// backwards, so such an event would run "late" and silently distort every
+// interval derived from the clock.
+func (q *Queue) At(t time.Duration, pri uint64, fn func()) {
+	if fn == nil {
+		panic("simclock: scheduling a nil event")
+	}
+	if now := q.clock.Now(); t < now {
+		panic(fmt.Sprintf("simclock: scheduling event at %v, before now %v", t, now))
+	}
+	heap.Push(&q.events, event{at: t, pri: pri, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// After schedules fn to run d from now with tie-break priority pri.
+func (q *Queue) After(d time.Duration, pri uint64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: scheduling event %v in the past", d))
+	}
+	q.At(q.clock.Now()+d, pri, fn)
+}
+
+// RunNext pops the earliest event, advances the clock to its instant and
+// runs it. It reports false when the queue is empty. An event that
+// overran its instant (the previous event advanced the clock past it)
+// runs at the current instant — AdvanceTo never moves backwards.
+func (q *Queue) RunNext() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.events).(event)
+	q.clock.AdvanceTo(e.at)
+	e.fn()
+	return true
+}
+
+// NextAt returns the instant of the earliest pending event. It is only
+// meaningful when Len() > 0.
+func (q *Queue) NextAt() time.Duration {
+	if len(q.events) == 0 {
+		return 0
+	}
+	return q.events[0].at
+}
+
+// eventHeap orders events by (at, pri, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,108 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueOrdersByInstantPrioritySeq(t *testing.T) {
+	clock := New()
+	q := NewQueue(clock)
+	var got []string
+	add := func(at time.Duration, pri uint64, name string) {
+		q.At(at, pri, func() { got = append(got, name) })
+	}
+	add(30*time.Millisecond, 0, "late")
+	add(10*time.Millisecond, 5, "early-low-pri")
+	add(10*time.Millisecond, 1, "early-high-pri")
+	add(10*time.Millisecond, 1, "early-high-pri-2") // same (at, pri): FIFO by seq
+	add(20*time.Millisecond, 0, "mid")
+
+	for q.RunNext() {
+	}
+	want := []string{"early-high-pri", "early-high-pri-2", "early-low-pri", "mid", "late"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if clock.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v after drain, want 30ms", clock.Now())
+	}
+}
+
+func TestQueueAdvancesClockAndAllowsOverrun(t *testing.T) {
+	clock := New()
+	q := NewQueue(clock)
+	var at []time.Duration
+	q.At(10*time.Millisecond, 0, func() {
+		// This event overruns past the next event's instant; the next
+		// event must still run, at the overrun instant.
+		clock.Advance(50 * time.Millisecond)
+		at = append(at, clock.Now())
+	})
+	q.At(20*time.Millisecond, 0, func() { at = append(at, clock.Now()) })
+	for q.RunNext() {
+	}
+	if at[0] != 60*time.Millisecond || at[1] != 60*time.Millisecond {
+		t.Fatalf("instants = %v, want [60ms 60ms]", at)
+	}
+}
+
+func TestQueueEventsScheduleEvents(t *testing.T) {
+	clock := New()
+	q := NewQueue(clock)
+	var n int
+	var tick func()
+	tick = func() {
+		n++
+		if n < 5 {
+			q.After(time.Second, 0, tick)
+		}
+	}
+	q.After(time.Second, 0, tick)
+	steps := 0
+	for q.RunNext() {
+		steps++
+	}
+	if n != 5 || steps != 5 {
+		t.Fatalf("ran %d ticks in %d steps, want 5/5", n, steps)
+	}
+	if clock.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", clock.Now())
+	}
+}
+
+func TestQueueRejectsPastAndNil(t *testing.T) {
+	clock := New()
+	q := NewQueue(clock)
+	clock.Advance(time.Second)
+	mustPanic(t, "past event", func() { q.At(time.Millisecond, 0, func() {}) })
+	mustPanic(t, "nil event", func() { q.At(2*time.Second, 0, nil) })
+	mustPanic(t, "negative After", func() { q.After(-time.Second, 0, func() {}) })
+	mustPanic(t, "nil clock", func() { NewQueue(nil) })
+}
+
+func TestQueueNextAt(t *testing.T) {
+	q := NewQueue(New())
+	if q.NextAt() != 0 || q.Len() != 0 {
+		t.Fatal("empty queue reports pending work")
+	}
+	q.At(7*time.Millisecond, 0, func() {})
+	if q.NextAt() != 7*time.Millisecond {
+		t.Fatalf("NextAt = %v, want 7ms", q.NextAt())
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,362 @@
+package simnet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/faultio"
+	"polm2/internal/fleetclient"
+	"polm2/internal/metrics"
+	"polm2/internal/profilestore"
+	"polm2/internal/trace"
+)
+
+// This file is layer three of the simulator: the invariant checker. Its
+// evidence is the transport's delivery log — what the network actually
+// handed the daemon, faults and all — replayed through an independent
+// fleet-merge model (the same analyzer fold the daemon uses, driven from
+// the log rather than from daemon state). Everything the daemon claims —
+// counters, gauges, plan versions, plan content — is checked against that
+// model after the fleet has quiesced.
+
+// KeyReport summarizes one (app, workload) key's outcome.
+type KeyReport struct {
+	Key profilestore.Key
+	// DistinctInstances counts instances whose evidence was delivered at
+	// least once; Uploads counts accepted upload deliveries (duplicates
+	// and stale redeliveries included — each is an upload the daemon
+	// accepted).
+	DistinctInstances, Uploads int
+	// ETag is the daemon's final plan version as the fleet observed it;
+	// ExpectedETag is the checker's independent merge of the delivery
+	// log. The convergence invariant requires them equal.
+	ETag, ExpectedETag string
+	// Converged counts this key's instances whose final poll installed
+	// ExpectedETag; Members is the key's fleet share.
+	Converged, Members int
+}
+
+// Report is one run's outcome: scenario parameters, traffic and fault
+// accounting, per-key convergence, and every invariant violation found.
+type Report struct {
+	Seed      int64
+	FaultSpec string // effective plan, "seed=" pinned, for replay
+	Instances int
+	KeyCount  int
+	Rounds    int
+
+	SimTime    time.Duration
+	Events     int
+	Deliveries int
+	Net        netStats
+
+	Uploads, Merges, Coalesced, Rejected, StoreErrs uint64
+	// TaintedDelivered is the largest tainted total carried by any
+	// single accepted upload — proof the run exercised degradation when
+	// the scenario meant to.
+	TaintedDelivered uint64
+
+	PerKey     []KeyReport
+	Violations []string
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Log renders the deterministic invariant log: a fixed-order, fully
+// seeded-content summary. Two runs of one seed must produce identical
+// bytes — the replay test diffs this string, and the seed sweep prints it
+// on failure as the reproduction recipe.
+func (r *Report) Log() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simnet: seed=%d instances=%d keys=%d rounds=%d faults=%q\n",
+		r.Seed, r.Instances, r.KeyCount, r.Rounds, r.FaultSpec)
+	fmt.Fprintf(&b, "time=%s events=%d deliveries=%d refused=%d dropped=%d dup=%d stale=%d delayed=%d err5xx=%d\n",
+		r.SimTime, r.Events, r.Deliveries, r.Net.Refused, r.Net.Dropped, r.Net.Dup, r.Net.Stale, r.Net.Delayed, r.Net.Err5xx)
+	fmt.Fprintf(&b, "uploads=%d merges=%d coalesced=%d rejected=%d store_errors=%d tainted_max=%d\n",
+		r.Uploads, r.Merges, r.Coalesced, r.Rejected, r.StoreErrs, r.TaintedDelivered)
+	for _, k := range r.PerKey {
+		fmt.Fprintf(&b, "key %s: instances=%d uploads=%d converged=%d/%d etag=%s expected=%s\n",
+			k.Key, k.DistinctInstances, k.Uploads, k.Converged, k.Members,
+			shortETag(k.ETag), shortETag(k.ExpectedETag))
+	}
+	if len(r.Violations) == 0 {
+		b.WriteString("invariants: ok\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// shortETag abbreviates a content-addressed tag for the log.
+func shortETag(etag string) string {
+	s := strings.Trim(etag, `"`)
+	if len(s) > 12 {
+		s = s[:12]
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// violate records one invariant violation.
+func (s *sim) violate(r *Report, format string, args ...any) {
+	v := fmt.Sprintf(format, args...)
+	r.Violations = append(r.Violations, v)
+	if s.tracer.Enabled() {
+		s.tracer.Event("simnet", "invariant", trace.Bool("ok", false), trace.String("detail", v))
+	}
+}
+
+// report evaluates every invariant against the delivery log and the
+// daemon's own accounting.
+func (s *sim) report(plan *faultio.NetPlan) *Report {
+	r := &Report{
+		Seed:       s.cfg.Seed,
+		FaultSpec:  plan.String(),
+		Instances:  s.cfg.Instances,
+		KeyCount:   s.cfg.Keys,
+		Rounds:     s.cfg.Rounds,
+		SimTime:    s.clock.Now(),
+		Events:     s.events,
+		Deliveries: len(s.net.deliveries),
+		Net:        s.net.stats,
+	}
+	reg := s.srv.Metrics()
+	r.Uploads = reg.Counter("evidence_upload_total").Value()
+	r.Merges = reg.Counter("evidence_merge_total").Value()
+	r.Coalesced = reg.Counter("evidence_coalesced_total").Value()
+	r.Rejected = reg.Counter("evidence_reject_total").Value()
+	r.StoreErrs = reg.Counter("store_error_total").Value()
+
+	model := s.checkDeliveries(r)
+	s.checkCounters(r, model)
+	s.checkKeys(r, model)
+
+	if s.tracer.Enabled() && len(r.Violations) == 0 {
+		s.tracer.Event("simnet", "invariant", trace.Bool("ok", true))
+	}
+	return r
+}
+
+// deliveredModel is the checker's reconstruction of the fleet state from
+// the delivery log: each instance's latest accepted evidence per key, in
+// delivery order — exactly the last-write-wins fold the daemon promises.
+type deliveredModel struct {
+	evidence map[profilestore.Key]map[string]*analyzer.Profile
+	uploads  map[profilestore.Key]int
+	keys     []profilestore.Key
+}
+
+// checkDeliveries walks the log once: it builds the model, enforces the
+// per-delivery invariants (content-address honesty; duplicate deliveries
+// answered identically — the observable face of idempotent replay), and
+// enforces per-key ETag monotonicity (a published version, once replaced,
+// never comes back).
+func (s *sim) checkDeliveries(r *Report) *deliveredModel {
+	m := &deliveredModel{
+		evidence: make(map[profilestore.Key]map[string]*analyzer.Profile),
+		uploads:  make(map[profilestore.Key]int),
+	}
+	current := make(map[profilestore.Key]string)
+	abandoned := make(map[profilestore.Key]map[string]bool)
+	for i, d := range s.net.deliveries {
+		if !d.etagHonest {
+			s.violate(r, "content addressing: delivery %d (%s %s) body does not hash to its ETag %s",
+				i, d.instance, d.op, d.etag)
+		}
+		if d.dup && i > 0 {
+			prev := s.net.deliveries[i-1]
+			if prev.status != d.status || prev.etag != d.etag {
+				s.violate(r, "idempotent replay: duplicate delivery %d of %s %s answered (%d, %s), original (%d, %s)",
+					i, d.instance, d.op, d.status, shortETag(d.etag), prev.status, shortETag(prev.etag))
+			}
+		}
+		if d.etag != "" && (d.status == http.StatusOK || d.status == http.StatusNotModified) {
+			cur, ok := current[d.key]
+			if !ok || cur != d.etag {
+				if abandoned[d.key][d.etag] {
+					s.violate(r, "etag monotonicity: key %s revisited abandoned version %s at delivery %d",
+						d.key, shortETag(d.etag), i)
+				}
+				if ok {
+					if abandoned[d.key] == nil {
+						abandoned[d.key] = make(map[string]bool)
+					}
+					abandoned[d.key][cur] = true
+				}
+				current[d.key] = d.etag
+			}
+		}
+		if d.op == "upload" && d.status == http.StatusOK && d.evidence != nil {
+			ev := m.evidence[d.key]
+			if ev == nil {
+				ev = make(map[string]*analyzer.Profile)
+				m.evidence[d.key] = ev
+				m.keys = append(m.keys, d.key)
+			}
+			ev[d.instance] = d.evidence
+			m.uploads[d.key]++
+			var tainted uint64
+			for _, site := range d.evidence.Sites {
+				tainted += site.Tainted
+			}
+			if tainted > r.TaintedDelivered {
+				r.TaintedDelivered = tainted
+			}
+		}
+	}
+	sort.Slice(m.keys, func(i, j int) bool { return m.keys[i].String() < m.keys[j].String() })
+	return m
+}
+
+// checkCounters reconciles the daemon's accounting with the delivery log:
+// every accepted delivery is counted exactly once as an upload, every
+// upload is covered by exactly one merge or coalesced into one, and a
+// fault plan made of delivery faults (not corruption) rejects nothing and
+// breaks no store.
+func (s *sim) checkCounters(r *Report, m *deliveredModel) {
+	var delivered int
+	for _, n := range m.uploads {
+		delivered += n
+	}
+	if int(r.Uploads) != delivered {
+		s.violate(r, "counter accounting: evidence_upload_total=%d, delivery log has %d accepted uploads",
+			r.Uploads, delivered)
+	}
+	if r.Uploads != r.Merges+r.Coalesced {
+		s.violate(r, "counter accounting: uploads=%d != merges=%d + coalesced=%d",
+			r.Uploads, r.Merges, r.Coalesced)
+	}
+	if r.Rejected != 0 {
+		s.violate(r, "counter accounting: %d uploads rejected on a fault plan that never corrupts payloads", r.Rejected)
+	}
+	if r.StoreErrs != 0 {
+		s.violate(r, "counter accounting: %d store/merge errors on a healthy store", r.StoreErrs)
+	}
+}
+
+// checkKeys evaluates the per-key invariants: the daemon's final plan is
+// byte-equal (via content-addressed version) to the checker's independent
+// merge of delivered evidence, every instance of the key converged to it,
+// its evidence_instances gauge matches the distinct uploaders, and no
+// degradation outlived the tainted evidence that caused it.
+func (s *sim) checkKeys(r *Report, m *deliveredModel) {
+	members := make(map[profilestore.Key][]*instance)
+	for _, in := range s.instances {
+		members[in.key] = append(members[in.key], in)
+	}
+	for _, key := range m.keys {
+		kr := KeyReport{Key: key, Uploads: m.uploads[key], Members: len(members[key])}
+		ev := m.evidence[key]
+		kr.DistinctInstances = len(ev)
+
+		ids := make([]string, 0, len(ev))
+		for id := range ev {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		inputs := make([]*analyzer.Profile, 0, len(ids))
+		for _, id := range ids {
+			inputs = append(inputs, ev[id])
+		}
+		expected, err := analyzer.MergeProfiles(analyzer.Options{App: key.App, Workload: key.Workload}, inputs...)
+		if err != nil {
+			s.violate(r, "model merge for key %s failed: %v", key, err)
+			r.PerKey = append(r.PerKey, kr)
+			continue
+		}
+		kr.ExpectedETag, err = etagOf(expected)
+		if err != nil {
+			s.violate(r, "model encode for key %s failed: %v", key, err)
+			r.PerKey = append(r.PerKey, kr)
+			continue
+		}
+
+		gauge := s.srv.Metrics().Gauge(metrics.LabelName("evidence_instances",
+			metrics.Label{Key: "app", Value: key.App},
+			metrics.Label{Key: "workload", Value: key.Workload}))
+		if got := gauge.Value(); got != int64(len(ev)) {
+			s.violate(r, "gauge accounting: evidence_instances for %s = %d, delivery log has %d distinct uploaders",
+				key, got, len(ev))
+		}
+
+		var modelTainted uint64
+		for _, p := range inputs {
+			for _, site := range p.Sites {
+				modelTainted += site.Tainted
+			}
+		}
+		for _, in := range members[key] {
+			if in.finalErr != nil {
+				s.violate(r, "convergence: %s final poll failed on a quiet network: %v", in.id, in.finalErr)
+				continue
+			}
+			if in.finalOutcome != fleetclient.OutcomeFresh && in.finalOutcome != fleetclient.OutcomeNotModified {
+				s.violate(r, "convergence: %s final poll outcome %s, want a daemon-served plan", in.id, in.finalOutcome)
+				continue
+			}
+			if in.finalETag != kr.ExpectedETag {
+				s.violate(r, "convergence: %s installed %s, fleet merge of delivered evidence is %s",
+					in.id, shortETag(in.finalETag), shortETag(kr.ExpectedETag))
+				continue
+			}
+			kr.Converged++
+			if kr.ETag == "" {
+				kr.ETag = in.finalETag
+				// No sticky degradation: tainted counts are pure sums
+				// under the merge, so the published plan must carry
+				// exactly what the delivered evidence carries — in
+				// particular, zero once every instance's latest upload
+				// is clean again.
+				var planTainted uint64
+				for _, site := range in.finalPlan.Sites {
+					planTainted += site.Tainted
+				}
+				if planTainted != modelTainted {
+					s.violate(r, "sticky degradation: key %s plan carries tainted=%d, delivered evidence sums to %d",
+						key, planTainted, modelTainted)
+				}
+			}
+		}
+		r.PerKey = append(r.PerKey, kr)
+	}
+
+	// Keys that never had evidence delivered must answer no-plan to
+	// their instances — a daemon inventing a plan out of probes would
+	// surface here.
+	for key, ins := range members {
+		if m.evidence[key] != nil {
+			continue
+		}
+		for _, in := range ins {
+			if in.finalErr != nil || in.finalOutcome != fleetclient.OutcomeNoPlan {
+				s.violate(r, "convergence: %s got outcome %s for key %s with no delivered evidence, want no-plan",
+					in.id, outcomeString(in.finalOutcome, in.finalErr), key)
+			}
+		}
+	}
+}
+
+// etagOf computes the content-addressed version the daemon would assign a
+// plan: SHA-256 over the canonical JSON body, newline-terminated — the
+// same derivation planserver's encoder uses, reproduced here so the
+// checker never asks the daemon to version its own expectation.
+func etagOf(p *analyzer.Profile) (string, error) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("simnet: encoding expected plan: %w", err)
+	}
+	body = append(body, '\n')
+	sum := sha256.Sum256(body)
+	return fmt.Sprintf("%q", fmt.Sprintf("%x", sum)), nil
+}

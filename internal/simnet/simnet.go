@@ -1,0 +1,403 @@
+// Package simnet is a deterministic in-memory fleet simulator for the
+// polm2d plan-distribution stack: one planserver instance and a fleet of
+// fleetclient-driven instances run under a single seed with no real
+// sockets, no real time, and no goroutine scheduling on any decision path.
+//
+// The simulator is three layers:
+//
+//  1. A virtual transport (transport.go) that implements the fleetclient
+//     HTTP surface by direct handler invocation, with faultio.NetPlan
+//     network faults — drops, duplicates, stale retransmissions, delays,
+//     gateway 5xxs, partition windows — interposed between client and
+//     daemon.
+//  2. A virtual-time event loop built on internal/simclock's Queue. It
+//     owns every timer in the stack: instance boot and re-profile
+//     cadences, fleetclient retry backoff (Sleep advances the virtual
+//     clock), and the daemon's deferred merge workers (Schedule enqueues
+//     them; planserver.Options.Pump lets a waiting handler drive them).
+//     Events at one instant tie-break on seeded priorities, so a seed
+//     replays byte-identically — same trace, same invariant log.
+//  3. An invariant checker (report.go) evaluated after the fleet
+//     quiesces, built on an independent replay of the transport's
+//     delivery log: fleet convergence, counter accounting, ETag
+//     monotonicity and content-address honesty, idempotent duplicate
+//     delivery, and no sticky degradation once tainted evidence clears.
+//
+// The polm2-simnet command sweeps seeds and replays failures; the CI
+// simnet-sweep job runs it under the race detector.
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/core"
+	"polm2/internal/faultio"
+	"polm2/internal/fleetclient"
+	"polm2/internal/planserver"
+	"polm2/internal/profilestore"
+	"polm2/internal/simclock"
+	"polm2/internal/trace"
+)
+
+// Config parameterizes one simulated fleet run.
+type Config struct {
+	// Seed drives everything: instance jitter, retry backoff, event
+	// tie-breaks, and (unless FaultSpec pins its own "seed=") the fault
+	// draws. Default 1.
+	Seed int64
+	// Instances is the fleet size. Default 16.
+	Instances int
+	// Keys is the number of distinct (app, workload) keys the fleet
+	// spreads over (instance i profiles key i mod Keys). Default 1.
+	Keys int
+	// Rounds is the number of chaos-phase re-profile rounds per instance
+	// (one recovery round after faults clear is always added). Default 3.
+	Rounds int
+	// TaintRounds: during the first TaintRounds rounds, every third
+	// instance uploads evidence whose per-instance site is mostly
+	// tainted — enough to push it under the analyzer's confidence floor
+	// and degrade it to generation zero. Later rounds upload clean
+	// evidence, so the no-sticky-degradation invariant has something to
+	// bite on. Default 1; negative disables tainting.
+	TaintRounds int
+	// Cadence is the simulated re-profile interval. Default 30s.
+	Cadence time.Duration
+	// DrainDelay is the virtual-time deferral of the daemon's merge
+	// workers — the window in which concurrent uploads coalesce into one
+	// merge. Default 200ms.
+	DrainDelay time.Duration
+	// FaultSpec is a faultio.ParseNetSpec network fault plan, e.g.
+	// "partition:inst-3..7@t=40s/20s;drop:upload%5". Empty runs a clean
+	// network.
+	FaultSpec string
+	// StoreDir is the daemon's profile store directory. Required (the
+	// caller owns its lifetime; tests pass t.TempDir()).
+	StoreDir string
+	// TraceWriter, when non-nil, receives the run's JSONL trace —
+	// planserver, fleetclient and simnet events interleaved on the
+	// virtual clock. Two runs of one seed write identical bytes.
+	TraceWriter io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Instances == 0 {
+		c.Instances = 16
+	}
+	if c.Keys == 0 {
+		c.Keys = 1
+	}
+	if c.Keys > c.Instances {
+		c.Keys = c.Instances
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	if c.TaintRounds == 0 {
+		c.TaintRounds = 1
+	} else if c.TaintRounds < 0 {
+		c.TaintRounds = 0
+	}
+	if c.Cadence == 0 {
+		c.Cadence = 30 * time.Second
+	}
+	if c.DrainDelay == 0 {
+		c.DrainDelay = 200 * time.Millisecond
+	}
+	return c
+}
+
+// instance is one simulated production instance.
+type instance struct {
+	idx    int
+	id     string
+	key    profilestore.Key
+	client *fleetclient.Client
+	taints bool
+
+	rounds, fallbacks, errors int
+
+	finalOutcome fleetclient.Outcome
+	finalErr     error
+	finalETag    string
+	finalPlan    *analyzer.Profile
+}
+
+// sim is one run's mutable state. Everything is driven from the
+// single-threaded event loop.
+type sim struct {
+	cfg    Config
+	clock  *simclock.Clock
+	q      *simclock.Queue
+	net    *network
+	srv    *planserver.Server
+	tracer *trace.Tracer
+
+	instances []*instance
+	// workers is the daemon's deferred merge-worker FIFO: Schedule
+	// appends here and enqueues a release event; Pump (and the release
+	// event) each run the next pending worker, so every worker runs
+	// exactly once whether the clock or a blocked handler gets there
+	// first.
+	workers []func()
+	pri     prng
+	events  int
+}
+
+// Run executes one simulated fleet under cfg and returns its report. A
+// non-nil error means the simulation could not be built (bad fault spec,
+// unusable store); invariant violations are reported in Report.Violations,
+// not as errors.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("simnet: Config.StoreDir is required")
+	}
+	var plan *faultio.NetPlan
+	if cfg.FaultSpec != "" {
+		var err error
+		if plan, err = faultio.ParseNetSpec(cfg.FaultSpec); err != nil {
+			return nil, err
+		}
+		// The run seed owns the fault draws unless the spec pins its own
+		// (a replayed reproduction spec carries "seed=").
+		if !strings.Contains(cfg.FaultSpec, "seed=") {
+			plan.Seed = cfg.Seed
+		}
+	}
+	store, err := profilestore.Open(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+
+	clock := simclock.New()
+	s := &sim{
+		cfg:   cfg,
+		clock: clock,
+		q:     simclock.NewQueue(clock),
+		pri:   prng{state: uint64(cfg.Seed)},
+	}
+	if cfg.TraceWriter != nil {
+		s.tracer = trace.New(trace.Options{Writer: cfg.TraceWriter, Now: clock.Now})
+	}
+	s.srv = planserver.New(store, planserver.Options{
+		Now:      clock.Now,
+		Tracer:   s.tracer,
+		Schedule: s.schedule,
+		Pump:     s.runWorker,
+	})
+	s.net = newNetwork(s.srv, clock, plan)
+
+	for i := 0; i < cfg.Instances; i++ {
+		id := "inst-" + strconv.Itoa(i)
+		client, err := fleetclient.New(fleetclient.Options{
+			BaseURL:    "http://polm2d.simnet",
+			Seed:       core.DeriveSeed(cfg.Seed, "simnet", id),
+			InstanceID: id,
+			HTTPClient: &http.Client{Transport: s.net.transport(id)},
+			Sleep:      func(d time.Duration) { clock.Advance(d) },
+			Tracer:     s.tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.instances = append(s.instances, &instance{
+			idx:    i,
+			id:     id,
+			key:    profilestore.Key{App: "App" + strconv.Itoa(i%cfg.Keys), Workload: "w"},
+			client: client,
+			taints: cfg.TaintRounds > 0 && i%3 == 0,
+		})
+	}
+
+	s.scheduleFleet(plan)
+	for s.q.RunNext() {
+		s.events++
+	}
+	// Quiesce: publish every accepted upload (Flush pumps any still-
+	// parked merge workers), then poll the whole fleet once on the now-
+	// quiet network.
+	s.srv.Flush()
+	s.finalPolls()
+	return s.report(plan), nil
+}
+
+// scheduleFleet lays out the whole run on the event queue: jittered boots,
+// Rounds re-profile rounds with a mid-cadence poll each, the quiet point
+// at which every fault has cleared, and one clean recovery round.
+func (s *sim) scheduleFleet(plan *faultio.NetPlan) {
+	cadence := s.cfg.Cadence
+	var chaosEnd time.Duration
+	for _, in := range s.instances {
+		in := in
+		boot := s.jitter("boot", in.id, cadence)
+		s.q.At(boot, s.pri.next(), func() { s.boot(in) })
+		for r := 0; r < s.cfg.Rounds; r++ {
+			r := r
+			at := boot + time.Duration(r+1)*cadence + s.jitter("round/"+strconv.Itoa(r), in.id, cadence/4)
+			s.q.At(at, s.pri.next(), func() { s.round(in, r) })
+			s.q.At(at+cadence/2, s.pri.next(), func() { s.poll(in) })
+		}
+		if end := boot + time.Duration(s.cfg.Rounds+1)*cadence; end > chaosEnd {
+			chaosEnd = end
+		}
+	}
+	if clear := plan.PartitionsClearBy(); clear+cadence/2 > chaosEnd {
+		chaosEnd = clear + cadence/2
+	}
+	s.q.At(chaosEnd, s.pri.next(), func() {
+		s.net.quiet = true
+		if s.tracer.Enabled() {
+			s.tracer.Event("simnet", "quiet")
+		}
+	})
+	for _, in := range s.instances {
+		in := in
+		at := chaosEnd + cadence/4 + s.jitter("recovery", in.id, cadence)
+		s.q.At(at, s.pri.next(), func() { s.round(in, s.cfg.Rounds) })
+	}
+}
+
+// jitter derives a stable per-instance offset in [0, span) from the run
+// seed — stable identity, not stream position, so reordering the schedule
+// construction cannot move anyone's timing.
+func (s *sim) jitter(label, id string, span time.Duration) time.Duration {
+	if span <= 0 {
+		return 0
+	}
+	return time.Duration(uint64(core.DeriveSeed(s.cfg.Seed, "simnet", label, id)) % uint64(span))
+}
+
+// boot is an instance's first contact: fetch whatever plan the daemon
+// already holds (a cold store answers no-plan).
+func (s *sim) boot(in *instance) {
+	_, outcome, err := in.client.FetchPlan(in.key.App, in.key.Workload)
+	s.traceInstance("boot", in, outcomeString(outcome, err))
+}
+
+// round is one re-profile: build this round's cumulative evidence, upload
+// it, and adopt the fleet plan that comes back.
+func (s *sim) round(in *instance, r int) {
+	_, fresh, err := in.client.SyncEvidence(s.evidence(in, r))
+	in.rounds++
+	outcome := "merged"
+	switch {
+	case err != nil:
+		in.errors++
+		outcome = "error"
+	case !fresh:
+		in.fallbacks++
+		outcome = "fallback"
+	}
+	s.traceInstance("round", in, outcome, trace.Int64("round", int64(r)))
+}
+
+// poll is a mid-cadence conditional fetch — the steady-state traffic that
+// exercises 304s and observes plan versions between merges.
+func (s *sim) poll(in *instance) {
+	_, outcome, err := in.client.FetchPlan(in.key.App, in.key.Workload)
+	s.traceInstance("poll", in, outcomeString(outcome, err))
+}
+
+// finalPolls fetches once per instance, in index order, after the network
+// is quiet and the daemon has flushed: the observation the convergence
+// invariant is evaluated on.
+func (s *sim) finalPolls() {
+	for _, in := range s.instances {
+		in.finalPlan, in.finalOutcome, in.finalErr = in.client.FetchPlan(in.key.App, in.key.Workload)
+		in.finalETag = in.client.LastETag()
+		s.traceInstance("final_poll", in, outcomeString(in.finalOutcome, in.finalErr))
+	}
+}
+
+func outcomeString(o fleetclient.Outcome, err error) string {
+	if err != nil {
+		return "error"
+	}
+	return o.String()
+}
+
+func (s *sim) traceInstance(name string, in *instance, outcome string, attrs ...trace.Attr) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	all := append([]trace.Attr{
+		trace.String("instance", in.id),
+		trace.String("outcome", outcome),
+	}, attrs...)
+	s.tracer.Event("simnet", name, all...)
+}
+
+// evidence builds instance in's cumulative evidence for round r: one site
+// shared by every instance of the key and one per-instance site, both
+// growing with r (re-profiles report cumulative counts, which is what
+// makes last-write-wins aggregation count each instance once). Tainting
+// instances report a mostly-tainted per-instance site during the first
+// TaintRounds rounds — under the confidence floor — and clean counts
+// afterwards.
+func (s *sim) evidence(in *instance, r int) *analyzer.Profile {
+	round := uint64(r) + 1
+	shared := 40 * round
+	n := round * uint64(16+in.idx%7)
+	var tainted uint64
+	if in.taints && r < s.cfg.TaintRounds {
+		tainted = n - n/4
+	}
+	return &analyzer.Profile{
+		App:      in.key.App,
+		Workload: in.key.Workload,
+		Sites: []analyzer.SiteStat{
+			{
+				Trace:     in.key.App + ".serve:1;Db.put:5",
+				Allocated: shared,
+				Buckets:   []uint64{shared / 4, shared - shared/4},
+			},
+			{
+				Trace:     fmt.Sprintf("%s.serve:1;Worker.tick:%d", in.key.App, 100+in.idx),
+				Allocated: n,
+				Tainted:   tainted,
+				Buckets:   []uint64{n - n/3, n / 3},
+			},
+		},
+	}
+}
+
+// schedule is planserver.Options.Schedule: defer the merge worker into the
+// FIFO and release it after the drain delay.
+func (s *sim) schedule(work func()) {
+	s.workers = append(s.workers, work)
+	s.q.After(s.cfg.DrainDelay, s.pri.next(), func() { s.runWorker() })
+}
+
+// runWorker is planserver.Options.Pump and the release events' body: run
+// the next pending merge worker, if any.
+func (s *sim) runWorker() bool {
+	if len(s.workers) == 0 {
+		return false
+	}
+	work := s.workers[0]
+	s.workers = s.workers[1:]
+	work()
+	return true
+}
+
+// prng is a splitmix64 stream for event tie-break priorities: same-instant
+// events order by a seeded draw, so the interleaving is a property of the
+// seed, not of schedule-construction order.
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

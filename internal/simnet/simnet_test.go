@@ -1,0 +1,196 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runOnce executes one simulation into fresh temp storage, capturing the
+// trace, and fails the test on a build error (not on violations — callers
+// assert on the report).
+func runOnce(t *testing.T, cfg Config) (*Report, *bytes.Buffer) {
+	t.Helper()
+	var trace bytes.Buffer
+	cfg.StoreDir = t.TempDir()
+	cfg.TraceWriter = &trace
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("simnet.Run: %v", err)
+	}
+	return rep, &trace
+}
+
+func requireOK(t *testing.T, rep *Report) {
+	t.Helper()
+	if !rep.OK() {
+		t.Fatalf("invariants violated:\n%s", rep.Log())
+	}
+}
+
+// TestReplayByteIdentical is the acceptance bar for the simulator's
+// determinism: a 64-instance fleet under three partition windows plus
+// percentage faults, run twice from one seed, must produce byte-identical
+// traces and byte-identical invariant logs. Any wall-clock read, map
+// iteration, or goroutine race on a decision path breaks this test before
+// it breaks a production fleet.
+func TestReplayByteIdentical(t *testing.T) {
+	cfg := Config{
+		Seed:      42,
+		Instances: 64,
+		Keys:      2,
+		Rounds:    3,
+		FaultSpec: "partition:inst-3..7@t=40s/20s;partition:inst-20..30@t=60s/35s;partition:inst-40..45@t=30s/50s;drop:upload%5;dup:upload%6;err5xx%3",
+	}
+	first, firstTrace := runOnce(t, cfg)
+	requireOK(t, first)
+	if first.Net.Refused == 0 {
+		t.Fatal("three partition windows refused no traffic — the scenario did not exercise partitions")
+	}
+	if first.Net.Dropped == 0 || first.Net.Dup == 0 {
+		t.Fatalf("percentage faults did not fire (dropped=%d dup=%d)", first.Net.Dropped, first.Net.Dup)
+	}
+	if first.TaintedDelivered == 0 {
+		t.Fatal("no tainted evidence was delivered — the degradation invariant was vacuous")
+	}
+
+	second, secondTrace := runOnce(t, cfg)
+	requireOK(t, second)
+	if !bytes.Equal(firstTrace.Bytes(), secondTrace.Bytes()) {
+		t.Errorf("traces diverge between runs of seed %d: %d vs %d bytes",
+			cfg.Seed, firstTrace.Len(), secondTrace.Len())
+		a, b := firstTrace.String(), secondTrace.String()
+		al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := 0; i < len(al) && i < len(bl); i++ {
+			if al[i] != bl[i] {
+				t.Fatalf("first divergence at trace line %d:\n  run1: %s\n  run2: %s", i, al[i], bl[i])
+			}
+		}
+		t.FailNow()
+	}
+	if first.Log() != second.Log() {
+		t.Fatalf("invariant logs diverge:\n--- run1\n%s--- run2\n%s", first.Log(), second.Log())
+	}
+}
+
+// TestSeedsDiverge guards the other half of determinism: different seeds
+// must explore different schedules, or the sweep is 32 copies of one run.
+func TestSeedsDiverge(t *testing.T) {
+	cfg := Config{Instances: 8, FaultSpec: "drop:upload%10"}
+	cfg.Seed = 7
+	_, traceA := runOnce(t, cfg)
+	cfg.Seed = 8
+	_, traceB := runOnce(t, cfg)
+	if bytes.Equal(traceA.Bytes(), traceB.Bytes()) {
+		t.Fatal("seeds 7 and 8 produced identical traces")
+	}
+}
+
+// TestCleanNetworkConverges: with no faults at all, every invariant holds,
+// every instance converges, and the coalescing accounting closes exactly.
+func TestCleanNetworkConverges(t *testing.T) {
+	rep, _ := runOnce(t, Config{Seed: 3, Instances: 12, Keys: 3})
+	requireOK(t, rep)
+	if len(rep.PerKey) != 3 {
+		t.Fatalf("%d keys reported, want 3", len(rep.PerKey))
+	}
+	for _, k := range rep.PerKey {
+		if k.Converged != k.Members {
+			t.Errorf("key %s: %d/%d instances converged", k.Key, k.Converged, k.Members)
+		}
+		if k.DistinctInstances != k.Members {
+			t.Errorf("key %s: %d distinct uploaders, want %d", k.Key, k.DistinctInstances, k.Members)
+		}
+	}
+	if rep.Uploads != rep.Merges+rep.Coalesced {
+		t.Errorf("uploads=%d != merges=%d + coalesced=%d", rep.Uploads, rep.Merges, rep.Coalesced)
+	}
+	if rep.Net != (netStats{}) {
+		t.Errorf("clean network recorded faults: %+v", rep.Net)
+	}
+}
+
+// TestFaultScenarios runs each fault class on its own and requires both
+// that it actually fired and that every invariant survived it.
+func TestFaultScenarios(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  string
+		fired func(n netStats) int
+	}{
+		{"drop", "drop%15", func(n netStats) int { return n.Dropped }},
+		{"dup", "dup:upload%20", func(n netStats) int { return n.Dup }},
+		{"stale", "stale:upload%30", func(n netStats) int { return n.Stale }},
+		{"delay", "delay%25@250ms", func(n netStats) int { return n.Delayed }},
+		{"err5xx", "err5xx%10", func(n netStats) int { return n.Err5xx }},
+		{"partition", "partition:inst-2..5@t=35s/40s", func(n netStats) int { return n.Refused }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, _ := runOnce(t, Config{Seed: 11, Instances: 10, Rounds: 3, FaultSpec: tc.spec})
+			requireOK(t, rep)
+			if tc.fired(rep.Net) == 0 {
+				t.Fatalf("fault %q never fired: %+v", tc.spec, rep.Net)
+			}
+		})
+	}
+}
+
+// TestSweep is the in-process miniature of CI's seed sweep: several seeds
+// over a mixed fault plan, every one of which must hold every invariant.
+// The reproduction recipe on failure is the report's own log.
+func TestSweep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rep, _ := runOnce(t, Config{
+				Seed:      seed,
+				Instances: 14,
+				Keys:      2,
+				FaultSpec: "partition:inst-4..9@t=45s/25s;drop:upload%4;dup:upload%5;stale:upload%5;err5xx%2",
+			})
+			requireOK(t, rep)
+		})
+	}
+}
+
+// TestReportLogShape pins the log's load-bearing lines: the seed sweep's
+// failure output is an operator's only reproduction recipe, so the seed,
+// the effective fault spec, and the invariant verdict must all be in it.
+func TestReportLogShape(t *testing.T) {
+	rep, _ := runOnce(t, Config{Seed: 5, Instances: 4, FaultSpec: "drop%10"})
+	log := rep.Log()
+	for _, want := range []string{"seed=5", `faults="seed=5;drop%10"`, "invariants: ok", "key App0/w:"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log is missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestConfigErrors: a broken fault spec or a missing store dir fail the
+// build of the simulation, not the invariants.
+func TestConfigErrors(t *testing.T) {
+	if _, err := Run(Config{StoreDir: t.TempDir(), FaultSpec: "detonate%50"}); err == nil {
+		t.Error("unknown fault kind built a simulation")
+	}
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing StoreDir built a simulation")
+	}
+}
+
+// TestVirtualTimeOnly: a full run's simulated horizon is minutes of
+// virtual time; if it also took minutes of wall time, something inside is
+// sleeping for real.
+func TestVirtualTimeOnly(t *testing.T) {
+	start := time.Now()
+	rep, _ := runOnce(t, Config{Seed: 9, Instances: 24, FaultSpec: "drop%8"})
+	requireOK(t, rep)
+	if rep.SimTime < time.Minute {
+		t.Errorf("simulated only %v, want minutes of virtual time", rep.SimTime)
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Errorf("run took %v of wall time for %v of simulated time", wall, rep.SimTime)
+	}
+}

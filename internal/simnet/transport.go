@@ -1,0 +1,297 @@
+package simnet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/faultio"
+	"polm2/internal/profilestore"
+	"polm2/internal/simclock"
+)
+
+// This file is layer one of the simulator: a virtual transport that
+// implements the fleetclient HTTP surface by invoking the planserver
+// handler directly — no sockets, no goroutines, no real time. Every
+// request passes through the network fault plan (faultio.NetPlan) first,
+// and every request that reaches the daemon is recorded as a delivery; the
+// delivery log is the ground truth the invariant checker replays against,
+// independent of anything the daemon believes.
+
+// Simulated network costs. A dropped request costs the client a timeout; a
+// partition refusal is fast (connection refused, not a hang). Both advance
+// the virtual clock so retry schedules interleave realistically.
+const (
+	dropTimeout = 150 * time.Millisecond
+	refuseCost  = 5 * time.Millisecond
+)
+
+// delivery is one request that reached the daemon (faults included:
+// duplicate and stale redeliveries are deliveries too, marked as such).
+type delivery struct {
+	at       time.Duration
+	instance string
+	op       string // "fetch" | "upload"
+	key      profilestore.Key
+	status   int
+	etag     string // response ETag ("" when none)
+	dup      bool   // duplicate redelivery of the preceding delivery
+	stale    bool   // redelivery of the instance's previous upload body
+	// evidence is the parsed uploaded profile for accepted (200) uploads;
+	// nil otherwise. It feeds the checker's independent fleet-merge model.
+	evidence *analyzer.Profile
+	// etagHonest reports that the response body's SHA-256 matches the
+	// content-addressed ETag the daemon claimed (vacuously true without a
+	// body or tag).
+	etagHonest bool
+}
+
+// netStats counts fault firings, for the report.
+type netStats struct {
+	Refused, Dropped, Dup, Stale, Delayed, Err5xx int
+}
+
+// network is the shared fabric between every instance and the daemon. It
+// is driven only from the single-threaded event loop, so it needs no lock.
+type network struct {
+	handler http.Handler
+	clock   *simclock.Clock
+	plan    *faultio.NetPlan
+	// quiet disables every fault (set when the chaos phase ends): the
+	// convergence invariant is "the fleet converges once faults clear",
+	// so the recovery phase must actually clear them.
+	quiet bool
+
+	// decisions numbers each (instance, op) pair's requests so fault
+	// draws are stable decision identities, not positions in a global
+	// stream another instance's retries could shift.
+	decisions  map[string]uint64
+	lastUpload map[string][]byte // per instance, for stale redelivery
+	deliveries []delivery
+	stats      netStats
+}
+
+func newNetwork(handler http.Handler, clock *simclock.Clock, plan *faultio.NetPlan) *network {
+	return &network{
+		handler:    handler,
+		clock:      clock,
+		plan:       plan,
+		decisions:  make(map[string]uint64),
+		lastUpload: make(map[string][]byte),
+	}
+}
+
+// transport returns the RoundTripper carrying one instance's traffic.
+func (n *network) transport(instance string) http.RoundTripper {
+	return &instanceTransport{net: n, instance: instance}
+}
+
+// Fabric is the simulator's in-memory network exposed for reuse outside a
+// full simulation: harnesses that want fleetclient traffic delivered by
+// direct handler invocation — no sockets, no server goroutines — build a
+// Fabric around the daemon's handler and hand each client a Transport.
+// The e2e fidelity test runs one convergence scenario over both httptest
+// and a Fabric and asserts the merged plans are byte-identical.
+//
+// Like the simulation it is carved from, a Fabric is meant to be driven
+// from one goroutine.
+type Fabric struct{ net *network }
+
+// NewFabric builds an in-memory network delivering to handler. plan may be
+// nil for a fault-free fabric; clock supplies delivery timestamps and pays
+// fault costs (timeouts, delays).
+func NewFabric(handler http.Handler, clock *simclock.Clock, plan *faultio.NetPlan) *Fabric {
+	return &Fabric{net: newNetwork(handler, clock, plan)}
+}
+
+// Transport returns the RoundTripper carrying one named instance's
+// traffic.
+func (f *Fabric) Transport(instance string) http.RoundTripper { return f.net.transport(instance) }
+
+// Deliveries reports how many requests reached the handler.
+func (f *Fabric) Deliveries() int { return len(f.net.deliveries) }
+
+type instanceTransport struct {
+	net      *network
+	instance string
+}
+
+func (t *instanceTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.net
+	op := "fetch"
+	if req.Method == http.MethodPost {
+		op = "upload"
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		if body, err = io.ReadAll(req.Body); err != nil {
+			return nil, err
+		}
+		req.Body.Close()
+	}
+
+	if !n.quiet {
+		if n.plan.Partitioned(t.instance, n.clock.Now()) {
+			n.stats.Refused++
+			n.clock.Advance(refuseCost)
+			return nil, fmt.Errorf("simnet: %s partitioned from the daemon", t.instance)
+		}
+		id := t.instance + "|" + op
+		seq := n.decisions[id]
+		n.decisions[id] = seq + 1
+		if _, ok := n.plan.Draw(faultio.NetDrop, op, t.instance, seq); ok {
+			n.stats.Dropped++
+			n.clock.Advance(dropTimeout)
+			return nil, fmt.Errorf("simnet: request from %s dropped", t.instance)
+		}
+		if _, ok := n.plan.Draw(faultio.NetErr5xx, op, t.instance, seq); ok {
+			n.stats.Err5xx++
+			return synthesize5xx(req), nil
+		}
+		if f, ok := n.plan.Draw(faultio.NetDelay, op, t.instance, seq); ok {
+			n.stats.Delayed++
+			n.clock.Advance(f.Delay)
+		}
+		if op == "upload" {
+			if _, ok := n.plan.Draw(faultio.NetStale, op, t.instance, seq); ok {
+				if prev := n.lastUpload[t.instance]; prev != nil && !bytes.Equal(prev, body) {
+					n.stats.Stale++
+					// The old retransmission surfaces first; the fresh
+					// request lands after it, so last-write-wins must
+					// leave the fresh evidence standing.
+					n.deliver(req, prev, t.instance, op, true, false)
+				}
+			}
+		}
+		resp := n.deliver(req, body, t.instance, op, false, false)
+		if _, ok := n.plan.Draw(faultio.NetDup, op, t.instance, seq); ok {
+			n.stats.Dup++
+			resp = n.deliver(req, body, t.instance, op, false, true)
+		}
+		if op == "upload" {
+			n.lastUpload[t.instance] = body
+		}
+		return resp, nil
+	}
+
+	resp := n.deliver(req, body, t.instance, op, false, false)
+	if op == "upload" {
+		n.lastUpload[t.instance] = body
+	}
+	return resp, nil
+}
+
+// deliver hands one request body to the daemon's handler and records the
+// delivery.
+func (n *network) deliver(req *http.Request, body []byte, instance, op string, stale, dup bool) *http.Response {
+	r := req.Clone(req.Context())
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	w := newMemWriter()
+	n.handler.ServeHTTP(w, r)
+	resp := w.response(req)
+
+	d := delivery{
+		at:       n.clock.Now(),
+		instance: instance,
+		op:       op,
+		status:   resp.StatusCode,
+		etag:     resp.Header.Get("ETag"),
+		stale:    stale,
+		dup:      dup,
+	}
+	if op == "fetch" {
+		d.key = profilestore.Key{
+			App:      req.URL.Query().Get("app"),
+			Workload: req.URL.Query().Get("workload"),
+		}
+	}
+	if op == "upload" {
+		var p analyzer.Profile
+		if json.Unmarshal(body, &p) == nil {
+			d.key = profilestore.Key{App: p.App, Workload: p.Workload}
+			if d.status == http.StatusOK {
+				d.evidence = &p
+			}
+		}
+	}
+	d.etagHonest = etagHonest(d.etag, d.status, w.body.Bytes())
+	n.deliveries = append(n.deliveries, d)
+	return resp
+}
+
+// etagHonest checks the content-addressing contract on one response: a 200
+// with an ETag must carry a body whose SHA-256 is the tag.
+func etagHonest(etag string, status int, body []byte) bool {
+	if etag == "" || status != http.StatusOK || len(body) == 0 {
+		return true
+	}
+	sum := sha256.Sum256(body)
+	return etag == fmt.Sprintf("%q", fmt.Sprintf("%x", sum))
+}
+
+// synthesize5xx fabricates the gateway 503 a NetErr5xx fault answers with;
+// the request is never delivered.
+func synthesize5xx(req *http.Request) *http.Response {
+	body := []byte("simnet: synthesized gateway error\n")
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// memWriter is the in-memory http.ResponseWriter behind direct handler
+// invocation.
+type memWriter struct {
+	code   int
+	wrote  bool
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newMemWriter() *memWriter {
+	return &memWriter{code: http.StatusOK, header: make(http.Header)}
+}
+
+func (w *memWriter) Header() http.Header { return w.header }
+
+func (w *memWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.body.Write(p)
+}
+
+// response converts the captured write into the *http.Response a client
+// round trip returns. ContentLength is set explicitly: fleetclient sizes
+// its decode buffer from it, exactly as it does against the real daemon.
+func (w *memWriter) response(req *http.Request) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", w.code, http.StatusText(w.code)),
+		StatusCode:    w.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        w.header,
+		Body:          io.NopCloser(bytes.NewReader(w.body.Bytes())),
+		ContentLength: int64(w.body.Len()),
+		Request:       req,
+	}
+}

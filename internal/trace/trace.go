@@ -70,6 +70,16 @@ func Uint64(key string, value uint64) Attr {
 // ambiguity.
 func Dur(key string, value time.Duration) Attr { return Attr{Key: key, num: int64(value)} }
 
+// Bool builds an integer-valued attribute rendering true as 1 and false as
+// 0, keeping the record grammar to two value shapes (string, integer).
+func Bool(key string, value bool) Attr {
+	var n int64
+	if value {
+		n = 1
+	}
+	return Attr{Key: key, num: n}
+}
+
 // Options parameterizes a tracer. At least one of Writer and Ring should
 // be set, or the tracer encodes records nobody sees.
 type Options struct {
