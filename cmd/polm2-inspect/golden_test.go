@@ -113,6 +113,66 @@ func TestProfilesGolden(t *testing.T) {
 	checkGolden(t, "profiles.golden", buf.Bytes())
 }
 
+// TestRolloutGolden pins the rollout state view. The store is rebuilt from
+// fixed controller documents on every run, so the listing exercises the
+// real PutRollout/Rollout round trip; the key without a document proves
+// rollout-off keys are skipped, not misreported.
+func TestRolloutGolden(t *testing.T) {
+	dir := t.TempDir()
+	store, err := profilestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*analyzer.Profile{
+		{App: "Cassandra", Workload: "WI", Generations: 2,
+			Allocs: []analyzer.AllocDirective{{Loc: "Memtable.put:10", Gen: 2, Direct: true}}},
+		{App: "Cassandra", Workload: "RO", Generations: 1,
+			Allocs: []analyzer.AllocDirective{{Loc: "Cache.get:3", Gen: 1, Direct: true}}},
+		{App: "Lucene", Workload: "default", Generations: 1,
+			Allocs: []analyzer.AllocDirective{{Loc: "Index.add:7", Gen: 1, Direct: true}}},
+	} {
+		if err := store.Put(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs := map[[2]string]string{
+		{"Cassandra", "WI"}: `{"snapshot":{"state":"canary",
+			"stable_etag":"\"9b8c7d6e5f40112233445566\"",
+			"candidate_etag":"\"3f2a9c11d4e5aabbccddeeff\"",
+			"canaries":3,"promotions":2,"rollbacks":0}}`,
+		{"Lucene", "default"}: `{"snapshot":{"state":"rolled_back",
+			"stable_etag":"\"0011223344556677deadbeef\"",
+			"quarantined":["\"feedfacecafe001122334455\""],
+			"canaries":2,"promotions":1,"rollbacks":1}}`,
+	}
+	for k, doc := range docs {
+		if err := store.PutRollout(k[0], k[1], []byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := showRollout(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "rollout.golden", buf.Bytes())
+}
+
+// TestRolloutEmptyStore keeps the subcommand graceful on a store the
+// controller never touched.
+func TestRolloutEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := profilestore.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := showRollout(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("no rollout state found")) {
+		t.Fatalf("empty-store output = %q", buf.String())
+	}
+}
+
 // TestVerifyReportsDamage corrupts a copy of the v2 artifacts and checks
 // verify flags it without failing hard.
 func TestVerifyReportsDamage(t *testing.T) {

@@ -9,6 +9,7 @@
 //	polm2-inspect diff old.json new.json     # directive-level diff
 //	polm2-inspect snapshots ./images         # decode a snapshot image dir
 //	polm2-inspect profiles ./profiles        # list a profile repository
+//	polm2-inspect rollout ./profiles         # canary rollout state per key
 //	polm2-inspect trace trace.jsonl          # summarize a trace file
 //	polm2-inspect verify ./artifacts         # integrity-check artifact dirs
 //	polm2-inspect --verify ./artifacts       # same, flag spelling
@@ -18,6 +19,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +29,7 @@ import (
 
 	"polm2/internal/analyzer"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 	"polm2/internal/snapshot"
 )
 
@@ -34,7 +38,7 @@ func main() {
 }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|profiles|trace|verify> <args...>")
+	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|profiles|rollout|trace|verify> <args...>")
 	return 2
 }
 
@@ -65,6 +69,8 @@ func run() int {
 		err = showSnapshots(os.Stdout, args[1])
 	case "profiles":
 		err = showProfiles(os.Stdout, args[1])
+	case "rollout":
+		err = showRollout(os.Stdout, args[1])
 	case "trace":
 		err = showTrace(os.Stdout, args[1])
 	case "verify":
@@ -211,6 +217,73 @@ func showProfiles(w io.Writer, dir string) error {
 	}
 	fmt.Fprintf(w, "%d profiles\n", len(keys))
 	return nil
+}
+
+// showRollout lists the persisted canary-rollout controller state for
+// every key in a polm2d store directory: which plan version is stable,
+// which (if any) is mid-canary, what's quarantined, and the lifetime
+// promote/rollback tallies. Keys the controller has never touched (store
+// written with -rollout off) are skipped.
+func showRollout(w io.Writer, dir string) error {
+	store, err := profilestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	keys, err := store.List()
+	if err != nil {
+		return err
+	}
+	// The document is planserver's rolloutDoc; only the tracker snapshot
+	// matters here, the embedded plan bodies are cache warm-up payload.
+	type doc struct {
+		Snapshot rollout.Snapshot `json:"snapshot"`
+	}
+	rows := 0
+	for _, k := range keys {
+		data, err := store.Rollout(k.App, k.Workload)
+		if errors.Is(err, profilestore.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		var d doc
+		if err := json.Unmarshal(data, &d); err != nil {
+			return fmt.Errorf("rollout document for %s: %w", k, err)
+		}
+		if rows == 0 {
+			fmt.Fprintf(w, "%-24s %-12s %-14s %-14s %-6s %-9s %-9s %s\n",
+				"app/workload", "state", "stable", "candidate", "quar", "canaries", "promoted", "rolledback")
+		}
+		rows++
+		fmt.Fprintf(w, "%-24s %-12s %-14s %-14s %-6d %-9d %-9d %d\n",
+			k.String(), d.Snapshot.State,
+			shortETag(d.Snapshot.StableETag), shortETag(d.Snapshot.CandidateETag),
+			len(d.Snapshot.Quarantined), d.Snapshot.Canaries, d.Snapshot.Promotions, d.Snapshot.Rollbacks)
+	}
+	if rows == 0 {
+		fmt.Fprintln(w, "no rollout state found (store written with -rollout off?)")
+		return nil
+	}
+	fmt.Fprintf(w, "%d keys under rollout control\n", rows)
+	return nil
+}
+
+// shortETag trims a content-addressed ETag (a quoted sha256 hex string) to
+// a display prefix, mirroring the daemon's trace rendering; empty in,
+// "-" out so table columns stay aligned.
+func shortETag(etag string) string {
+	t := etag
+	if len(t) >= 2 && t[0] == '"' {
+		t = t[1 : len(t)-1]
+	}
+	if t == "" {
+		return "-"
+	}
+	if len(t) > 12 {
+		t = t[:12]
+	}
+	return t
 }
 
 func showSnapshots(w io.Writer, dir string) error {

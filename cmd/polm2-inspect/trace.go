@@ -46,6 +46,7 @@ func showTrace(w io.Writer, path string) error {
 
 	showGCBreakdown(w, recs)
 	showTimeline(w, recs)
+	showRolloutTimeline(w, recs)
 	return nil
 }
 
@@ -106,6 +107,35 @@ func showTimeline(w io.Writer, recs []trace.Record) {
 			headed = true
 		}
 		fmt.Fprintf(w, "  [%v] %s %s%s\n", r.Time().Round(time.Millisecond), r.Comp, r.Name, fmtAttrs(r))
+	}
+}
+
+// showRolloutTimeline prints the canary controller's state-machine moves
+// (comp "rollout": adopt, canary_start, promote, publish, quarantine,
+// rollback) as their own section — the fleet-level story of which plan
+// versions were staged, promoted, or rolled back, and why.
+func showRolloutTimeline(w io.Writer, recs []trace.Record) {
+	headed := false
+	for _, r := range recs {
+		if r.Comp != "rollout" {
+			continue
+		}
+		if !headed {
+			fmt.Fprintln(w, "rollout transitions:")
+			headed = true
+		}
+		rest := r
+		rest.Att = make(map[string]any, len(r.Att))
+		for k, v := range r.Att {
+			switch k {
+			case "app", "workload", "from", "to":
+			default:
+				rest.Att[k] = v
+			}
+		}
+		fmt.Fprintf(w, "  [%v] %s/%s %s %s -> %s%s\n",
+			r.Time().Round(time.Millisecond), r.Str("app"), r.Str("workload"),
+			r.Name, r.Str("from"), r.Str("to"), fmtAttrs(rest))
 	}
 }
 

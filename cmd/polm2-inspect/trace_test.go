@@ -58,6 +58,18 @@ func writeSyntheticTrace(t *testing.T) string {
 		trace.String("app", "churn"), trace.String("workload", "w"),
 		trace.String("instance", "i-1"), trace.String("outcome", "merged"),
 		trace.Dur("latency", 350*time.Microsecond))
+	tr.EventAt(2*time.Minute+95*time.Millisecond, "rollout", "canary_start",
+		trace.String("app", "churn"), trace.String("workload", "w"),
+		trace.String("etag", "3f2a9c11d4e5"), trace.String("stable", "9b8c7d6e5f40"),
+		trace.String("from", "stable"), trace.String("to", "canary"),
+		trace.Int64("cohort", 2))
+	tr.EventAt(4*time.Minute, "rollout", "rollback",
+		trace.String("app", "churn"), trace.String("workload", "w"),
+		trace.String("etag", "3f2a9c11d4e5"), trace.String("stable", "9b8c7d6e5f40"),
+		trace.String("from", "canary"), trace.String("to", "rolled_back"),
+		trace.Dur("canary_p99", 40*time.Millisecond),
+		trace.Dur("baseline_p99", 15*time.Millisecond),
+		trace.Int64("canary_n", 4), trace.Int64("baseline_n", 6))
 	tr.Span("online", "run", 0, 16*time.Minute,
 		trace.String("app", "churn"), trace.String("workload", "w"),
 		trace.Int64("updates", 1), trace.Int64("salvages", 0),

@@ -165,6 +165,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "daemon:   %d uploads, %d merges (%d coalesced), %d rejects, %d store errors\n",
 		d("evidence_upload_total"), d("evidence_merge_total"),
 		d("evidence_coalesced_total"), d("evidence_reject_total"), d("store_error_total"))
+	// Rollout counters exist only on daemons built with the canary
+	// controller; a missing series scrapes as zero on both sides, so the
+	// line simply stays quiet against an older or rollout-off daemon.
+	if after["feedback_reports_total"]+after["feedback_reject_total"]+after["rollout_canary_total"] > 0 {
+		fmt.Fprintf(stdout, "rollout:  %d feedback reports (%d rejected), %d canaries, %d promotions, %d rollbacks\n",
+			d("feedback_reports_total"), d("feedback_reject_total"),
+			d("rollout_canary_total"), d("rollout_promotions_total"), d("rollout_rollbacks_total"))
+	}
 	if failed > 0 {
 		return 1
 	}

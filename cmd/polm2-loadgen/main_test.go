@@ -11,6 +11,7 @@ import (
 	"polm2/internal/analyzer"
 	"polm2/internal/planserver"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -72,6 +73,9 @@ func TestLoadgenAgainstDaemon(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}
 	}
+	if strings.Contains(report, "rollout:") {
+		t.Errorf("rollout line printed against a rollout-off daemon:\n%s", report)
+	}
 
 	// The daemon converged on the merge of every instance's final round.
 	resp, err := http.Get(ts.URL + "/v1/plan?app=LoadGen&workload=test")
@@ -121,5 +125,38 @@ func TestLoadgenAgainstDaemon(t *testing.T) {
 	}
 	if string(body2) != string(body) {
 		t.Fatal("re-run with identical seed changed the converged plan")
+	}
+}
+
+// TestLoadgenReportsRolloutCounters: against a daemon running the canary
+// controller, the report grows a rollout line with the scraped counter
+// deltas — the repeated merges the generator provokes must open at least
+// one canary.
+func TestLoadgenReportsRolloutCounters(t *testing.T) {
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rollout.Config{}
+	srv := planserver.New(store, planserver.Options{Rollout: &cfg})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out, errb strings.Builder
+	code := run([]string{
+		"-addr", ts.URL,
+		"-app", "LoadGen", "-workload", "canary",
+		"-instances", "4", "-uploads", "3", "-sites", "5",
+		"-seed", "7",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("loadgen exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "rollout:  ") {
+		t.Fatalf("report missing rollout counter line:\n%s", report)
+	}
+	if strings.Contains(report, ", 0 canaries") {
+		t.Errorf("repeated merges opened no canary:\n%s", report)
 	}
 }

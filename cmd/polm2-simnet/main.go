@@ -8,6 +8,7 @@
 //	polm2-simnet -seeds 32                                # CI seed sweep
 //	polm2-simnet -seed 42 -instances 64 -trace run.jsonl  # replay one seed
 //	polm2-simnet -seed 9 -faults 'partition:inst-3..7@t=40s/20s;drop:upload%5'
+//	polm2-simnet -seeds 8 -rollout -regress-at 70s        # canary rollback sweep
 //
 // A sweep runs seeds 1..N and prints one verdict line per seed; the first
 // seed that violates an invariant stops the sweep, prints the full
@@ -23,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"polm2/internal/rollout"
 	"polm2/internal/simnet"
 )
 
@@ -44,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cadence   = fs.Duration("cadence", 30*time.Second, "simulated re-profile interval")
 		faults    = fs.String("faults", defaultFaults, "network fault plan (faultio net spec; empty for a clean network)")
 		traceOut  = fs.String("trace", "", "write the run's JSONL trace to this file (single -seed runs only)")
+		rolloutOn = fs.Bool("rollout", false, "run the daemon's canary rollout controller (adds the rollout invariants)")
+		regressAt = fs.Duration("regress-at", 0, "inject a plan regression at this virtual instant (requires -rollout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,12 +65,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *regressAt != 0 && !*rolloutOn {
+		fmt.Fprintln(stderr, "polm2-simnet: -regress-at requires -rollout")
+		return 2
+	}
+
 	base := simnet.Config{
 		Instances: *instances,
 		Keys:      *keys,
 		Rounds:    *rounds,
 		Cadence:   *cadence,
 		FaultSpec: *faults,
+		RegressAt: *regressAt,
+	}
+	if *rolloutOn {
+		base.Rollout = &rollout.Config{}
 	}
 
 	if *seed != 0 {

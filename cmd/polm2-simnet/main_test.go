@@ -60,6 +60,29 @@ func TestSingleSeedReplayWritesTrace(t *testing.T) {
 	}
 }
 
+// TestRolloutSweep drives the canary-regression scenario end to end: the
+// sweep must hold the rollout invariants and the single-seed log must show
+// the controller's decisions.
+func TestRolloutSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seeds", "2", "-instances", "10", "-rollout", "-regress-at", "70s"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("rollout sweep exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-seed", "5", "-instances", "10", "-rollout", "-regress-at", "70s"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("rollout replay exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"rollout: feedback=", "rollout key", "invariants: ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rollout log missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestFlagErrors pins the usage contract: mutually exclusive modes, trace
 // in sweep mode, unknown fault kinds and stray arguments are all usage
 // errors (exit 2), before any simulation runs.
@@ -70,6 +93,7 @@ func TestFlagErrors(t *testing.T) {
 		{"-seeds", "2", "-trace", "x.jsonl"},
 		{"-seed", "1", "-faults", "detonate%50"},
 		{"-seeds", "2", "stray"},
+		{"-seeds", "2", "-regress-at", "70s"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

@@ -11,12 +11,20 @@
 //	polm2d -addr 127.0.0.1:0 -store ./profiles          # random port
 //	polm2d -store ./profiles -faults 'seed=7;missing:*.profile.json'
 //	polm2d -store ./profiles -trace trace.jsonl         # also log spans to disk
+//	polm2d -store ./profiles -rollout                   # canary new plans before publishing
 //
 // The daemon prints its actual listen address on startup (useful with
 // -addr ...:0) and shuts down cleanly on SIGINT/SIGTERM. The -faults flag
 // interposes internal/faultio's deterministic fault plans on the store's
 // staging writes — the same fault model the profiling pipeline is tested
 // under — so operators and CI can rehearse disk trouble end to end.
+//
+// With -rollout, a newly merged plan is not published fleet-wide: a
+// deterministic canary cohort tests it first, instances report plan health
+// through POST /v1/feedback, and the daemon promotes or rolls back (and
+// quarantines) the candidate from that evidence. -rollout-canary,
+// -rollout-min-reports, -rollout-regression and -rollout-seed tune the
+// decision rule; without -rollout the daemon's behaviour is unchanged.
 //
 // Request handling is always traced into a bounded in-memory ring served
 // at GET /tracez (newest window, JSONL); -trace additionally appends every
@@ -40,6 +48,7 @@ import (
 	"polm2/internal/faultio"
 	"polm2/internal/planserver"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 	"polm2/internal/trace"
 )
 
@@ -58,6 +67,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultSpec = fs.String("faults", "", "inject I/O faults into the store's writes (faultio spec, e.g. 'seed=7;missing:*.profile.json')")
 		traceOut  = fs.String("trace", "", "append every trace record to this JSONL file (the in-memory /tracez ring is always on)")
 		ringSize  = fs.Int("trace-ring", 0, "trace ring capacity in records (default 4096)")
+
+		rolloutOn  = fs.Bool("rollout", false, "stage merged plans through a canary rollout instead of publishing fleet-wide")
+		rolloutFra = fs.Float64("rollout-canary", 0, "canary cohort fraction of the fleet in (0, 1] (default 0.25)")
+		rolloutMin = fs.Int("rollout-min-reports", 0, "feedback reports required on each side before deciding (default 3)")
+		rolloutPct = fs.Float64("rollout-regression", 0, "canary p99 regression over baseline, in percent, that triggers rollback (default 10)")
+		rolloutSd  = fs.Int64("rollout-seed", 0, "seed for the deterministic cohort assignment (default 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,7 +123,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "polm2d: %v\n", err)
 		return 1
 	}
-	ps := planserver.New(store, planserver.Options{Tracer: tracer})
+	popts := planserver.Options{Tracer: tracer}
+	if *rolloutOn {
+		cfg := rollout.Config{
+			CanaryFraction: *rolloutFra,
+			MinReports:     *rolloutMin,
+			RegressionPct:  *rolloutPct,
+			Seed:           *rolloutSd,
+		}
+		cfg = cfg.Normalize()
+		popts.Rollout = &cfg
+		fmt.Fprintf(stdout, "polm2d: canary rollout on (cohort %.0f%%, min %d reports/side, rollback over +%.0f%% p99, seed %d)\n",
+			cfg.CanaryFraction*100, cfg.MinReports, cfg.RegressionPct, cfg.Seed)
+	} else if *rolloutFra != 0 || *rolloutMin != 0 || *rolloutPct != 0 || *rolloutSd != 0 {
+		fmt.Fprintln(stderr, "polm2d: -rollout-* flags require -rollout")
+		return 2
+	}
+	ps := planserver.New(store, popts)
 	srv := &http.Server{Handler: ps}
 	fmt.Fprintf(stdout, "polm2d: serving on http://%s (store %s)\n", ln.Addr(), store.Dir())
 

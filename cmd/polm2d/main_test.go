@@ -51,6 +51,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if code := run([]string{"-store", t.TempDir(), "-faults", "not-a-spec::"}, &out, &errb); code != 2 {
 		t.Fatalf("run with bad fault spec = %d, want 2", code)
 	}
+
+	errb = syncBuffer{}
+	if code := run([]string{"-store", t.TempDir(), "-rollout-canary", "0.5"}, &out, &errb); code != 2 {
+		t.Fatalf("run with -rollout-canary but no -rollout = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "require -rollout") {
+		t.Errorf("stderr missing rollout flag error:\n%s", errb.String())
+	}
 }
 
 // TestDaemonLifecycle boots the daemon on a random port, confirms it

@@ -34,6 +34,7 @@ import (
 
 	"polm2/internal/analyzer"
 	"polm2/internal/core"
+	"polm2/internal/rollout"
 	"polm2/internal/trace"
 )
 
@@ -268,6 +269,10 @@ func (c *Client) FetchPlan(app, workload string) (*analyzer.Profile, Outcome, er
 		if err != nil {
 			return true, err
 		}
+		// The instance id lets a rollout-enabled daemon route this
+		// instance to its canary cohort's plan; a daemon without rollout
+		// ignores the header.
+		req.Header.Set(InstanceHeader, c.opts.InstanceID)
 		if etag != "" {
 			req.Header.Set("If-None-Match", etag)
 		}
@@ -382,6 +387,57 @@ func (c *Client) SyncEvidence(p *analyzer.Profile) (plan *analyzer.Profile, fres
 		return last, false, nil
 	}
 	return nil, false, err
+}
+
+// ReportFeedback posts one plan-health report (rollout.Report) to the
+// daemon's POST /v1/feedback endpoint, stamping the client's instance id
+// and — when the report does not already carry one — the ETag of the plan
+// this instance currently runs. Reporting requires a known plan version:
+// with no ETag at all the report is skipped (sent == false, nil error),
+// because a report that cannot be attributed to a plan version cannot
+// enter a canary decision. Daemons predating the endpoint answer 404,
+// surfaced as an error the caller may ignore.
+func (c *Client) ReportFeedback(r *rollout.Report) (sent bool, err error) {
+	rep := *r
+	if rep.ETag == "" {
+		rep.ETag = c.LastETag()
+	}
+	if rep.ETag == "" {
+		c.traceResult("feedback", "skipped")
+		return false, nil
+	}
+	if err := rep.Validate(); err != nil {
+		return false, fmt.Errorf("fleetclient: %w", err)
+	}
+	body, err := json.Marshal(&rep)
+	if err != nil {
+		return false, fmt.Errorf("fleetclient: encoding feedback: %w", err)
+	}
+	err = c.retry("feedback", func() (bool, error) {
+		req, err := http.NewRequest("POST", c.opts.BaseURL+"/v1/feedback", bytes.NewReader(body))
+		if err != nil {
+			return true, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(InstanceHeader, c.opts.InstanceID)
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			return false, fmt.Errorf("fleetclient: reporting feedback: %w", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+			err := fmt.Errorf("fleetclient: feedback status %d", resp.StatusCode)
+			return resp.StatusCode >= 400 && resp.StatusCode < 500, err
+		}
+		return false, nil
+	})
+	if err != nil {
+		c.traceResult("feedback", "error")
+		return false, err
+	}
+	c.traceResult("feedback", "reported")
+	return true, nil
 }
 
 // remember records the newest daemon-served plan and its version.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"polm2/internal/analyzer"
+	"polm2/internal/rollout"
 )
 
 func testPlan(gen int) *analyzer.Profile {
@@ -319,5 +320,98 @@ func TestSyncEvidenceFallsBack(t *testing.T) {
 	c2 := newClient(t, Options{BaseURL: ts.URL, MaxAttempts: 2, Sleep: rec.sleep})
 	if _, _, err := c2.SyncEvidence(testPlan(1)); err == nil {
 		t.Fatal("sync with no fallback reported success")
+	}
+}
+
+// Plan fetches carry the instance id so a rollout-enabled daemon can
+// route the fetcher to its cohort's plan.
+func TestFetchCarriesInstanceID(t *testing.T) {
+	var gotInstance atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotInstance.Store(r.Header.Get(InstanceHeader))
+		servePlan(w, r, testPlan(1))
+	}))
+	defer ts.Close()
+	c := newClient(t, Options{BaseURL: ts.URL, InstanceID: "inst-42"})
+	if _, _, err := c.FetchPlan("Cassandra", "WI"); err != nil {
+		t.Fatal(err)
+	}
+	if got := gotInstance.Load(); got != "inst-42" {
+		t.Fatalf("fetch carried instance %q, want inst-42", got)
+	}
+}
+
+// ReportFeedback stamps the instance id and the last-good ETag, skips
+// silently when no plan version is known, and treats 4xx as permanent.
+func TestReportFeedback(t *testing.T) {
+	var mu sync.Mutex
+	var gotInstance, gotETag string
+	var posts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/plan" {
+			servePlan(w, r, testPlan(3))
+			return
+		}
+		mu.Lock()
+		posts++
+		gotInstance = r.Header.Get(InstanceHeader)
+		var rep rollout.Report
+		json.NewDecoder(r.Body).Decode(&rep)
+		gotETag = rep.ETag
+		mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	rec := &sleepRecorder{}
+	c := newClient(t, Options{BaseURL: ts.URL, InstanceID: "inst-7", Sleep: rec.sleep})
+
+	rep := &rollout.Report{
+		App: "Cassandra", Workload: "WI",
+		WindowEnd: time.Second, Pauses: 4,
+		PauseP50: time.Millisecond, PauseP99: 2 * time.Millisecond,
+	}
+	// No plan fetched yet: nothing to attribute the window to.
+	if sent, err := c.ReportFeedback(rep); sent || err != nil {
+		t.Fatalf("pre-plan feedback: sent=%v err=%v, want skipped", sent, err)
+	}
+	if _, _, err := c.FetchPlan("Cassandra", "WI"); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := c.ReportFeedback(rep)
+	if !sent || err != nil {
+		t.Fatalf("feedback: sent=%v err=%v", sent, err)
+	}
+	mu.Lock()
+	if gotInstance != "inst-7" || gotETag != c.LastETag() || posts != 1 {
+		t.Fatalf("daemon saw instance=%q etag=%q posts=%d, want inst-7/%s/1", gotInstance, gotETag, posts, c.LastETag())
+	}
+	mu.Unlock()
+	// An invalid report is the caller's bug, reported without a request.
+	bad := *rep
+	bad.Pauses = -1
+	if _, err := c.ReportFeedback(&bad); err == nil {
+		t.Fatal("invalid report accepted")
+	}
+}
+
+func TestReportFeedbackRejectionIsPermanent(t *testing.T) {
+	var posts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		http.Error(w, "no such endpoint", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	rec := &sleepRecorder{}
+	c := newClient(t, Options{BaseURL: ts.URL, Sleep: rec.sleep})
+	rep := &rollout.Report{
+		App: "Cassandra", Workload: "WI", ETag: `"v1"`,
+		WindowEnd: time.Second, Pauses: 4,
+		PauseP50: time.Millisecond, PauseP99: 2 * time.Millisecond,
+	}
+	if sent, err := c.ReportFeedback(rep); sent || err == nil {
+		t.Fatalf("404 feedback: sent=%v err=%v, want permanent error", sent, err)
+	}
+	if posts.Load() != 1 || len(rec.slept()) != 0 {
+		t.Fatalf("404 was retried: %d posts, %d sleeps", posts.Load(), len(rec.slept()))
 	}
 }

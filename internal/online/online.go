@@ -31,6 +31,7 @@ import (
 	"polm2/internal/jvm"
 	"polm2/internal/metrics"
 	"polm2/internal/recorder"
+	"polm2/internal/rollout"
 	"polm2/internal/simclock"
 	"polm2/internal/trace"
 	"polm2/internal/workload"
@@ -95,6 +96,18 @@ type Options struct {
 // daemon on this call (false = the client's last-good fallback).
 type PlanService interface {
 	SyncEvidence(p *analyzer.Profile) (plan *analyzer.Profile, fresh bool, err error)
+}
+
+// FeedbackReporter is the optional health-reporting side of a PlanService.
+// A Fleet that also implements it (internal/fleetclient.Client does)
+// receives one rollout.Report per re-profile round, covering the window
+// since the previous report: per-window GC pause p50/p99 and the
+// promotion/survivor byte split, all derived from the deterministic cost
+// model. The daemon's canary controller judges candidate plans from these
+// reports. sent=false means the report was skipped without error (no plan
+// version to attribute the window to yet).
+type FeedbackReporter interface {
+	ReportFeedback(r *rollout.Report) (sent bool, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -172,6 +185,12 @@ type Result struct {
 	// FleetEvents lists every fleet sync that fell back or failed
 	// (empty when Options.Fleet is nil or the daemon stayed healthy).
 	FleetEvents []FleetEvent
+	// FeedbackReports counts health reports delivered to the daemon's
+	// rollout controller; FeedbackErrors counts reports that failed to
+	// send (the run continues — feedback is advisory, not load-bearing).
+	// Both stay zero unless Options.Fleet implements FeedbackReporter.
+	FeedbackReports int
+	FeedbackErrors  int
 	// MaxMemoryBytes is the committed high-water mark.
 	MaxMemoryBytes uint64
 	// SimDuration is the simulated run length.
@@ -223,6 +242,61 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 	result := &Result{WarmPauses: &metrics.Sample{}}
 	var analyzeErr error
 	nextReprofile := opts.Reprofile
+	// Feedback window bookkeeping: each report covers the pauses since the
+	// previous report, so windows tile the run without overlap.
+	feedbackFrom := 0
+	feedbackStart := time.Duration(0)
+	reportFeedback := func(fb FeedbackReporter) {
+		pauses := col.Pauses()
+		window := pauses[feedbackFrom:]
+		start := feedbackStart
+		feedbackFrom = len(pauses)
+		feedbackStart = clock.Now()
+		if len(window) == 0 {
+			// A pause-free window carries no pause percentiles — nothing
+			// for the decision rule to weigh, so nothing is sent.
+			return
+		}
+		var sample metrics.Sample
+		var promoted, copied uint64
+		for _, p := range window {
+			sample.Add(p.Duration)
+			promoted += p.PromotedBytes
+			copied += p.BytesCopied
+		}
+		r := &rollout.Report{
+			App:         app.Name(),
+			Workload:    workloadName,
+			WindowStart: start,
+			WindowEnd:   clock.Now(),
+			Pauses:      len(window),
+			PauseP50:    sample.Percentile(50),
+			PauseP99:    sample.Percentile(99),
+		}
+		if copied > 0 {
+			r.PromotionRate = float64(promoted) / float64(copied)
+			if r.PromotionRate > 1 {
+				r.PromotionRate = 1
+			}
+			r.SurvivorRate = 1 - r.PromotionRate
+		}
+		sent, err := fb.ReportFeedback(r)
+		switch {
+		case err != nil:
+			result.FeedbackErrors++
+			if opts.Tracer.Enabled() {
+				opts.Tracer.EventAt(clock.Now(), "online", "feedback_error",
+					trace.String("err", err.Error()))
+			}
+		case sent:
+			result.FeedbackReports++
+			if opts.Tracer.Enabled() {
+				opts.Tracer.EventAt(clock.Now(), "online", "feedback",
+					trace.Int64("pauses", int64(r.Pauses)),
+					trace.Int64("pause_p99_ns", int64(r.PauseP99)))
+			}
+		}
+	}
 	// Re-analysis is driven from the GC cycle boundary: the heap is
 	// quiescent and the Dumper has just produced a snapshot.
 	col.OnCycleEnd(func(cycle uint64, live *heap.LiveSet) {
@@ -266,6 +340,12 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 			return
 		}
 		if opts.Fleet != nil {
+			// Report the finished window's health before syncing: the
+			// report must name the plan version the window actually ran
+			// under, and SyncEvidence may install a newer one.
+			if fb, ok := opts.Fleet.(FeedbackReporter); ok {
+				reportFeedback(fb)
+			}
 			// Fleet mode: contribute the local evidence and install the
 			// daemon's merged fleet plan in place of the local one.
 			merged, fresh, err := opts.Fleet.SyncEvidence(profile)
@@ -320,6 +400,11 @@ func Run(app core.App, workloadName string, opts Options) (*Result, error) {
 	}
 	if err := rec.Close(); err != nil {
 		return nil, err
+	}
+	// Flush the tail window: pauses after the last re-profile round still
+	// count as evidence for whichever plan version they ran under.
+	if fb, ok := opts.Fleet.(FeedbackReporter); ok {
+		reportFeedback(fb)
 	}
 
 	result.Pauses = col.Pauses()

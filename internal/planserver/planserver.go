@@ -54,6 +54,7 @@ import (
 	"polm2/internal/jvm"
 	"polm2/internal/metrics"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 	"polm2/internal/trace"
 )
 
@@ -101,6 +102,12 @@ type Options struct {
 	// the wait into a pipeline-stalled error instead of hanging. Pump is
 	// called with no locks held.
 	Pump func() bool
+	// Rollout, when non-nil, enables the canary rollout controller
+	// (DESIGN.md §14): newly merged plans are staged to a deterministic
+	// canary cohort and promoted or rolled back on POST /v1/feedback
+	// health reports instead of publishing fleet-wide immediately. Nil
+	// (the default) preserves immediate publication byte-for-byte.
+	Rollout *rollout.Config
 }
 
 // Server is the plan-distribution HTTP service. It is an http.Handler.
@@ -122,6 +129,20 @@ type Server struct {
 	storeErrs     *metrics.Counter          // store I/O and merge failures surfaced as 500s
 	fetchLatency  *metrics.LatencyHistogram // GET /v1/plan handling time
 	mergeLatency  *metrics.LatencyHistogram // POST /v1/evidence handling time
+
+	// ro is the normalized rollout config; nil when rollout is disabled,
+	// which gates every rollout branch off the serving paths. The rollout
+	// counters below are registered only when ro is non-nil, keeping the
+	// default /metricsz exposition unchanged.
+	ro              *rollout.Config
+	feedbackReports *metrics.Counter // accepted POST /v1/feedback reports
+	feedbackRejects *metrics.Counter // rejected feedback reports
+	canaries        *metrics.Counter // canaries opened
+	promotions      *metrics.Counter // candidates promoted fleet-wide
+	rollbacks       *metrics.Counter // candidates rolled back and quarantined
+
+	rolloutMu   sync.Mutex
+	transitions []RolloutTransition
 
 	shardMu sync.RWMutex
 	shards  map[profilestore.Key]*shard
@@ -181,8 +202,18 @@ func New(store *profilestore.Store, opts Options) *Server {
 		mergeLatency:  reg.Histogram("evidence_merge_latency", nil),
 		shards:        make(map[profilestore.Key]*shard),
 	}
+	if opts.Rollout != nil {
+		cfg := opts.Rollout.Normalize()
+		s.ro = &cfg
+		s.feedbackReports = reg.Counter("feedback_reports_total")
+		s.feedbackRejects = reg.Counter("feedback_reject_total")
+		s.canaries = reg.Counter("rollout_canary_total")
+		s.promotions = reg.Counter("rollout_promotions_total")
+		s.rollbacks = reg.Counter("rollout_rollbacks_total")
+	}
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/evidence", s.handleEvidence)
+	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
@@ -312,13 +343,24 @@ func (s *Server) loadPlan(sh *shard) (*cachedPlan, error) {
 
 	sh.mu.Lock()
 	sh.flight = nil
-	if sh.gen != startGen {
+	if sh.gen != startGen && sh.plan != nil {
 		// A merge published a newer plan while this flight was reading the
 		// store; writing the pre-merge read back would serve a stale plan
 		// (and stale ETag) until the next merge. Serve the installed plan.
 		c, err = sh.plan, nil
 	} else if err == nil {
 		sh.plan = c
+		if s.ro != nil && p != nil && sh.roll != nil && sh.roll.StableETag() == "" {
+			// Rollout mode, no prior rollout history: adopt the stored
+			// plan as the stable baseline so the next merge canaries
+			// against it rather than replacing it fleet-wide.
+			sh.roll.Observe(c.etag)
+			sh.stableProf = p
+			s.persistRolloutLocked(sh) //nolint:errcheck // healed by the next merge's persist
+			s.recordTransition(sh, RolloutTransition{
+				Kind: "adopt", From: rollout.StateStable, To: sh.roll.State(), ETag: c.etag,
+			})
+		}
 	}
 	sh.mu.Unlock()
 	f.plan, f.err = c, err
@@ -374,6 +416,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	sh := s.shard(profilestore.Key{App: app, Workload: workload})
 	sh.mu.Lock()
 	c := sh.plan
+	if s.ro != nil {
+		if err := s.restoreRolloutLocked(sh); err != nil {
+			sh.mu.Unlock()
+			s.storeErrs.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.finishPlan(start, app, workload, "store_error")
+			return
+		}
+		c = s.rolloutPlanLocked(sh, r.Header.Get(InstanceHeader))
+	}
 	sh.mu.Unlock()
 	if c == nil {
 		var err error
@@ -389,6 +441,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			s.finishPlan(start, app, workload, "store_error")
 			return
+		}
+		if s.ro != nil {
+			// A cold load may have restored an open canary alongside the
+			// stable plan; route cohort members to the candidate.
+			sh.mu.Lock()
+			if rc := s.rolloutPlanLocked(sh, r.Header.Get(InstanceHeader)); rc != nil {
+				c = rc
+			}
+			sh.mu.Unlock()
 		}
 	}
 	h := w.Header()
@@ -544,6 +605,9 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	c := sh.plan
+	if s.ro != nil {
+		c = s.rolloutPlanLocked(sh, instance)
+	}
 	sh.mu.Unlock()
 	if c == nil {
 		s.storeErrs.Inc()

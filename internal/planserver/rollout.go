@@ -1,0 +1,440 @@
+package planserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/metrics"
+	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
+	"polm2/internal/trace"
+)
+
+// This file is the planserver half of the canary rollout controller
+// (DESIGN.md §14). The state machine itself lives in internal/rollout;
+// here the daemon wires it to plan bodies, persistence, serving, metrics
+// and traces:
+//
+//   - drain() feeds every merged plan version through the per-shard
+//     tracker: the first plan ever is adopted as stable, a new ETag is
+//     staged as a canary candidate, a quarantined ETag is withheld.
+//   - GET /v1/plan (and the evidence response) serves the candidate to
+//     canary-cohort instances while a canary is open, the stable plan to
+//     everyone else. Cohort membership is computed over the key's known
+//     instances (the evidence log); an instance the daemon has never seen
+//     is non-canary by construction.
+//   - POST /v1/feedback records plan-health reports; the tracker's
+//     decision promotes the candidate fleet-wide or rolls back to stable
+//     and quarantines the candidate ETag.
+//   - Tracker state plus the stable and candidate profiles persist as one
+//     rollout document per key through the store's atomic-rename path, so
+//     a restarted daemon resumes serving last-good — never a plan that
+//     regressed its canary.
+//
+// Every rollout branch is gated on s.ro != nil: with rollout disabled
+// (the default) the daemon's behavior is byte-for-byte today's.
+
+// FeedbackBodyLimit caps a POST /v1/feedback body; reports are a few
+// hundred bytes, so anything near the limit is garbage.
+const FeedbackBodyLimit = 1 << 20
+
+// rolloutDoc is the per-key persisted controller state: the tracker
+// snapshot plus the plan contents the ETags refer to, so a restart can
+// re-serve stable (and resume a canary) without trusting the plan file —
+// which always holds the *latest* merge, candidate or not.
+type rolloutDoc struct {
+	Snapshot  rollout.Snapshot  `json:"snapshot"`
+	Stable    *analyzer.Profile `json:"stable,omitempty"`
+	Candidate *analyzer.Profile `json:"candidate,omitempty"`
+}
+
+// RolloutTransition is one recorded state-machine move, exposed for
+// harnesses (the simnet invariant checker audits the delivery log against
+// this list) and for tests.
+type RolloutTransition struct {
+	At   time.Duration
+	Key  profilestore.Key
+	Kind string // "adopt" | "canary_start" | "quarantine" | "promote" | "publish" | "rollback"
+	From rollout.State
+	To   rollout.State
+	// ETag is the plan version the transition concerns (the candidate, or
+	// the adopted plan); StableETag the stable version after the move.
+	ETag       string
+	StableETag string
+	// Decision inputs, populated on promote/rollback.
+	CanaryP99       time.Duration
+	BaselineP99     time.Duration
+	CanaryReports   int
+	BaselineReports int
+	// CohortSize is the canary cohort size at canary_start.
+	CohortSize int
+}
+
+// RolloutTransitions returns every recorded transition, in order.
+func (s *Server) RolloutTransitions() []RolloutTransition {
+	s.rolloutMu.Lock()
+	defer s.rolloutMu.Unlock()
+	out := make([]RolloutTransition, len(s.transitions))
+	copy(out, s.transitions)
+	return out
+}
+
+// RolloutSnapshot reports the tracker state for one key; ok is false when
+// rollout is disabled or the key has no rollout state yet.
+func (s *Server) RolloutSnapshot(app, workload string) (rollout.Snapshot, bool) {
+	if s.ro == nil {
+		return rollout.Snapshot{}, false
+	}
+	s.shardMu.RLock()
+	sh := s.shards[profilestore.Key{App: app, Workload: workload}]
+	s.shardMu.RUnlock()
+	if sh == nil {
+		return rollout.Snapshot{}, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roll == nil {
+		return rollout.Snapshot{}, false
+	}
+	return sh.roll.Snapshot(), true
+}
+
+// shortETag trims a content-addressed ETag (a quoted sha256 hex string)
+// to a display prefix for trace events.
+func shortETag(etag string) string {
+	t := etag
+	if len(t) >= 2 && t[0] == '"' {
+		t = t[1 : len(t)-1]
+	}
+	if len(t) > 12 {
+		t = t[:12]
+	}
+	return t
+}
+
+// restoreRolloutLocked populates the shard's tracker (and stable/candidate
+// plan caches) from the persisted rollout document, once per daemon
+// lifetime (caller holds sh.mu). A missing document means a fresh key — or
+// a store written with rollout off, whose plan file will be adopted as
+// stable by the next merge or cold load. A corrupt document degrades the
+// same way rather than taking the key down.
+func (s *Server) restoreRolloutLocked(sh *shard) error {
+	if sh.rollLoaded {
+		return nil
+	}
+	cfg := *s.ro
+	data, err := s.store.Rollout(sh.key.App, sh.key.Workload)
+	if err != nil && !errors.Is(err, profilestore.ErrNotFound) {
+		return err
+	}
+	var doc rolloutDoc
+	if err != nil || json.Unmarshal(data, &doc) != nil {
+		sh.roll = rollout.NewTracker(cfg)
+		sh.rollLoaded = true
+		return nil
+	}
+	sh.roll = rollout.Restore(cfg, doc.Snapshot)
+	if doc.Stable != nil {
+		if c, err := encodePlan(doc.Stable); err == nil && c.etag == sh.roll.StableETag() {
+			sh.stableProf = doc.Stable
+			sh.plan = c
+			sh.gen++
+		}
+	}
+	if doc.Candidate != nil && sh.roll.State() == rollout.StateCanary {
+		if c, err := encodePlan(doc.Candidate); err == nil && c.etag == sh.roll.CandidateETag() {
+			sh.candProf = doc.Candidate
+			sh.cand = c
+		}
+	}
+	sh.rollLoaded = true
+	s.setStateGaugeLocked(sh)
+	return nil
+}
+
+// persistRolloutLocked writes the shard's rollout document (caller holds
+// sh.mu); the store's staged-write-and-rename keeps the previous document
+// intact across a crash mid-write.
+func (s *Server) persistRolloutLocked(sh *shard) error {
+	doc := rolloutDoc{Snapshot: sh.roll.Snapshot(), Stable: sh.stableProf, Candidate: sh.candProf}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("planserver: encoding rollout state: %w", err)
+	}
+	return s.store.PutRollout(sh.key.App, sh.key.Workload, data)
+}
+
+// setStateGaugeLocked publishes the shard's rollout state as the labeled
+// rollout_state gauge (caller holds sh.mu). The value is the state code:
+// 0 stable, 1 canary, 2 promoting, 3 rolled_back.
+func (s *Server) setStateGaugeLocked(sh *shard) {
+	if sh.stateGauge == nil {
+		sh.stateGauge = s.reg.Gauge(metrics.LabelName("rollout_state",
+			metrics.Label{Key: "app", Value: sh.key.App},
+			metrics.Label{Key: "workload", Value: sh.key.Workload}))
+	}
+	sh.stateGauge.Set(int64(sh.roll.State()))
+}
+
+// cohortLocked returns the canary cohort over the key's known instances
+// (caller holds sh.mu). The cohort is recomputed only when the instance
+// count changes: evidence is last-write-wins per instance, so the id set
+// only ever grows.
+func (s *Server) cohortLocked(sh *shard) map[string]bool {
+	n := len(sh.evidence)
+	if sh.cohort != nil && sh.cohortN == n {
+		return sh.cohort
+	}
+	ids := make([]string, 0, n)
+	for id := range sh.evidence {
+		if id != seedInstance {
+			ids = append(ids, id)
+		}
+	}
+	sh.cohort = rollout.Cohort(s.ro.Seed, ids, s.ro.CanaryFraction)
+	sh.cohortN = n
+	return sh.cohort
+}
+
+// rolloutPlanLocked picks the plan to serve instance (caller holds sh.mu):
+// the staged candidate for canary-cohort members while a canary is open,
+// the stable plan otherwise. An empty instance (a client predating the
+// header, or a curl) is never canaried.
+func (s *Server) rolloutPlanLocked(sh *shard, instance string) *cachedPlan {
+	if sh.cand == nil || instance == "" || sh.roll == nil || sh.roll.State() != rollout.StateCanary {
+		return sh.plan
+	}
+	if sh.evidence == nil {
+		// Restart mid-canary: membership needs the instance set.
+		if _, err := s.loadEvidenceLocked(sh); err != nil {
+			return sh.plan // non-canary on doubt; stable is always safe
+		}
+	}
+	if s.cohortLocked(sh)[instance] {
+		return sh.cand
+	}
+	return sh.plan
+}
+
+// recordTransition appends to the transition log, bumps counters, updates
+// the state gauge and emits the trace event. Caller holds sh.mu.
+func (s *Server) recordTransition(sh *shard, tr RolloutTransition, attrs ...trace.Attr) {
+	tr.At = s.opts.Now()
+	tr.Key = sh.key
+	tr.StableETag = sh.roll.StableETag()
+	s.rolloutMu.Lock()
+	s.transitions = append(s.transitions, tr)
+	s.rolloutMu.Unlock()
+	s.setStateGaugeLocked(sh)
+	if s.opts.Tracer.Enabled() {
+		base := []trace.Attr{
+			trace.String("app", sh.key.App),
+			trace.String("workload", sh.key.Workload),
+			trace.String("etag", shortETag(tr.ETag)),
+			trace.String("stable", shortETag(tr.StableETag)),
+			trace.String("from", tr.From.String()),
+			trace.String("to", tr.To.String()),
+		}
+		s.opts.Tracer.EventAt(tr.At, "rollout", tr.Kind, append(base, attrs...)...)
+	}
+}
+
+// observeMergeLocked feeds one merged plan version through the rollout
+// state machine and syncs the shard's stable/candidate caches to the
+// tracker's verdict (caller holds sh.mu). Called from drain in place of
+// the direct fleet-wide install; a persistence failure is returned and
+// surfaces as a merge failure, leaving the previous plan standing.
+func (s *Server) observeMergeLocked(sh *shard, merged *analyzer.Profile, c *cachedPlan) error {
+	if err := s.restoreRolloutLocked(sh); err != nil {
+		return err
+	}
+	from := sh.roll.State()
+	ev := sh.roll.Observe(c.etag)
+
+	// Sync the content caches: whatever the tracker now calls stable or
+	// candidate, make sure the shard holds its body. This also heals a
+	// crash window where a previous persist failed after the tracker
+	// advanced.
+	switch c.etag {
+	case sh.roll.StableETag():
+		if sh.plan == nil || sh.plan.etag != c.etag {
+			sh.stableProf = merged
+			sh.plan = c
+		}
+	case sh.roll.CandidateETag():
+		sh.candProf = merged
+		sh.cand = c
+	}
+	// Any install or staging obsoletes what a concurrent cold-load flight
+	// read from the store; bump the generation so it discards its read.
+	sh.gen++
+
+	if err := s.persistRolloutLocked(sh); err != nil {
+		return err
+	}
+	switch ev {
+	case rollout.EventAdopt:
+		s.recordTransition(sh, RolloutTransition{
+			Kind: "adopt", From: from, To: sh.roll.State(), ETag: c.etag,
+		})
+	case rollout.EventCanary:
+		s.canaries.Inc()
+		cohort := 0
+		if sh.evidence != nil {
+			cohort = len(s.cohortLocked(sh))
+		}
+		s.recordTransition(sh, RolloutTransition{
+			Kind: "canary_start", From: from, To: sh.roll.State(), ETag: c.etag, CohortSize: cohort,
+		}, trace.Int64("cohort", int64(cohort)))
+	case rollout.EventQuarantined:
+		s.recordTransition(sh, RolloutTransition{
+			Kind: "quarantine", From: from, To: sh.roll.State(), ETag: c.etag,
+		})
+	}
+	return nil
+}
+
+// decideLocked applies a feedback decision to the shard (caller holds
+// sh.mu): promote installs the candidate fleet-wide, rollback discards it
+// (the tracker has already quarantined its ETag). Both persist before
+// returning; a failed persist is surfaced to the reporter as a 500 while
+// the in-memory state stands — conservative on restart either way,
+// because the stale document only ever re-opens a canary, never publishes
+// one.
+func (s *Server) decideLocked(sh *shard, out rollout.Outcome) error {
+	candidate := sh.cand
+	switch out.Decision {
+	case rollout.DecisionPromote:
+		s.promotions.Inc()
+		s.recordTransition(sh, RolloutTransition{
+			Kind: "promote", From: rollout.StateCanary, To: rollout.StatePromoting,
+			ETag: candidateETag(candidate), CanaryP99: out.CanaryP99, BaselineP99: out.Baseline99,
+			CanaryReports: out.CanaryN, BaselineReports: out.BaselineN,
+		},
+			trace.Dur("canary_p99", out.CanaryP99),
+			trace.Dur("baseline_p99", out.Baseline99),
+			trace.Int64("canary_n", int64(out.CanaryN)),
+			trace.Int64("baseline_n", int64(out.BaselineN)))
+		if candidate != nil {
+			sh.stableProf = sh.candProf
+			sh.plan = candidate
+			sh.gen++
+		}
+		sh.cand, sh.candProf = nil, nil
+		s.recordTransition(sh, RolloutTransition{
+			Kind: "publish", From: rollout.StatePromoting, To: rollout.StateStable,
+			ETag: candidateETag(candidate),
+		})
+	case rollout.DecisionRollback:
+		s.rollbacks.Inc()
+		s.recordTransition(sh, RolloutTransition{
+			Kind: "rollback", From: rollout.StateCanary, To: rollout.StateRolledBack,
+			ETag: candidateETag(candidate), CanaryP99: out.CanaryP99, BaselineP99: out.Baseline99,
+			CanaryReports: out.CanaryN, BaselineReports: out.BaselineN,
+		},
+			trace.Dur("canary_p99", out.CanaryP99),
+			trace.Dur("baseline_p99", out.Baseline99),
+			trace.Int64("canary_n", int64(out.CanaryN)),
+			trace.Int64("baseline_n", int64(out.BaselineN)))
+		sh.cand, sh.candProf = nil, nil
+	default:
+		return nil
+	}
+	return s.persistRolloutLocked(sh)
+}
+
+func candidateETag(c *cachedPlan) string {
+	if c == nil {
+		return ""
+	}
+	return c.etag
+}
+
+// handleFeedback is POST /v1/feedback: one instance's plan-health report
+// for one observation window. Reports are accepted (and counted) even
+// with rollout disabled, so fleets can deploy reporting clients before
+// flipping the daemon flag.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	start := s.opts.Now()
+	outcome := "accepted"
+	var rep rollout.Report
+	instance := r.Header.Get(InstanceHeader)
+	defer func() {
+		if s.opts.Tracer.Enabled() {
+			s.opts.Tracer.EventAt(start, "planserver", "feedback",
+				trace.String("app", rep.App),
+				trace.String("workload", rep.Workload),
+				trace.String("instance", instance),
+				trace.String("etag", shortETag(rep.ETag)),
+				trace.String("outcome", outcome))
+		}
+	}()
+	reject := func(msg string) {
+		if s.ro != nil {
+			s.feedbackRejects.Inc()
+		} else {
+			s.reg.Counter("feedback_reject_total").Inc()
+		}
+		outcome = "rejected"
+		http.Error(w, msg, http.StatusBadRequest)
+	}
+	body := http.MaxBytesReader(w, r.Body, FeedbackBodyLimit)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		reject(fmt.Sprintf("planserver: decoding feedback: %v", err))
+		return
+	}
+	if instance == "" || len(instance) > 128 {
+		reject(fmt.Sprintf("planserver: feedback must carry a non-empty %s header of at most 128 bytes", InstanceHeader))
+		return
+	}
+	if err := rep.Validate(); err != nil {
+		reject(fmt.Sprintf("planserver: invalid feedback: %v", err))
+		return
+	}
+	if s.ro == nil {
+		// Rollout disabled: acknowledge and count, decide nothing. Lazily
+		// registered so the default /metricsz exposition is unchanged
+		// until the first report arrives.
+		s.reg.Counter("feedback_reports_total").Inc()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.feedbackReports.Inc()
+	sh := s.shard(profilestore.Key{App: rep.App, Workload: rep.Workload})
+	sh.mu.Lock()
+	if err := s.restoreRolloutLocked(sh); err != nil {
+		sh.mu.Unlock()
+		s.storeErrs.Inc()
+		outcome = "store_error"
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	inCohort := false
+	if sh.roll.State() == rollout.StateCanary {
+		if sh.evidence == nil {
+			s.loadEvidenceLocked(sh) //nolint:errcheck // membership on doubt is non-canary
+		}
+		if sh.evidence != nil {
+			inCohort = s.cohortLocked(sh)[instance]
+		}
+	}
+	out := sh.roll.Record(&rep, inCohort)
+	err := s.decideLocked(sh, out)
+	sh.mu.Unlock()
+	if err != nil {
+		s.storeErrs.Inc()
+		outcome = "store_error"
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if out.Decision != rollout.DecisionNone {
+		outcome = out.Decision.String()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -8,6 +8,7 @@ import (
 	"polm2/internal/analyzer"
 	"polm2/internal/metrics"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 )
 
 // shard is the per-(app, workload) slice of the daemon's state: the
@@ -69,6 +70,21 @@ type shard struct {
 	// register metrics) and cached so the upload path never rebuilds the
 	// labeled metric name.
 	instGauge *metrics.Gauge
+
+	// Canary rollout state (rollout.go); all nil/zero with rollout off.
+	// In rollout mode, plan above is the *stable* (last-good) plan and
+	// cand is the staged candidate a canary cohort is testing; roll is
+	// the key's state machine, restored from the persisted rollout
+	// document once (rollLoaded). stableProf/candProf retain the decoded
+	// profiles so the document can embed both plan bodies.
+	roll       *rollout.Tracker
+	rollLoaded bool
+	cand       *cachedPlan
+	stableProf *analyzer.Profile
+	candProf   *analyzer.Profile
+	cohort     map[string]bool // cached canary cohort over evidence instances
+	cohortN    int             // instance count the cohort was computed for
+	stateGauge *metrics.Gauge  // this key's rollout_state gauge
 }
 
 func newShard(k profilestore.Key) *shard {
@@ -230,6 +246,12 @@ func (sh *shard) drain(s *Server) {
 		}
 
 		sh.mu.Lock()
+		if err == nil && s.ro != nil {
+			// Rollout mode: the merged plan is staged through the canary
+			// state machine instead of installed fleet-wide; a persistence
+			// failure is a merge failure (the previous plan stands).
+			err = s.observeMergeLocked(sh, merged, c)
+		}
 		covered := target - sh.mergedGen
 		sh.mergedGen = target
 		if err != nil {
@@ -243,8 +265,10 @@ func (sh *shard) drain(s *Server) {
 			s.storeErrs.Inc()
 		} else {
 			sh.lastErr = nil
-			sh.plan = c
-			sh.gen++
+			if s.ro == nil {
+				sh.plan = c
+				sh.gen++
+			}
 			s.merges.Inc()
 			if covered > 1 {
 				s.coalesced.Add(covered - 1)

@@ -12,6 +12,7 @@
 package profilestore
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -492,6 +493,44 @@ func (s *Store) Evidence(app, workload string) (map[string]*analyzer.Profile, er
 		out[e.Instance] = e.Profile
 	}
 	return out, nil
+}
+
+// rolloutPath names the rollout-controller document for one key. The
+// suffix keeps it out of every *.profile.json glob.
+func (s *Store) rolloutPath(k Key) string {
+	name := sanitize(k.App) + "__" + sanitize(k.Workload) + "-" + keyHash(k) + ".rollout.json"
+	return filepath.Join(s.dir, name)
+}
+
+// PutRollout stores the canary-rollout controller document for (app,
+// workload) — an opaque JSON payload owned by the planserver — through the
+// same staged-write-then-rename path as profiles, fault injector included,
+// so a crash mid-write leaves the previous document intact.
+func (s *Store) PutRollout(app, workload string, doc []byte) error {
+	if app == "" || workload == "" {
+		return fmt.Errorf("profilestore: rollout document must carry app and workload")
+	}
+	if !json.Valid(doc) {
+		return fmt.Errorf("profilestore: rollout document is not valid JSON")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeFile(bytes.TrimRight(doc, "\n"), s.rolloutPath(Key{App: app, Workload: workload}))
+}
+
+// Rollout loads the rollout document for (app, workload); ErrNotFound when
+// none has been stored.
+func (s *Store) Rollout(app, workload string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.rolloutPath(Key{App: app, Workload: workload}))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: rollout state for %s/%s", ErrNotFound, app, workload)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("profilestore: reading rollout state: %w", err)
+	}
+	return data, nil
 }
 
 // Select returns the profile for the estimated workload, falling back to

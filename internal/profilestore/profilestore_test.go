@@ -1,6 +1,7 @@
 package profilestore
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"os"
@@ -525,5 +526,47 @@ func TestEvidenceModernWinsOverLegacyLeftover(t *testing.T) {
 	}
 	if names, err := s.EvidenceInstances("Cassandra", "WI"); err != nil || len(names) != 1 {
 		t.Fatalf("crash-window EvidenceInstances = %v, %v, want one deduped entry", names, err)
+	}
+}
+
+// Rollout documents ride the same atomic-rename path as profiles: they
+// round-trip byte-for-byte, stay invisible to *.profile.json consumers
+// (List), and a missing document reports ErrNotFound.
+func TestRolloutDocRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rollout("Cassandra", "WI"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing rollout doc: err = %v, want ErrNotFound", err)
+	}
+	doc := []byte(`{"state":"canary","stable_etag":"aa"}`)
+	if err := s.PutRollout("Cassandra", "WI", doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Rollout("Cassandra", "WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimRight(got, "\n")) != string(doc) {
+		t.Fatalf("rollout doc = %q, want %q", got, doc)
+	}
+	// Distinct keys get distinct documents.
+	if err := s.PutRollout("Cassandra", "RI", []byte(`{"state":"stable"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Rollout("Cassandra", "WI"); !bytes.Contains(got, []byte("canary")) {
+		t.Fatalf("WI doc clobbered by RI write: %q", got)
+	}
+	// The doc never surfaces as a profile.
+	if keys, err := s.List(); err != nil || len(keys) != 0 {
+		t.Fatalf("List sees rollout docs: %v, %v", keys, err)
+	}
+	// Garbage in, error out.
+	if err := s.PutRollout("Cassandra", "WI", []byte("{not json")); err == nil {
+		t.Fatalf("invalid JSON accepted as rollout doc")
+	}
+	if err := s.PutRollout("", "WI", doc); err == nil {
+		t.Fatalf("empty app accepted for rollout doc")
 	}
 }

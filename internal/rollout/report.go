@@ -1,0 +1,68 @@
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Report is one instance's plan-health report for one observation window,
+// the JSON body of POST /v1/feedback (DESIGN.md §14). Every field is
+// derived from the simulated runtime's deterministic cost model, so two
+// runs of the same workload produce byte-identical reports.
+//
+// The reporting instance is carried in the X-Polm2-Instance header, like
+// evidence uploads, so the body stays a pure measurement.
+type Report struct {
+	App      string `json:"app"`
+	Workload string `json:"workload"`
+	// ETag is the plan version the window ran under — the version the
+	// instance had installed, not the version it might fetch next. The
+	// controller attributes the report to the canary or baseline side by
+	// this tag alone.
+	ETag string `json:"etag"`
+	// Window bounds, in the reporter's monotonic virtual time.
+	WindowStart time.Duration `json:"window_start_ns"`
+	WindowEnd   time.Duration `json:"window_end_ns"`
+	// Pauses is the number of GC pauses observed in the window; it weights
+	// the report in the side aggregate.
+	Pauses   int           `json:"pauses"`
+	PauseP50 time.Duration `json:"pause_p50_ns"`
+	PauseP99 time.Duration `json:"pause_p99_ns"`
+	// PromotionRate is promoted bytes over evacuated bytes for the window;
+	// SurvivorRate is the complement fraction that stayed young. Both are
+	// in [0, 1] and carried for observability — the decision rule reads
+	// only the pause percentiles.
+	PromotionRate float64 `json:"promotion_rate"`
+	SurvivorRate  float64 `json:"survivor_rate"`
+}
+
+// Validate rejects malformed reports before they can enter a decision
+// window.
+func (r *Report) Validate() error {
+	switch {
+	case r.App == "":
+		return fmt.Errorf("rollout: report missing app")
+	case r.Workload == "":
+		return fmt.Errorf("rollout: report missing workload")
+	case r.ETag == "":
+		return fmt.Errorf("rollout: report missing etag")
+	case r.WindowEnd < r.WindowStart:
+		return fmt.Errorf("rollout: report window ends (%v) before it starts (%v)", r.WindowEnd, r.WindowStart)
+	case r.Pauses < 0:
+		return fmt.Errorf("rollout: report has negative pause count %d", r.Pauses)
+	case r.PauseP50 < 0 || r.PauseP99 < 0:
+		return fmt.Errorf("rollout: report has negative pause percentile")
+	case r.PauseP50 > r.PauseP99:
+		return fmt.Errorf("rollout: report p50 %v exceeds p99 %v", r.PauseP50, r.PauseP99)
+	case !rateOK(r.PromotionRate):
+		return fmt.Errorf("rollout: report promotion rate %v outside [0, 1]", r.PromotionRate)
+	case !rateOK(r.SurvivorRate):
+		return fmt.Errorf("rollout: report survivor rate %v outside [0, 1]", r.SurvivorRate)
+	}
+	return nil
+}
+
+func rateOK(v float64) bool {
+	return !math.IsNaN(v) && v >= 0 && v <= 1
+}

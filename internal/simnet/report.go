@@ -14,6 +14,7 @@ import (
 	"polm2/internal/fleetclient"
 	"polm2/internal/metrics"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 	"polm2/internal/trace"
 )
 
@@ -62,8 +63,25 @@ type Report struct {
 	// the scenario meant to.
 	TaintedDelivered uint64
 
+	// Rollout-mode accounting, populated when the run enabled the canary
+	// controller: the daemon's feedback and decision counters plus the
+	// per-key controller end state.
+	RolloutEnabled                            bool
+	Feedback, Canaries, Promotions, Rollbacks uint64
+	Rollout                                   []RolloutKeyReport
+
 	PerKey     []KeyReport
 	Violations []string
+}
+
+// RolloutKeyReport is one key's rollout controller end state.
+type RolloutKeyReport struct {
+	Key         profilestore.Key
+	State       string
+	StableETag  string
+	Quarantined int
+	Promotions  uint64
+	Rollbacks   uint64
 }
 
 // OK reports whether every invariant held.
@@ -85,6 +103,14 @@ func (r *Report) Log() string {
 		fmt.Fprintf(&b, "key %s: instances=%d uploads=%d converged=%d/%d etag=%s expected=%s\n",
 			k.Key, k.DistinctInstances, k.Uploads, k.Converged, k.Members,
 			shortETag(k.ETag), shortETag(k.ExpectedETag))
+	}
+	if r.RolloutEnabled {
+		fmt.Fprintf(&b, "rollout: feedback=%d canaries=%d promotions=%d rollbacks=%d\n",
+			r.Feedback, r.Canaries, r.Promotions, r.Rollbacks)
+		for _, k := range r.Rollout {
+			fmt.Fprintf(&b, "rollout key %s: state=%s stable=%s quarantined=%d promotions=%d rollbacks=%d\n",
+				k.Key, k.State, shortETag(k.StableETag), k.Quarantined, k.Promotions, k.Rollbacks)
+		}
 	}
 	if len(r.Violations) == 0 {
 		b.WriteString("invariants: ok\n")
@@ -137,10 +163,20 @@ func (s *sim) report(plan *faultio.NetPlan) *Report {
 	r.Coalesced = reg.Counter("evidence_coalesced_total").Value()
 	r.Rejected = reg.Counter("evidence_reject_total").Value()
 	r.StoreErrs = reg.Counter("store_error_total").Value()
+	if s.cfg.Rollout != nil {
+		r.RolloutEnabled = true
+		r.Feedback = reg.Counter("feedback_reports_total").Value()
+		r.Canaries = reg.Counter("rollout_canary_total").Value()
+		r.Promotions = reg.Counter("rollout_promotions_total").Value()
+		r.Rollbacks = reg.Counter("rollout_rollbacks_total").Value()
+	}
 
 	model := s.checkDeliveries(r)
 	s.checkCounters(r, model)
 	s.checkKeys(r, model)
+	if r.RolloutEnabled {
+		s.checkRollout(r, model)
+	}
 
 	if s.tracer.Enabled() && len(r.Violations) == 0 {
 		s.tracer.Event("simnet", "invariant", trace.Bool("ok", true))
@@ -181,7 +217,12 @@ func (s *sim) checkDeliveries(r *Report) *deliveredModel {
 					i, d.instance, d.op, d.status, shortETag(d.etag), prev.status, shortETag(prev.etag))
 			}
 		}
-		if d.etag != "" && (d.status == http.StatusOK || d.status == http.StatusNotModified) {
+		// ETag monotonicity is a non-rollout invariant: with the canary
+		// controller on, cohort and baseline instances legitimately
+		// observe different versions at once, and a rollback returns the
+		// fleet to an earlier version by design. Rollout runs get the
+		// containment and convergence checks (checkRollout) instead.
+		if s.cfg.Rollout == nil && d.etag != "" && (d.status == http.StatusOK || d.status == http.StatusNotModified) {
 			cur, ok := current[d.key]
 			if !ok || cur != d.etag {
 				if abandoned[d.key][d.etag] {
@@ -290,6 +331,35 @@ func (s *sim) checkKeys(r *Report, m *deliveredModel) {
 				key, got, len(ev))
 		}
 
+		// The convergence target: the independent model merge normally; the
+		// daemon's stable version in rollout mode — a quarantined candidate
+		// is deliberately withheld, so the full merge of delivered evidence
+		// is exactly what the fleet must NOT converge to after a rollback.
+		want := kr.ExpectedETag
+		if r.RolloutEnabled {
+			snap, ok := s.srv.RolloutSnapshot(key.App, key.Workload)
+			if !ok {
+				s.violate(r, "rollout: no controller state for key %s with delivered evidence", key)
+				r.PerKey = append(r.PerKey, kr)
+				continue
+			}
+			if snap.State == rollout.StateCanary.String() || snap.State == rollout.StatePromoting.String() {
+				s.violate(r, "rollout: key %s still mid-canary (%s) after the settle phase", key, snap.State)
+			}
+			if snap.StableETag == "" {
+				s.violate(r, "rollout: key %s has delivered evidence but no stable plan", key)
+			}
+			want = snap.StableETag
+			r.Rollout = append(r.Rollout, RolloutKeyReport{
+				Key:         key,
+				State:       snap.State,
+				StableETag:  snap.StableETag,
+				Quarantined: len(snap.Quarantined),
+				Promotions:  snap.Promotions,
+				Rollbacks:   snap.Rollbacks,
+			})
+		}
+
 		var modelTainted uint64
 		for _, p := range inputs {
 			for _, site := range p.Sites {
@@ -305,19 +375,32 @@ func (s *sim) checkKeys(r *Report, m *deliveredModel) {
 				s.violate(r, "convergence: %s final poll outcome %s, want a daemon-served plan", in.id, in.finalOutcome)
 				continue
 			}
-			if in.finalETag != kr.ExpectedETag {
-				s.violate(r, "convergence: %s installed %s, fleet merge of delivered evidence is %s",
-					in.id, shortETag(in.finalETag), shortETag(kr.ExpectedETag))
+			if in.finalETag != want {
+				if r.RolloutEnabled {
+					s.violate(r, "rollout convergence: %s installed %s, daemon stable is %s",
+						in.id, shortETag(in.finalETag), shortETag(want))
+				} else {
+					s.violate(r, "convergence: %s installed %s, fleet merge of delivered evidence is %s",
+						in.id, shortETag(in.finalETag), shortETag(want))
+				}
+				continue
+			}
+			if r.RolloutEnabled && poisoned(in.finalPlan) {
+				s.violate(r, "rollout convergence: %s ends the run on a plan carrying the regression site", in.id)
 				continue
 			}
 			kr.Converged++
 			if kr.ETag == "" {
 				kr.ETag = in.finalETag
+				if r.RolloutEnabled {
+					continue
+				}
 				// No sticky degradation: tainted counts are pure sums
 				// under the merge, so the published plan must carry
 				// exactly what the delivered evidence carries — in
 				// particular, zero once every instance's latest upload
-				// is clean again.
+				// is clean again. (Rollout mode skips this: the stable
+				// plan legitimately predates the newest evidence.)
 				var planTainted uint64
 				for _, site := range in.finalPlan.Sites {
 					planTainted += site.Tainted
@@ -342,6 +425,133 @@ func (s *sim) checkKeys(r *Report, m *deliveredModel) {
 			if in.finalErr != nil || in.finalOutcome != fleetclient.OutcomeNoPlan {
 				s.violate(r, "convergence: %s got outcome %s for key %s with no delivered evidence, want no-plan",
 					in.id, outcomeString(in.finalOutcome, in.finalErr), key)
+			}
+		}
+	}
+}
+
+// checkRollout evaluates the rollout-mode invariants against the delivery
+// log and the daemon's recorded transitions:
+//
+//   - Containment: a candidate that regressed its canary window (a
+//     "rollback" transition's ETag) was never served to — and never ran
+//     on, per the feedback log — an instance outside the canary cohort;
+//     and never served at all after its rollback. The cohort is replayed
+//     independently: rollout.Cohort over the instances whose evidence the
+//     log shows delivered by that moment, exactly the daemon's promise.
+//   - Rollback convergence: the final stable version is never a regressed
+//     ETag, and every regressed ETag is quarantined in the controller's
+//     end state. (checkKeys already pinned every instance's final plan to
+//     the stable version.)
+//   - Accounting: feedback_reports_total equals the accepted feedback
+//     deliveries, and the canary/promote/rollback counters equal the
+//     recorded transitions of each kind.
+//   - Scenario effectiveness: a run that injected a regression
+//     (Config.RegressAt) must have rolled something back, or the
+//     containment invariants above were vacuous.
+func (s *sim) checkRollout(r *Report, m *deliveredModel) {
+	trans := s.srv.RolloutTransitions()
+	var canaryStarts, promotes, rollbacks uint64
+	regressed := make(map[profilestore.Key]map[string]time.Duration)
+	for _, tr := range trans {
+		switch tr.Kind {
+		case "canary_start":
+			canaryStarts++
+		case "promote":
+			promotes++
+		case "rollback":
+			rollbacks++
+			if regressed[tr.Key] == nil {
+				regressed[tr.Key] = make(map[string]time.Duration)
+			}
+			regressed[tr.Key][tr.ETag] = tr.At
+		}
+	}
+
+	if r.Canaries != canaryStarts {
+		s.violate(r, "rollout accounting: rollout_canary_total=%d, %d canary_start transitions recorded", r.Canaries, canaryStarts)
+	}
+	if r.Promotions != promotes {
+		s.violate(r, "rollout accounting: rollout_promotions_total=%d, %d promote transitions recorded", r.Promotions, promotes)
+	}
+	if r.Rollbacks != rollbacks {
+		s.violate(r, "rollout accounting: rollout_rollbacks_total=%d, %d rollback transitions recorded", r.Rollbacks, rollbacks)
+	}
+	var accepted uint64
+	for _, d := range s.net.deliveries {
+		if d.op == "feedback" && d.status == http.StatusNoContent {
+			accepted++
+		}
+	}
+	if r.Feedback != accepted {
+		s.violate(r, "rollout accounting: feedback_reports_total=%d, delivery log has %d accepted reports", r.Feedback, accepted)
+	}
+	if s.cfg.RegressAt > 0 && rollbacks == 0 {
+		s.violate(r, "rollout: regression injected at %s but nothing was ever rolled back", s.cfg.RegressAt)
+	}
+
+	// Containment replay. known accrues each key's delivered uploader set
+	// in log order; the cohort is recomputed whenever it grows, mirroring
+	// the daemon's evidence-driven cohort.
+	known := make(map[profilestore.Key][]string)
+	seen := make(map[profilestore.Key]map[string]bool)
+	cohorts := make(map[profilestore.Key]map[string]bool)
+	for i, d := range s.net.deliveries {
+		if d.op == "upload" && d.status == http.StatusOK && d.evidence != nil {
+			if seen[d.key] == nil {
+				seen[d.key] = make(map[string]bool)
+			}
+			if !seen[d.key][d.instance] {
+				seen[d.key][d.instance] = true
+				known[d.key] = append(known[d.key], d.instance)
+				cohorts[d.key] = rollout.Cohort(s.cfg.Rollout.Seed, known[d.key], s.cfg.Rollout.CanaryFraction)
+			}
+		}
+		var ranETag string
+		switch {
+		case d.op == "fetch" && (d.status == http.StatusOK || d.status == http.StatusNotModified):
+			ranETag = d.etag
+		case d.op == "feedback" && d.feedback != nil:
+			ranETag = d.feedback.ETag
+		}
+		if ranETag == "" {
+			continue
+		}
+		at, isRegressed := regressed[d.key][ranETag]
+		if !isRegressed {
+			continue
+		}
+		if !cohorts[d.key][d.instance] {
+			s.violate(r, "rollout containment: regressed version %s reached non-canary instance %s (%s delivery %d)",
+				shortETag(ranETag), d.instance, d.op, i)
+		}
+		if d.op == "fetch" && d.at > at {
+			s.violate(r, "rollout containment: regressed version %s served to %s at %s, after its rollback at %s",
+				shortETag(ranETag), d.instance, d.at, at)
+		}
+	}
+
+	// Rollback convergence: last-good means never a regressed version, and
+	// every regressed version is quarantined in the end state.
+	for _, kr := range r.Rollout {
+		bad := regressed[kr.Key]
+		if len(bad) == 0 {
+			continue
+		}
+		if _, ok := bad[kr.StableETag]; ok {
+			s.violate(r, "rollout convergence: key %s ends stable on regressed version %s", kr.Key, shortETag(kr.StableETag))
+		}
+		snap, ok := s.srv.RolloutSnapshot(kr.Key.App, kr.Key.Workload)
+		if !ok {
+			continue
+		}
+		quarantined := make(map[string]bool, len(snap.Quarantined))
+		for _, etag := range snap.Quarantined {
+			quarantined[etag] = true
+		}
+		for etag := range bad {
+			if !quarantined[etag] {
+				s.violate(r, "rollout quarantine: key %s rolled back %s but does not quarantine it", kr.Key, shortETag(etag))
 			}
 		}
 	}

@@ -1,0 +1,138 @@
+package simnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"polm2/internal/rollout"
+)
+
+// TestRolloutCleanPromotes: with the canary controller on and no
+// regression injected, every candidate eventually promotes, nothing rolls
+// back, and the fleet converges on the daemon's stable version.
+func TestRolloutCleanPromotes(t *testing.T) {
+	rep, _ := runOnce(t, Config{
+		Seed:      3,
+		Instances: 12,
+		Rollout:   &rollout.Config{},
+	})
+	requireOK(t, rep)
+	if rep.Promotions == 0 {
+		t.Fatal("no candidate was ever promoted on a healthy fleet")
+	}
+	if rep.Rollbacks != 0 {
+		t.Fatalf("%d rollbacks on a healthy fleet", rep.Rollbacks)
+	}
+	if rep.Feedback == 0 {
+		t.Fatal("no feedback reports were delivered")
+	}
+	for _, k := range rep.Rollout {
+		if k.State != "stable" {
+			t.Errorf("key %s ends in state %s, want stable", k.Key, k.State)
+		}
+		if k.Quarantined != 0 {
+			t.Errorf("key %s quarantined %d versions without a regression", k.Key, k.Quarantined)
+		}
+	}
+}
+
+// TestRolloutRegressionRolledBack is the acceptance scenario from the
+// issue: drift the fleet normally, inject a plan regression at a chosen
+// virtual instant, and require — via the checker's replay of the delivery
+// log — that no non-canary instance ever served the regressed version and
+// that the fleet converged back to the last-good one.
+func TestRolloutRegressionRolledBack(t *testing.T) {
+	rep, _ := runOnce(t, Config{
+		Seed:      5,
+		Instances: 16,
+		RegressAt: 70 * time.Second,
+		Rollout:   &rollout.Config{},
+	})
+	requireOK(t, rep)
+	if rep.Rollbacks == 0 {
+		t.Fatal("regression was injected but nothing rolled back")
+	}
+	for _, k := range rep.Rollout {
+		if k.Rollbacks == 0 {
+			t.Errorf("key %s never rolled back", k.Key)
+		}
+		if k.Quarantined == 0 {
+			t.Errorf("key %s rolled back without quarantining anything", k.Key)
+		}
+	}
+}
+
+// TestRolloutRegressionUnderFaults runs the regression scenario through a
+// faulty network — dropped and duplicated uploads, gateway 5xxs, a
+// partition window — and requires every rollout invariant to survive it.
+func TestRolloutRegressionUnderFaults(t *testing.T) {
+	rep, _ := runOnce(t, Config{
+		Seed:      7,
+		Instances: 16,
+		Keys:      2,
+		RegressAt: 70 * time.Second,
+		Rollout:   &rollout.Config{},
+		FaultSpec: "partition:inst-3..6@t=40s/20s;drop:upload%5;dup:upload%6;err5xx%3",
+	})
+	requireOK(t, rep)
+	if rep.Rollbacks == 0 {
+		t.Fatal("regression was injected but nothing rolled back")
+	}
+	if rep.Net.Dropped == 0 && rep.Net.Refused == 0 {
+		t.Fatalf("fault plan never fired: %+v", rep.Net)
+	}
+}
+
+// TestRolloutReplayByteIdentical extends the determinism bar to rollout
+// mode: a regression scenario under faults, run twice from one seed, must
+// produce byte-identical traces and invariant logs — cohort assignment,
+// decision windows, rollback timing and all.
+func TestRolloutReplayByteIdentical(t *testing.T) {
+	cfg := Config{
+		Seed:      42,
+		Instances: 24,
+		Keys:      2,
+		RegressAt: 70 * time.Second,
+		Rollout:   &rollout.Config{},
+		FaultSpec: "drop:upload%5;dup:upload%6;err5xx%3",
+	}
+	first, firstTrace := runOnce(t, cfg)
+	requireOK(t, first)
+	if first.Rollbacks == 0 {
+		t.Fatal("scenario produced no rollback to replay")
+	}
+	second, secondTrace := runOnce(t, cfg)
+	requireOK(t, second)
+	if !bytes.Equal(firstTrace.Bytes(), secondTrace.Bytes()) {
+		a, b := strings.Split(firstTrace.String(), "\n"), strings.Split(secondTrace.String(), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("first divergence at trace line %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("traces diverge in length: %d vs %d bytes", firstTrace.Len(), secondTrace.Len())
+	}
+	if first.Log() != second.Log() {
+		t.Fatalf("invariant logs diverge:\n--- run1\n%s--- run2\n%s", first.Log(), second.Log())
+	}
+}
+
+// TestRolloutLogShape pins the rollout lines of the invariant log — the
+// reproduction recipe for a failing CI sweep must say what the controller
+// did.
+func TestRolloutLogShape(t *testing.T) {
+	rep, _ := runOnce(t, Config{
+		Seed:      5,
+		Instances: 8,
+		RegressAt: 70 * time.Second,
+		Rollout:   &rollout.Config{},
+	})
+	log := rep.Log()
+	for _, want := range []string{"rollout: feedback=", "rollout key App0/w: state=", "rollbacks="} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log is missing %q:\n%s", want, log)
+		}
+	}
+}

@@ -23,6 +23,13 @@
 //     monotonicity and content-address honesty, idempotent duplicate
 //     delivery, and no sticky degradation once tainted evidence clears.
 //
+// With Config.Rollout set, the simulated daemon runs its canary rollout
+// controller: instances report per-window plan health after every fetch,
+// Config.RegressAt injects a plan regression mid-run, and the checker adds
+// the rollout invariants — a candidate that regressed its canary window is
+// never served to a non-canary instance, and every rollback converges the
+// fleet back to the last-good version.
+//
 // The polm2-simnet command sweeps seeds and replays failures; the CI
 // simnet-sweep job runs it under the race detector.
 package simnet
@@ -41,6 +48,7 @@ import (
 	"polm2/internal/fleetclient"
 	"polm2/internal/planserver"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 	"polm2/internal/simclock"
 	"polm2/internal/trace"
 )
@@ -76,6 +84,21 @@ type Config struct {
 	// "partition:inst-3..7@t=40s/20s;drop:upload%5". Empty runs a clean
 	// network.
 	FaultSpec string
+	// Rollout, when non-nil, boots the daemon with the canary rollout
+	// controller (normalized before use): merged plans are staged through
+	// a canary cohort instead of published fleet-wide, every instance
+	// reports plan health after each fetch, and the invariant checker
+	// switches to the rollout-mode suite (report.go) — containment of
+	// regressed candidates to the cohort, rollback convergence to
+	// last-good, and feedback/decision counter accounting.
+	Rollout *rollout.Config
+	// RegressAt, in rollout runs, injects a plan regression: from this
+	// virtual instant on, one designated instance per key uploads
+	// evidence carrying a pathological allocation site, and every
+	// instance whose installed plan contains that site reports a badly
+	// regressed pause p99. Candidates merged after this instant must be
+	// rolled back and quarantined, never promoted. Zero injects nothing.
+	RegressAt time.Duration
 	// StoreDir is the daemon's profile store directory. Required (the
 	// caller owns its lifetime; tests pass t.TempDir()).
 	StoreDir string
@@ -112,6 +135,10 @@ func (c Config) withDefaults() Config {
 	if c.DrainDelay == 0 {
 		c.DrainDelay = 200 * time.Millisecond
 	}
+	if c.Rollout != nil {
+		n := c.Rollout.Normalize()
+		c.Rollout = &n
+	}
 	return c
 }
 
@@ -122,8 +149,19 @@ type instance struct {
 	key    profilestore.Key
 	client *fleetclient.Client
 	taints bool
+	// poisons marks the key's designated regression source: from
+	// Config.RegressAt on, its uploads carry the poison site.
+	poisons bool
 
 	rounds, fallbacks, errors int
+
+	// cur is the profile the instance currently has installed (the last
+	// plan any fetch or sync returned); its content decides whether the
+	// instance's feedback reports a regressed p99. lastFeedback is the
+	// previous report's window end.
+	cur          *analyzer.Profile
+	lastFeedback time.Duration
+	feedbacks    int
 
 	finalOutcome fleetclient.Outcome
 	finalErr     error
@@ -193,6 +231,7 @@ func Run(cfg Config) (*Report, error) {
 		Tracer:   s.tracer,
 		Schedule: s.schedule,
 		Pump:     s.runWorker,
+		Rollout:  cfg.Rollout,
 	})
 	s.net = newNetwork(s.srv, clock, plan)
 
@@ -217,15 +256,28 @@ func Run(cfg Config) (*Report, error) {
 			taints: cfg.TaintRounds > 0 && i%3 == 0,
 		})
 	}
+	if cfg.Rollout != nil && cfg.RegressAt > 0 {
+		// The highest-index member of each key is the regression source.
+		poisoned := make(map[string]bool)
+		for i := cfg.Instances - 1; i >= 0; i-- {
+			if in := s.instances[i]; !poisoned[in.key.App] {
+				poisoned[in.key.App] = true
+				in.poisons = true
+			}
+		}
+	}
 
 	s.scheduleFleet(plan)
 	for s.q.RunNext() {
 		s.events++
 	}
 	// Quiesce: publish every accepted upload (Flush pumps any still-
-	// parked merge workers), then poll the whole fleet once on the now-
-	// quiet network.
+	// parked merge workers), settle any canary still open (rollout mode),
+	// then poll the whole fleet once on the now-quiet network.
 	s.srv.Flush()
+	if cfg.Rollout != nil {
+		s.settleRollouts()
+	}
 	s.finalPolls()
 	return s.report(plan), nil
 }
@@ -279,14 +331,17 @@ func (s *sim) jitter(label, id string, span time.Duration) time.Duration {
 // boot is an instance's first contact: fetch whatever plan the daemon
 // already holds (a cold store answers no-plan).
 func (s *sim) boot(in *instance) {
-	_, outcome, err := in.client.FetchPlan(in.key.App, in.key.Workload)
+	plan, outcome, err := in.client.FetchPlan(in.key.App, in.key.Workload)
+	if err == nil && plan != nil {
+		in.cur = plan
+	}
 	s.traceInstance("boot", in, outcomeString(outcome, err))
 }
 
 // round is one re-profile: build this round's cumulative evidence, upload
 // it, and adopt the fleet plan that comes back.
 func (s *sim) round(in *instance, r int) {
-	_, fresh, err := in.client.SyncEvidence(s.evidence(in, r))
+	plan, fresh, err := in.client.SyncEvidence(s.evidence(in, r))
 	in.rounds++
 	outcome := "merged"
 	switch {
@@ -297,14 +352,117 @@ func (s *sim) round(in *instance, r int) {
 		in.fallbacks++
 		outcome = "fallback"
 	}
+	if err == nil && plan != nil {
+		in.cur = plan
+	}
 	s.traceInstance("round", in, outcome, trace.Int64("round", int64(r)))
+	s.feedback(in)
 }
 
 // poll is a mid-cadence conditional fetch — the steady-state traffic that
 // exercises 304s and observes plan versions between merges.
 func (s *sim) poll(in *instance) {
-	_, outcome, err := in.client.FetchPlan(in.key.App, in.key.Workload)
+	plan, outcome, err := in.client.FetchPlan(in.key.App, in.key.Workload)
+	if err == nil && plan != nil {
+		in.cur = plan
+	}
 	s.traceInstance("poll", in, outcomeString(outcome, err))
+	s.feedback(in)
+}
+
+// poisonFrame is the pathological allocation site the designated
+// regression source starts reporting at Config.RegressAt. A plan is
+// "poisoned" — and regresses whoever runs it — when its profile carries
+// the site; since merges fold in every instance's latest evidence, every
+// candidate staged after the injection is poisoned until the source is
+// fixed, which in this scenario never happens.
+const poisonFrame = "Hot.regress:666"
+
+func poisoned(p *analyzer.Profile) bool {
+	if p == nil {
+		return false
+	}
+	for _, site := range p.Sites {
+		if strings.Contains(site.Trace, poisonFrame) {
+			return true
+		}
+	}
+	return false
+}
+
+// feedback reports the instance's window since its previous report — the
+// synthetic equivalent of online.Run's per-window health report. The
+// pause percentiles are a pure function of the installed plan's content:
+// baseline numbers normally, badly regressed ones when the plan is
+// poisoned. fleetclient stamps the ETag (the plan version the window ran
+// under) and skips entirely while no plan is installed.
+func (s *sim) feedback(in *instance) {
+	if s.cfg.Rollout == nil {
+		return
+	}
+	start := in.lastFeedback
+	in.lastFeedback = s.clock.Now()
+	r := &rollout.Report{
+		App:           in.key.App,
+		Workload:      in.key.Workload,
+		WindowStart:   start,
+		WindowEnd:     s.clock.Now(),
+		Pauses:        8,
+		PauseP50:      6 * time.Millisecond,
+		PauseP99:      15 * time.Millisecond,
+		PromotionRate: 0.2,
+		SurvivorRate:  0.8,
+	}
+	if poisoned(in.cur) {
+		r.PauseP50, r.PauseP99 = 9*time.Millisecond, 40*time.Millisecond
+		r.PromotionRate, r.SurvivorRate = 0.7, 0.3
+	}
+	sent, err := in.client.ReportFeedback(r)
+	outcome := "reported"
+	switch {
+	case err != nil:
+		outcome = "error"
+	case !sent:
+		outcome = "skipped"
+	default:
+		in.feedbacks++
+	}
+	s.traceInstance("feedback", in, outcome)
+}
+
+// maxSettleSweeps bounds the rollout settle loop. Each sweep delivers one
+// report per instance on a quiet network, so any canary the decision rule
+// can resolve resolves within a few sweeps; a canary still open after the
+// bound is a stalled rollout the invariant checker reports.
+const maxSettleSweeps = 24
+
+// settleRollouts drives every open canary to a terminal state before the
+// final observation: while any key is mid-canary, the whole fleet polls
+// (cohort members fetch the candidate) and reports its window, with the
+// clock advancing between sweeps. This is the simulated tail of a real
+// fleet's steady-state traffic — the controller only decides on feedback,
+// so the quiesce phase must keep feedback flowing until it has decided.
+func (s *sim) settleRollouts() {
+	for sweep := 0; sweep < maxSettleSweeps; sweep++ {
+		open := false
+		for k := 0; k < s.cfg.Keys; k++ {
+			snap, ok := s.srv.RolloutSnapshot("App"+strconv.Itoa(k), "w")
+			if ok && snap.State == rollout.StateCanary.String() {
+				open = true
+				break
+			}
+		}
+		if !open {
+			return
+		}
+		s.clock.Advance(s.cfg.Cadence / 4)
+		for _, in := range s.instances {
+			s.poll(in)
+		}
+	}
+	if s.tracer.Enabled() {
+		s.tracer.Event("simnet", "settle_exhausted")
+	}
 }
 
 // finalPolls fetches once per instance, in index order, after the network
@@ -351,7 +509,7 @@ func (s *sim) evidence(in *instance, r int) *analyzer.Profile {
 	if in.taints && r < s.cfg.TaintRounds {
 		tainted = n - n/4
 	}
-	return &analyzer.Profile{
+	p := &analyzer.Profile{
 		App:      in.key.App,
 		Workload: in.key.Workload,
 		Sites: []analyzer.SiteStat{
@@ -368,6 +526,15 @@ func (s *sim) evidence(in *instance, r int) *analyzer.Profile {
 			},
 		},
 	}
+	if in.poisons && s.cfg.RegressAt > 0 && s.clock.Now() >= s.cfg.RegressAt {
+		m := 64 * round
+		p.Sites = append(p.Sites, analyzer.SiteStat{
+			Trace:     in.key.App + ".serve:1;" + poisonFrame,
+			Allocated: m,
+			Buckets:   []uint64{m / 4, m - m/4},
+		})
+	}
+	return p
 }
 
 // schedule is planserver.Options.Schedule: defer the merge worker into the

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"polm2/internal/analyzer"
 	"polm2/internal/faultio"
 	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
 	"polm2/internal/simclock"
 )
 
@@ -36,7 +38,7 @@ const (
 type delivery struct {
 	at       time.Duration
 	instance string
-	op       string // "fetch" | "upload"
+	op       string // "fetch" | "upload" | "feedback"
 	key      profilestore.Key
 	status   int
 	etag     string // response ETag ("" when none)
@@ -45,6 +47,10 @@ type delivery struct {
 	// evidence is the parsed uploaded profile for accepted (200) uploads;
 	// nil otherwise. It feeds the checker's independent fleet-merge model.
 	evidence *analyzer.Profile
+	// feedback is the parsed plan-health report for accepted (204)
+	// feedback posts; nil otherwise. A feedback delivery naming an ETag is
+	// the checker's proof the instance ran that plan version.
+	feedback *rollout.Report
 	// etagHonest reports that the response body's SHA-256 matches the
 	// content-addressed ETag the daemon claimed (vacuously true without a
 	// body or tag).
@@ -125,7 +131,14 @@ func (t *instanceTransport) RoundTrip(req *http.Request) (*http.Response, error)
 	n := t.net
 	op := "fetch"
 	if req.Method == http.MethodPost {
-		op = "upload"
+		// Feedback is its own decision stream: a rollout run's health
+		// reports draw their own faults without shifting the upload
+		// draws, so enabling rollout never perturbs a non-rollout replay.
+		if strings.HasSuffix(req.URL.Path, "/feedback") {
+			op = "feedback"
+		} else {
+			op = "upload"
+		}
 	}
 	var body []byte
 	if req.Body != nil {
@@ -218,6 +231,15 @@ func (n *network) deliver(req *http.Request, body []byte, instance, op string, s
 			d.key = profilestore.Key{App: p.App, Workload: p.Workload}
 			if d.status == http.StatusOK {
 				d.evidence = &p
+			}
+		}
+	}
+	if op == "feedback" {
+		var rep rollout.Report
+		if json.Unmarshal(body, &rep) == nil {
+			d.key = profilestore.Key{App: rep.App, Workload: rep.Workload}
+			if d.status == http.StatusNoContent {
+				d.feedback = &rep
 			}
 		}
 	}

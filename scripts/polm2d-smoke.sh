@@ -5,7 +5,10 @@
 # Scenario: start the daemon on a random port, confirm there is no plan,
 # upload profiling evidence from two simulated fleet instances, check the
 # re-fetched plan carries the merged evidence and a stable ETag (304 on a
-# conditional re-fetch), then shut down cleanly with SIGTERM.
+# conditional re-fetch), then shut down cleanly with SIGTERM. A second
+# phase restarts against a fresh store with -rollout: the first merged
+# plan is adopted as stable (rollout_state 0), a plan-health report lands
+# on POST /v1/feedback, and fresh evidence opens a canary (rollout_state 1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -104,5 +107,72 @@ code=$(curl -s -o /dev/null -w '%{http_code}' \
 kill -TERM "$pid"
 wait "$pid" || fail "daemon exited non-zero after SIGTERM"
 grep -q 'shutdown complete' "$log" || fail "daemon did not report a clean shutdown"
+
+# --- canary rollout phase: fresh store, daemon restarted with -rollout ---
+store=$(mktemp -d)
+log=$(mktemp)
+/tmp/polm2d-smoke-bin -addr 127.0.0.1:0 -store "$store" -rollout >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+url=
+for _ in $(seq 100); do
+  url=$(sed -n 's|^polm2d: serving on \(http://[^ ]*\).*|\1|p' "$log")
+  [ -n "$url" ] && break
+  sleep 0.1
+done
+[ -n "$url" ] || fail "rollout daemon never printed its listen address"
+grep -q 'canary rollout on' "$log" || fail "daemon did not announce the rollout controller"
+echo "rollout daemon up at $url (store $store)"
+
+# First merge on a fresh store is adopted as stable, no canary: the
+# labeled state gauge must publish 0 (stable).
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Content-Type: application/json' -H 'X-Polm2-Instance: smoke-1' \
+  -d "$evidence1" "$url/v1/evidence")
+[ "$code" = "200" ] || fail "rollout-phase upload status $code"
+etag=
+for _ in $(seq 100); do
+  curl -s -D /tmp/polm2d-smoke-headers.txt -o /dev/null \
+    "$url/v1/plan?app=Cassandra&workload=WI"
+  etag=$(tr -d '\r' </tmp/polm2d-smoke-headers.txt | sed -n 's/^[Ee][Tt][Aa][Gg]: //p')
+  [ -n "$etag" ] && break
+  sleep 0.1
+done
+[ -n "$etag" ] || fail "rollout daemon never published the adopted plan"
+curl -s "$url/metricsz" | grep -q 'rollout_state{app="Cassandra",workload="WI"} 0' \
+  || fail "adopted plan did not publish rollout_state 0 (stable)"
+
+# One plan-health report for a window run under the adopted version; the
+# daemon must accept it (204) and count it.
+feedback=$(jq -cn --arg etag "$etag" '{app:"Cassandra",workload:"WI",etag:$etag,
+  window_start_ns:0,window_end_ns:60000000000,pauses:8,
+  pause_p50_ns:6000000,pause_p99_ns:15000000,promotion_rate:0.2,survivor_rate:0.8}')
+code=$(curl -s -o /tmp/polm2d-smoke-feedback.txt -w '%{http_code}' \
+  -H 'Content-Type: application/json' -H 'X-Polm2-Instance: smoke-1' \
+  -d "$feedback" "$url/v1/feedback")
+[ "$code" = "204" ] || fail "feedback status $code: $(cat /tmp/polm2d-smoke-feedback.txt)"
+curl -s "$url/metricsz" | grep -q '^feedback_reports_total 1' \
+  || fail "feedback was not counted in /metricsz"
+
+# Fresh evidence from a second instance changes the merged plan: the new
+# version must open a canary (state 1), not install fleet-wide.
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Content-Type: application/json' -H 'X-Polm2-Instance: smoke-2' \
+  -d "$evidence2" "$url/v1/evidence")
+[ "$code" = "200" ] || fail "canary-opening upload status $code"
+state=
+for _ in $(seq 100); do
+  state=$(curl -s "$url/metricsz" | sed -n 's/^rollout_state{app="Cassandra",workload="WI"} //p')
+  [ "$state" = "1" ] && break
+  sleep 0.1
+done
+[ "$state" = "1" ] || fail "new merged plan did not open a canary (rollout_state=$state, want 1)"
+curl -s "$url/metricsz" | grep -q '^rollout_canary_total 1' \
+  || fail "canary was not counted in /metricsz"
+
+kill -TERM "$pid"
+wait "$pid" || fail "rollout daemon exited non-zero after SIGTERM"
+grep -q 'shutdown complete' "$log" || fail "rollout daemon did not report a clean shutdown"
 
 echo "polm2d-smoke: PASS"
