@@ -157,6 +157,63 @@ func TestRolloutGolden(t *testing.T) {
 	checkGolden(t, "rollout.golden", buf.Bytes())
 }
 
+// TestSyncGolden pins the replication view. The store is rebuilt from
+// fixed stamped (and one deliberately unstamped) evidence documents on
+// every run, so the listing exercises the PutEvidenceStamped/EvidenceAll
+// round trip — stamps surviving the disk format is exactly what the
+// subcommand exists to show.
+func TestSyncGolden(t *testing.T) {
+	dir := t.TempDir()
+	store, err := profilestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := func(trace string, n uint64) analyzer.SiteStat {
+		return analyzer.SiteStat{Trace: trace, Allocated: n, Buckets: []uint64{n}, Gen: 1}
+	}
+	puts := []struct {
+		instance string
+		stamp    profilestore.Stamp
+		profile  *analyzer.Profile
+	}{
+		{"inst-1", profilestore.Stamp{Seq: 3, Origin: "daemon-a"},
+			&analyzer.Profile{App: "Cassandra", Workload: "WI", Generations: 2,
+				Sites: []analyzer.SiteStat{site("S.serve:1;Memtable.put:10", 9000), site("S.serve:1;Cell.make:4", 4000)}}},
+		{"inst-2", profilestore.Stamp{Seq: 5, Origin: "daemon-b"},
+			&analyzer.Profile{App: "Cassandra", Workload: "WI", Generations: 2,
+				Sites: []analyzer.SiteStat{site("S.serve:1;Memtable.put:10", 500)}}},
+		{"inst-legacy", profilestore.Stamp{},
+			&analyzer.Profile{App: "Lucene", Workload: "default", Generations: 1,
+				Sites: []analyzer.SiteStat{site("Main.run:1;Index.add:7", 500)}}},
+	}
+	for _, p := range puts {
+		if err := store.PutEvidenceStamped(p.instance, p.stamp, p.profile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := showSync(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sync.golden", buf.Bytes())
+}
+
+// TestSyncEmptyStore keeps the subcommand graceful on a store no fleet
+// has uploaded to.
+func TestSyncEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := profilestore.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := showSync(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("no evidence documents found")) {
+		t.Fatalf("empty-store output = %q", buf.String())
+	}
+}
+
 // TestRolloutEmptyStore keeps the subcommand graceful on a store the
 // controller never touched.
 func TestRolloutEmptyStore(t *testing.T) {

@@ -10,6 +10,7 @@
 //	polm2-inspect snapshots ./images         # decode a snapshot image dir
 //	polm2-inspect profiles ./profiles        # list a profile repository
 //	polm2-inspect rollout ./profiles         # canary rollout state per key
+//	polm2-inspect sync ./profiles            # replication stamps per evidence doc
 //	polm2-inspect trace trace.jsonl          # summarize a trace file
 //	polm2-inspect verify ./artifacts         # integrity-check artifact dirs
 //	polm2-inspect --verify ./artifacts       # same, flag spelling
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"polm2/internal/analyzer"
@@ -38,7 +40,7 @@ func main() {
 }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|profiles|rollout|trace|verify> <args...>")
+	fmt.Fprintln(os.Stderr, "usage: polm2-inspect <profile|tree|dot|diff|snapshots|profiles|rollout|sync|trace|verify> <args...>")
 	return 2
 }
 
@@ -71,6 +73,8 @@ func run() int {
 		err = showProfiles(os.Stdout, args[1])
 	case "rollout":
 		err = showRollout(os.Stdout, args[1])
+	case "sync":
+		err = showSync(os.Stdout, args[1])
 	case "trace":
 		err = showTrace(os.Stdout, args[1])
 	case "verify":
@@ -266,6 +270,58 @@ func showRollout(w io.Writer, dir string) error {
 		return nil
 	}
 	fmt.Fprintf(w, "%d keys under rollout control\n", rows)
+	return nil
+}
+
+// showSync lists the replication view of a polm2d store: every stored
+// evidence document with its stamp, the logical version last-write-wins
+// anti-entropy resolves conflicts with (DESIGN.md §15). Comparing two
+// replicas' listings shows exactly which documents still differ;
+// identical listings mean the pair has converged. Documents written
+// before replication (or with -peer off) carry no stamp and show "-".
+func showSync(w io.Writer, dir string) error {
+	store, err := profilestore.Open(dir)
+	if err != nil {
+		return err
+	}
+	all, err := store.EvidenceAll()
+	if err != nil {
+		return err
+	}
+	keys, err := store.EvidenceKeys()
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(w, "no evidence documents found")
+		return nil
+	}
+	fmt.Fprintf(w, "%-24s %-16s %-18s %-6s %-8s %s\n",
+		"app/workload", "instance", "stamp", "gens", "sites", "evidence")
+	docs, unstamped := 0, 0
+	for _, k := range keys {
+		instances := make([]string, 0, len(all[k]))
+		for id := range all[k] {
+			instances = append(instances, id)
+		}
+		sort.Strings(instances)
+		for _, id := range instances {
+			doc := all[k][id]
+			stamp := doc.Stamp.String()
+			if doc.Stamp.IsZero() {
+				stamp = "-"
+				unstamped++
+			}
+			docs++
+			var allocated uint64
+			for _, s := range doc.Profile.Sites {
+				allocated += s.Allocated
+			}
+			fmt.Fprintf(w, "%-24s %-16s %-18s %-6d %-8d %d\n",
+				k.String(), id, stamp, doc.Profile.Generations, len(doc.Profile.Sites), allocated)
+		}
+	}
+	fmt.Fprintf(w, "%d evidence documents across %d keys (%d unstamped)\n", docs, len(keys), unstamped)
 	return nil
 }
 

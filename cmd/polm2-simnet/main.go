@@ -9,6 +9,15 @@
 //	polm2-simnet -seed 42 -instances 64 -trace run.jsonl  # replay one seed
 //	polm2-simnet -seed 9 -faults 'partition:inst-3..7@t=40s/20s;drop:upload%5'
 //	polm2-simnet -seeds 8 -rollout -regress-at 70s        # canary rollback sweep
+//	polm2-simnet -seeds 8 -daemons 2 -faults 'partition:daemon-1..1@t=60s/30s'
+//
+// With -daemons N the simulated fleet runs N replicated planservers:
+// instances home on daemon (index mod N) and fail over on refusals,
+// daemons pull each other by anti-entropy on the -sync-interval cadence,
+// and the checker switches to the multi-daemon invariant suite
+// (post-heal convergence to the stamp-winner merge, per-daemon
+// accounting, quarantine propagation). Daemons partition by name:
+// 'partition:daemon-1..1@t=60s/30s'.
 //
 // A sweep runs seeds 1..N and prints one verdict line per seed; the first
 // seed that violates an invariant stops the sweep, prints the full
@@ -45,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rounds    = fs.Int("rounds", 3, "chaos-phase re-profile rounds per instance")
 		cadence   = fs.Duration("cadence", 30*time.Second, "simulated re-profile interval")
 		faults    = fs.String("faults", defaultFaults, "network fault plan (faultio net spec; empty for a clean network)")
+		daemons   = fs.Int("daemons", 1, "replicated planserver daemons (instances home on index mod N)")
+		syncEvery = fs.Duration("sync-interval", 0, "anti-entropy pull cadence with -daemons > 1 (default cadence/2)")
 		traceOut  = fs.String("trace", "", "write the run's JSONL trace to this file (single -seed runs only)")
 		rolloutOn = fs.Bool("rollout", false, "run the daemon's canary rollout controller (adds the rollout invariants)")
 		regressAt = fs.Duration("regress-at", 0, "inject a plan regression at this virtual instant (requires -rollout)")
@@ -69,14 +80,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "polm2-simnet: -regress-at requires -rollout")
 		return 2
 	}
+	if *daemons < 1 {
+		fmt.Fprintln(stderr, "polm2-simnet: -daemons must be at least 1")
+		return 2
+	}
+	if *syncEvery != 0 && *daemons < 2 {
+		fmt.Fprintln(stderr, "polm2-simnet: -sync-interval requires -daemons > 1")
+		return 2
+	}
 
 	base := simnet.Config{
 		Instances: *instances,
 		Keys:      *keys,
 		Rounds:    *rounds,
 		Cadence:   *cadence,
-		FaultSpec: *faults,
-		RegressAt: *regressAt,
+		FaultSpec:    *faults,
+		RegressAt:    *regressAt,
+		Daemons:      *daemons,
+		SyncInterval: *syncEvery,
 	}
 	if *rolloutOn {
 		base.Rollout = &rollout.Config{}
@@ -109,9 +130,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				s, rep.FaultSpec, rep.Log())
 			return 1
 		}
-		fmt.Fprintf(stdout, "seed %d: ok (time=%s events=%d uploads=%d merges=%d coalesced=%d faults=%d)\n",
+		repl := ""
+		if rep.Daemons > 1 {
+			repl = fmt.Sprintf(" daemons=%d syncs=%d applied=%d", rep.Daemons, rep.PeerSyncs, rep.PeerDocsApplied)
+		}
+		fmt.Fprintf(stdout, "seed %d: ok (time=%s events=%d uploads=%d merges=%d coalesced=%d faults=%d%s)\n",
 			s, rep.SimTime, rep.Events, rep.Uploads, rep.Merges, rep.Coalesced,
-			rep.Net.Refused+rep.Net.Dropped+rep.Net.Dup+rep.Net.Stale+rep.Net.Delayed+rep.Net.Err5xx)
+			rep.Net.Refused+rep.Net.Dropped+rep.Net.Dup+rep.Net.Stale+rep.Net.Delayed+rep.Net.Err5xx, repl)
 	}
 	fmt.Fprintf(stdout, "sweep: %d seeds, all invariants held\n", *seeds)
 	return 0

@@ -83,6 +83,24 @@ func TestRolloutSweep(t *testing.T) {
 	}
 }
 
+// TestReplicatedSweep runs the two-daemon sweep the CI job uses: every
+// seed rides a daemon partition and the verdict line must carry the
+// replication counters.
+func TestReplicatedSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seeds", "2", "-instances", "10", "-daemons", "2",
+		"-faults", "partition:daemon-1..1@t=50s/25s;drop:upload%4;dup:upload%5;err5xx%2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("replicated sweep exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"seed 1: ok", "seed 2: ok", "daemons=2 syncs=", "sweep: 2 seeds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestFlagErrors pins the usage contract: mutually exclusive modes, trace
 // in sweep mode, unknown fault kinds and stray arguments are all usage
 // errors (exit 2), before any simulation runs.
@@ -94,6 +112,8 @@ func TestFlagErrors(t *testing.T) {
 		{"-seed", "1", "-faults", "detonate%50"},
 		{"-seeds", "2", "stray"},
 		{"-seeds", "2", "-regress-at", "70s"},
+		{"-seeds", "2", "-daemons", "0"},
+		{"-seeds", "2", "-sync-interval", "10s"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

@@ -26,6 +26,20 @@
 // -rollout-min-reports, -rollout-regression and -rollout-seed tune the
 // decision rule; without -rollout the daemon's behaviour is unchanged.
 //
+// With -peer (repeatable), the daemon replicates: it stamps every accepted
+// evidence document with a logical version, serves GET /v1/sync digests to
+// its peers, and pulls each peer on the -sync-interval cadence, applying
+// whichever document carries the higher stamp (DESIGN.md §15). -id names
+// this replica in the stamps; it defaults to the resolved listen address.
+// Replicas never push — a pair of daemons pointed at each other with
+//
+//	polm2d -addr :7468 -store a -id a -peer http://host-b:7468
+//	polm2d -addr :7468 -store b -id b -peer http://host-a:7468
+//
+// converges both stores to the same evidence and, with -rollout, the same
+// quarantine set. Without -peer nothing replicates and the daemon's wire
+// surface is unchanged.
+//
 // Request handling is always traced into a bounded in-memory ring served
 // at GET /tracez (newest window, JSONL); -trace additionally appends every
 // record to a file. -trace-ring sizes the ring.
@@ -42,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,12 +83,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut  = fs.String("trace", "", "append every trace record to this JSONL file (the in-memory /tracez ring is always on)")
 		ringSize  = fs.Int("trace-ring", 0, "trace ring capacity in records (default 4096)")
 
+		syncEvery = fs.Duration("sync-interval", 0, "anti-entropy pull cadence with -peer (default 30s)")
+		selfID    = fs.String("id", "", "replication identity stamped into evidence with -peer (default: the listen address)")
+
 		rolloutOn  = fs.Bool("rollout", false, "stage merged plans through a canary rollout instead of publishing fleet-wide")
 		rolloutFra = fs.Float64("rollout-canary", 0, "canary cohort fraction of the fleet in (0, 1] (default 0.25)")
 		rolloutMin = fs.Int("rollout-min-reports", 0, "feedback reports required on each side before deciding (default 3)")
 		rolloutPct = fs.Float64("rollout-regression", 0, "canary p99 regression over baseline, in percent, that triggers rollback (default 10)")
 		rolloutSd  = fs.Int64("rollout-seed", 0, "seed for the deterministic cohort assignment (default 1)")
 	)
+	var peers peerList
+	fs.Var(&peers, "peer", "base URL of a replica to pull evidence from (repeatable); enables replication")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -118,11 +138,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	tracer := trace.New(topts)
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(stderr, "polm2d: %v\n", err)
-		return 1
-	}
+	// Flag validation precedes the listen: a daemon that exits 2 on a bad
+	// combination must not have bound (and leaked) the port first.
 	popts := planserver.Options{Tracer: tracer}
 	if *rolloutOn {
 		cfg := rollout.Config{
@@ -139,12 +156,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "polm2d: -rollout-* flags require -rollout")
 		return 2
 	}
+	if len(peers) > 0 {
+		if *syncEvery < 0 {
+			fmt.Fprintln(stderr, "polm2d: -sync-interval must be positive")
+			return 2
+		}
+		if *syncEvery == 0 {
+			*syncEvery = 30 * time.Second
+		}
+		popts.Peers = peers
+	} else if *syncEvery != 0 || *selfID != "" {
+		fmt.Fprintln(stderr, "polm2d: -sync-interval and -id require -peer")
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "polm2d: %v\n", err)
+		return 1
+	}
+	if len(peers) > 0 {
+		popts.SelfID = *selfID
+		if popts.SelfID == "" {
+			popts.SelfID = ln.Addr().String()
+		}
+		fmt.Fprintf(stdout, "polm2d: replicating with %d peer(s) as %s (sync every %s)\n",
+			len(peers), popts.SelfID, *syncEvery)
+	}
 	ps := planserver.New(store, popts)
 	srv := &http.Server{Handler: ps}
 	fmt.Fprintf(stdout, "polm2d: serving on http://%s (store %s)\n", ln.Addr(), store.Dir())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if len(peers) > 0 {
+		// The anti-entropy poller: one pull pass per tick, forever. A
+		// failed pull is counted and retried next tick — replication is
+		// eventually consistent by construction, so staleness is the only
+		// cost of a missed pass.
+		ticker := time.NewTicker(*syncEvery)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					ps.SyncPeers()
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -174,4 +236,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "polm2d: shutdown complete")
 	return 0
+}
+
+// peerList collects repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty peer URL")
+	}
+	*p = append(*p, v)
+	return nil
 }

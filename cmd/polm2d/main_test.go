@@ -59,6 +59,143 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if !strings.Contains(errb.String(), "require -rollout") {
 		t.Errorf("stderr missing rollout flag error:\n%s", errb.String())
 	}
+
+	errb = syncBuffer{}
+	if code := run([]string{"-store", t.TempDir(), "-sync-interval", "5s"}, &out, &errb); code != 2 {
+		t.Fatalf("run with -sync-interval but no -peer = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "require -peer") {
+		t.Errorf("stderr missing peer flag error:\n%s", errb.String())
+	}
+
+	errb = syncBuffer{}
+	if code := run([]string{"-store", t.TempDir(), "-id", "a"}, &out, &errb); code != 2 {
+		t.Fatalf("run with -id but no -peer = %d, want 2", code)
+	}
+
+	errb = syncBuffer{}
+	if code := run([]string{"-store", t.TempDir(), "-peer", ""}, &out, &errb); code != 2 {
+		t.Fatalf("run with an empty -peer URL = %d, want 2", code)
+	}
+}
+
+// TestReplicatedPairLifecycle boots two daemons over real TCP with B
+// pulling A by anti-entropy: evidence uploaded to A must surface as a
+// merged, identically-versioned plan on B without B ever hearing from
+// the uploader, and one SIGTERM must shut the pair down cleanly.
+func TestReplicatedPairLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	var outA, errA, outB, errB syncBuffer
+
+	doneA := make(chan int, 1)
+	go func() {
+		doneA <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-store", filepath.Join(dir, "a"),
+		}, &outA, &errA)
+	}()
+	baseA := awaitAddr(t, &outA, &errA)
+
+	doneB := make(chan int, 1)
+	go func() {
+		doneB <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-store", filepath.Join(dir, "b"),
+			"-id", "replica-b",
+			"-peer", baseA,
+			"-sync-interval", "50ms",
+		}, &outB, &errB)
+	}()
+	baseB := awaitAddr(t, &outB, &errB)
+	if !strings.Contains(outB.String(), "replicating with 1 peer(s) as replica-b") {
+		t.Fatalf("daemon B did not announce replication:\n%s", outB.String())
+	}
+
+	evidence := `{"app":"Cassandra","workload":"WI","generations":0,"allocs":[],"calls":[],"conflicts":0,
+		"sites":[{"trace":"S.serve:1;Memtable.put:10","allocated":100,"buckets":[10,90],"gen":0}]}`
+	req, err := http.NewRequest(http.MethodPost, baseA+"/v1/evidence", strings.NewReader(evidence))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Polm2-Instance", "pair-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("uploading evidence to A: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evidence upload to A = %d, want 200", resp.StatusCode)
+	}
+
+	// B has never seen the uploader; only anti-entropy can carry the
+	// document over. Poll until B serves the merged plan.
+	var etagA, etagB string
+	deadline := time.Now().Add(10 * time.Second)
+	for etagB == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("B never published the replicated plan; B stdout:\n%s", outB.String())
+		}
+		resp, err := http.Get(baseB + "/v1/plan?app=Cassandra&workload=WI")
+		if err != nil {
+			t.Fatalf("GET plan from B: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			etagB = resp.Header.Get("ETag")
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	resp, err = http.Get(baseA + "/v1/plan?app=Cassandra&workload=WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	etagA = resp.Header.Get("ETag")
+	if etagA == "" || etagA != etagB {
+		t.Fatalf("plan versions diverge: A=%q B=%q", etagA, etagB)
+	}
+	resp, err = http.Get(baseB + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "peer_sync_total") {
+		t.Errorf("B's /metricsz is missing the peer sync counters:\n%s", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan int{"A": doneA, "B": doneB} {
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("daemon %s exited %d after SIGTERM", name, code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("daemon %s did not exit after SIGTERM", name)
+		}
+	}
+}
+
+// awaitAddr waits for a daemon goroutine to print its resolved listen
+// address and returns the base URL.
+func awaitAddr(t *testing.T, out, errb *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "serving on http://") {
+			rest := s[strings.Index(s, "http://"):]
+			return strings.Fields(rest)[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout:\n%s\nstderr:\n%s", out.String(), errb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // TestDaemonLifecycle boots the daemon on a random port, confirms it

@@ -5,8 +5,9 @@
 // each instance's latest evidence, so cumulative re-profiles and retried
 // uploads replace instead of double-count), and degrades gracefully —
 // bounded retries with
-// exponential backoff and deterministic jitter, then a fall back to the
-// last good plan — when the daemon is unreachable.
+// exponential backoff and deterministic jitter, sticky failover across a
+// replicated daemon set (Options.BaseURLs), then a fall back to the last
+// good plan — when no daemon is reachable at all.
 //
 // Determinism: no decision path consults the wall clock, a global RNG, or
 // map iteration order. Backoff jitter derives from core.DeriveSeed over
@@ -43,10 +44,25 @@ import (
 // keep the packages decoupled).
 const InstanceHeader = "X-Polm2-Instance"
 
+// EvidenceSeqHeader carries the client's own upload sequence number on
+// evidence uploads (mirrors planserver.EvidenceSeqHeader; redeclared to
+// keep the packages decoupled). A replicated daemon folds it into the
+// stamp it assigns, so an upload replayed to a failover daemon cannot be
+// beaten by an older document the first daemon already replicated out.
+// Unreplicated daemons ignore it.
+const EvidenceSeqHeader = "X-Polm2-Evidence-Seq"
+
 // Options parameterizes a Client.
 type Options struct {
 	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7468".
 	BaseURL string
+	// BaseURLs lists failover daemon roots tried after BaseURL. The client
+	// is sticky: it keeps using one endpoint until a *transport* error
+	// (connection refused, reset, timeout) rotates it to the next, wrapping
+	// around. HTTP-level failures — 5xx included — never rotate: the daemon
+	// answered, so switching peers would trade a known-alive endpoint for
+	// an unknown one mid-backoff. Empty means no failover.
+	BaseURLs []string
 	// Seed drives the deterministic backoff jitter. Default 1.
 	Seed int64
 	// InstanceID is this instance's stable identity, sent with every
@@ -132,17 +148,26 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
-// Client talks to one plan daemon. It is safe for concurrent use.
+// Client talks to one plan daemon (or a replicated set of them). It is
+// safe for concurrent use.
 type Client struct {
 	opts Options
+	// endpoints is BaseURL followed by BaseURLs: the failover rotation.
+	endpoints []string
 
 	mu sync.Mutex
+	// cur indexes the endpoint in use; transport errors advance it.
+	cur int
 	// etag versions lastGood; sent as If-None-Match on fetches.
 	etag     string
 	lastGood *analyzer.Profile
 	// ops counts operations, salting each one's jitter derivation so two
 	// retry rounds of the same operation kind do not share a schedule.
 	ops uint64
+	// evSeq counts evidence uploads; sent as EvidenceSeqHeader so the
+	// client's write order survives daemon failover. Advanced once per
+	// UploadEvidence call — retries of one upload replay the same number.
+	evSeq uint64
 }
 
 // New builds a client. BaseURL must be set.
@@ -150,7 +175,31 @@ func New(opts Options) (*Client, error) {
 	if opts.BaseURL == "" {
 		return nil, fmt.Errorf("fleetclient: BaseURL is required")
 	}
-	return &Client{opts: opts.withDefaults()}, nil
+	return &Client{
+		opts:      opts.withDefaults(),
+		endpoints: append([]string{opts.BaseURL}, opts.BaseURLs...),
+	}, nil
+}
+
+// endpoint returns the sticky current endpoint and its rotation index.
+func (c *Client) endpoint() (string, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoints[c.cur], c.cur
+}
+
+// failover rotates to the next endpoint after a transport error on
+// endpoint index from. The guard keeps concurrent failures of the same
+// endpoint from skipping past a healthy one: only the first rotates.
+func (c *Client) failover(from int) {
+	if len(c.endpoints) == 1 {
+		return
+	}
+	c.mu.Lock()
+	if c.cur == from {
+		c.cur = (c.cur + 1) % len(c.endpoints)
+	}
+	c.mu.Unlock()
 }
 
 // InstanceID returns the stable identity sent with evidence uploads.
@@ -263,9 +312,12 @@ func (c *Client) FetchPlan(app, workload string) (*analyzer.Profile, Outcome, er
 	q := url.Values{}
 	q.Set("app", app)
 	q.Set("workload", workload)
-	planURL := c.opts.BaseURL + "/v1/plan?" + q.Encode()
+	query := "/v1/plan?" + q.Encode()
 	err := c.retry("fetch", func() (bool, error) {
-		req, err := http.NewRequest("GET", planURL, nil)
+		// The URL is rebuilt per attempt: a transport failure rotates the
+		// endpoint, so the retry must aim at the rotated-to daemon.
+		base, idx := c.endpoint()
+		req, err := http.NewRequest("GET", base+query, nil)
 		if err != nil {
 			return true, err
 		}
@@ -278,6 +330,7 @@ func (c *Client) FetchPlan(app, workload string) (*analyzer.Profile, Outcome, er
 		}
 		resp, err := c.opts.HTTPClient.Do(req)
 		if err != nil {
+			c.failover(idx)
 			return false, fmt.Errorf("fleetclient: fetching plan: %w", err)
 		}
 		defer resp.Body.Close()
@@ -336,19 +389,28 @@ func (c *Client) UploadEvidence(p *analyzer.Profile) (*analyzer.Profile, error) 
 	if err != nil {
 		return nil, fmt.Errorf("fleetclient: encoding evidence: %w", err)
 	}
+	c.mu.Lock()
+	c.evSeq++
+	seq := c.evSeq
+	c.mu.Unlock()
 	var merged *analyzer.Profile
 	err = c.retry("upload", func() (bool, error) {
-		req, err := http.NewRequest("POST", c.opts.BaseURL+"/v1/evidence", bytes.NewReader(body))
+		base, idx := c.endpoint()
+		req, err := http.NewRequest("POST", base+"/v1/evidence", bytes.NewReader(body))
 		if err != nil {
 			return true, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		// The instance id makes the upload idempotent: the daemon replaces
 		// this instance's evidence, so a retry after a lost response
-		// cannot double-count what the first attempt already applied.
+		// cannot double-count what the first attempt already applied. The
+		// sequence number orders this client's uploads across daemons —
+		// constant over retries, so a replayed upload keeps its place.
 		req.Header.Set(InstanceHeader, c.opts.InstanceID)
+		req.Header.Set(EvidenceSeqHeader, strconv.FormatUint(seq, 10))
 		resp, err := c.opts.HTTPClient.Do(req)
 		if err != nil {
+			c.failover(idx)
 			return false, fmt.Errorf("fleetclient: uploading evidence: %w", err)
 		}
 		defer resp.Body.Close()
@@ -414,7 +476,8 @@ func (c *Client) ReportFeedback(r *rollout.Report) (sent bool, err error) {
 		return false, fmt.Errorf("fleetclient: encoding feedback: %w", err)
 	}
 	err = c.retry("feedback", func() (bool, error) {
-		req, err := http.NewRequest("POST", c.opts.BaseURL+"/v1/feedback", bytes.NewReader(body))
+		base, idx := c.endpoint()
+		req, err := http.NewRequest("POST", base+"/v1/feedback", bytes.NewReader(body))
 		if err != nil {
 			return true, err
 		}
@@ -422,6 +485,7 @@ func (c *Client) ReportFeedback(r *rollout.Report) (sent bool, err error) {
 		req.Header.Set(InstanceHeader, c.opts.InstanceID)
 		resp, err := c.opts.HTTPClient.Do(req)
 		if err != nil {
+			c.failover(idx)
 			return false, fmt.Errorf("fleetclient: reporting feedback: %w", err)
 		}
 		defer resp.Body.Close()

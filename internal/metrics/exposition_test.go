@@ -103,9 +103,24 @@ func TestExpositionGolden(t *testing.T) {
 	h.Observe(500 * time.Microsecond)
 	h.Observe(5 * time.Millisecond)
 	h.Observe(time.Second)
+	// The rollout controller's families (planserver with Options.Rollout).
+	r.Counter("feedback_reports_total").Add(2)
+	r.Counter("rollout_canary_total").Inc()
+	r.Counter("rollout_rollbacks_total")
+	r.Gauge(LabelName("rollout_state", Label{"app", "Cassandra"}, Label{"workload", "WI"})).Set(1)
+	// The anti-entropy replication families (planserver with Options.Peers).
+	r.Counter("peer_sync_total").Add(4)
+	r.Counter("peer_sync_error_total").Inc()
+	r.Counter("peer_docs_applied_total").Add(3)
+	r.Gauge("peer_divergence_gauge").Set(0)
 
 	const want = `evidence_instances{app="Cassandra",workload="WI"} 2
 evidence_merge_total 1
+feedback_reports_total 2
+peer_divergence_gauge 0
+peer_docs_applied_total 3
+peer_sync_error_total 1
+peer_sync_total 4
 plan_fetch_latency_bucket{le="1ms"} 2
 plan_fetch_latency_bucket{le="10ms"} 3
 plan_fetch_latency_bucket{le="100ms"} 3
@@ -113,6 +128,9 @@ plan_fetch_latency_bucket{le="+Inf"} 4
 plan_fetch_latency_count 4
 plan_fetch_latency_sum_ns 1006000000
 plan_fetch_total 3
+rollout_canary_total 1
+rollout_rollbacks_total 0
+rollout_state{app="Cassandra",workload="WI"} 1
 trace_ring_records 17
 `
 	var b strings.Builder

@@ -16,6 +16,9 @@
 //	POST /v1/evidence                evidence upload (X-Polm2-Instance
 //	                                 header required); responds with the
 //	                                 current fleet plan (and its ETag)
+//	GET  /v1/sync                    replication digest (and, with
+//	                                 app/workload/instance parameters, one
+//	                                 stamped evidence document — sync.go)
 //	GET  /healthz                    liveness
 //	GET  /metricsz                   metric exposition (internal/metrics)
 //	GET  /tracez                     trace ring, newest window (internal/trace)
@@ -108,6 +111,23 @@ type Options struct {
 	// health reports instead of publishing fleet-wide immediately. Nil
 	// (the default) preserves immediate publication byte-for-byte.
 	Rollout *rollout.Config
+	// SelfID is this daemon's replication identity (DESIGN.md §15): the
+	// Origin written into evidence stamps and the name answered in sync
+	// digests. Empty (the default) disables stamping's visible surface —
+	// no stamp response header — keeping an unreplicated daemon
+	// byte-identical to a pre-replication build.
+	SelfID string
+	// Peers lists the base URLs of the other replicas this daemon pulls
+	// from (anti-entropy, sync.go). Empty disables the peer poller and
+	// skips registering the peer metrics, so a peerless daemon's
+	// /metricsz exposition is unchanged. The caller owns the cadence:
+	// call SyncPeers on a ticker (cmd/polm2d) or from a deterministic
+	// event queue (internal/simnet).
+	Peers []string
+	// PeerClient performs the HTTP pulls against Peers. Default
+	// http.DefaultClient; the simulator injects its virtual-network
+	// transport here.
+	PeerClient *http.Client
 }
 
 // Server is the plan-distribution HTTP service. It is an http.Handler.
@@ -143,6 +163,19 @@ type Server struct {
 
 	rolloutMu   sync.Mutex
 	transitions []RolloutTransition
+
+	// Replication (sync.go). The peer metrics are registered only when
+	// peers are configured, keeping the default exposition unchanged.
+	selfID          string
+	peers           []string
+	peerClient      *http.Client
+	peerSyncs       *metrics.Counter // completed anti-entropy passes, per peer
+	peerSyncErrs    *metrics.Counter // failed anti-entropy passes, per peer
+	peerDocsApplied *metrics.Counter // evidence documents pulled and applied
+	peerDivergence  *metrics.Gauge   // documents the last pass had to pull
+
+	syncScanMu  sync.Mutex
+	syncScanned bool // one-time cold scan of the store into the digest
 
 	shardMu sync.RWMutex
 	shards  map[profilestore.Key]*shard
@@ -211,9 +244,22 @@ func New(store *profilestore.Store, opts Options) *Server {
 		s.promotions = reg.Counter("rollout_promotions_total")
 		s.rollbacks = reg.Counter("rollout_rollbacks_total")
 	}
+	s.selfID = opts.SelfID
+	s.peers = append([]string(nil), opts.Peers...)
+	s.peerClient = opts.PeerClient
+	if s.peerClient == nil {
+		s.peerClient = http.DefaultClient
+	}
+	if len(s.peers) > 0 {
+		s.peerSyncs = reg.Counter("peer_sync_total")
+		s.peerSyncErrs = reg.Counter("peer_sync_error_total")
+		s.peerDocsApplied = reg.Counter("peer_docs_applied_total")
+		s.peerDivergence = reg.Gauge("peer_divergence_gauge")
+	}
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/evidence", s.handleEvidence)
 	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /v1/sync", s.handleSync)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
@@ -552,6 +598,12 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("planserver: rejected evidence: %v", err), http.StatusBadRequest)
 		return
 	}
+	var clientSeq uint64
+	if v := r.Header.Get(EvidenceSeqHeader); v != "" {
+		if n, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			clientSeq = n
+		}
+	}
 	sh := s.shard(profilestore.Key{App: up.App, Workload: up.Workload})
 
 	sh.mu.Lock()
@@ -567,7 +619,18 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	// acknowledging anything, then replace the instance's prior
 	// contribution in the cache so n cumulative re-profiles count once,
 	// not n times, and a retry of a lost response replays harmlessly.
-	if err := s.store.PutEvidence(instance, &up); err != nil {
+	//
+	// The stamp strictly advances past whatever this daemon holds — even a
+	// replayed or reordered upload gets a fresh, winning stamp, so the
+	// locally accepted write always replaces locally and replication
+	// resolves any cross-daemon race by the (seq, origin) total order. The
+	// client's own sequence (when sent) folds in so an upload replayed to
+	// a failover daemon is not beaten by an older replicated document.
+	stamp := profilestore.Stamp{Seq: sh.stamps[instance].Seq + 1, Origin: s.selfID}
+	if clientSeq > stamp.Seq {
+		stamp.Seq = clientSeq
+	}
+	if err := s.store.PutEvidenceStamped(instance, stamp, &up); err != nil {
 		sh.mu.Unlock()
 		s.storeErrs.Inc()
 		outcome = "store_error"
@@ -575,6 +638,7 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ev[instance] = &up
+	sh.stamps[instance] = stamp
 	sh.dirty++
 	myGen := sh.dirty
 	if sh.instGauge == nil {
@@ -616,6 +680,12 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := w.Header()
+	if s.selfID != "" {
+		// Report the assigned stamp so harnesses (and curious clients) can
+		// audit replication; absent without a SelfID, keeping unreplicated
+		// responses byte-identical.
+		h.Set(EvidenceStampHeader, stamp.String())
+	}
 	h["Content-Type"] = jsonContentType
 	h["Etag"] = c.etagHeader
 	h["Content-Length"] = c.lenHeader

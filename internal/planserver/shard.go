@@ -39,6 +39,13 @@ type shard struct {
 	// steady-state uploads and merges never read the store.
 	evidence map[string]*analyzer.Profile
 
+	// stamps holds each evidence document's replication stamp (sync.go),
+	// maintained in lockstep with evidence: advanced on every accepted
+	// upload, adopted verbatim on every peer pull, advertised in sync
+	// digests. Instances absent here (legacy documents) carry the zero
+	// stamp and lose every comparison.
+	stamps map[string]profilestore.Stamp
+
 	// plan is the encoded, content-addressed fleet plan being served.
 	// gen counts installs, so a cold store load racing a merge publish
 	// can detect that it lost and must not overwrite the newer plan.
@@ -134,9 +141,17 @@ func (s *Server) loadEvidenceLocked(sh *shard) (map[string]*analyzer.Profile, er
 		return sh.evidence, nil
 	}
 	s.evidenceLoads.Inc()
-	ev, err := s.store.Evidence(sh.key.App, sh.key.Workload)
+	docs, err := s.store.EvidenceDocs(sh.key.App, sh.key.Workload)
 	if err != nil {
 		return nil, err
+	}
+	ev := make(map[string]*analyzer.Profile, len(docs))
+	sh.stamps = make(map[string]profilestore.Stamp, len(docs))
+	for inst, d := range docs {
+		ev[inst] = d.Profile
+		if !d.Stamp.IsZero() {
+			sh.stamps[inst] = d.Stamp
+		}
 	}
 	if len(ev) == 0 {
 		seed, err := s.store.Get(sh.key.App, sh.key.Workload)

@@ -1,0 +1,416 @@
+package planserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+
+	"polm2/internal/analyzer"
+	"polm2/internal/metrics"
+	"polm2/internal/profilestore"
+	"polm2/internal/trace"
+)
+
+// This file is the replication half of the daemon (DESIGN.md §15):
+// pull-based anti-entropy between polm2d peers. Every daemon exposes
+// GET /v1/sync in two modes — a per-key digest of (instance, stamp) pairs
+// plus the rollout quarantine set, and a single-document fetch — and
+// periodically pulls each configured peer's digest, fetching exactly the
+// documents whose stamp beats its own. Last-write-wins per (key, instance)
+// under the profilestore.Stamp total order makes the exchange commutative
+// and idempotent: however partitions interleave the pulls, both sides end
+// holding the per-instance winners, and MergeProfiles' own commutativity
+// turns identical winner sets into identical plans.
+//
+// Pulled documents enter through the same coalescing merge pipeline as
+// uploads (dirty bump + ensureWorkerLocked), so replication inherits the
+// pipeline's batching, publication and rollout semantics instead of
+// growing a second write path. The rollout quarantine set replicates as a
+// grow-only union — a rollback decision anywhere propagates everywhere
+// and no stale peer can resurrect a quarantined plan.
+//
+// Everything here is gated on configuration: without Peers the poller
+// never runs and no peer metrics are registered; without SelfID no stamp
+// header is exposed. A daemon with replication off behaves byte-for-byte
+// like a pre-replication build. The digest endpoint itself is always
+// registered — answering a peer's read costs nothing and cannot diverge.
+
+// EvidenceSeqHeader carries the uploader's own upload sequence number on
+// POST /v1/evidence. The daemon folds it into the assigned stamp with
+// max(clientSeq, previous+1), so a client-side counter survives daemon
+// failover: an upload replayed to a second daemon cannot be beaten by an
+// older document the first daemon already replicated out.
+const EvidenceSeqHeader = "X-Polm2-Evidence-Seq"
+
+// EvidenceStampHeader reports the stamp the daemon assigned to an accepted
+// upload, as seq@origin. Only set when the daemon has a SelfID (replication
+// on), keeping unreplicated responses byte-identical.
+const EvidenceStampHeader = "X-Polm2-Evidence-Stamp"
+
+// syncDigest is the GET /v1/sync response: who is answering and, per key,
+// every evidence document's stamp plus the quarantined rollout ETags.
+type syncDigest struct {
+	Daemon string          `json:"daemon"`
+	Keys   []syncKeyDigest `json:"keys"`
+}
+
+type syncKeyDigest struct {
+	App         string         `json:"app"`
+	Workload    string         `json:"workload"`
+	Docs        []syncDocStamp `json:"docs"`
+	Quarantined []string       `json:"quarantined,omitempty"`
+}
+
+type syncDocStamp struct {
+	Instance string             `json:"instance"`
+	Stamp    profilestore.Stamp `json:"stamp"`
+}
+
+// syncDoc is the single-document response to
+// GET /v1/sync?app=&workload=&instance=.
+type syncDoc struct {
+	Instance string             `json:"instance"`
+	Stamp    profilestore.Stamp `json:"stamp"`
+	Profile  *analyzer.Profile  `json:"profile"`
+}
+
+// SelfID reports the daemon's replication id ("" with replication off).
+func (s *Server) SelfID() string { return s.selfID }
+
+// PlanETag reports the cached published plan's ETag for one key — the
+// stable plan in rollout mode — without touching the store or the merge
+// pipeline. "" when the key has no cached plan. Harnesses compare daemons
+// with it; serving paths never call it.
+func (s *Server) PlanETag(app, workload string) string {
+	s.shardMu.RLock()
+	sh := s.shards[profilestore.Key{App: app, Workload: workload}]
+	s.shardMu.RUnlock()
+	if sh == nil {
+		return ""
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.plan == nil {
+		return ""
+	}
+	return sh.plan.etag
+}
+
+// ensureSyncScan folds every key the store holds into the shard caches,
+// once per daemon lifetime: a freshly restarted daemon must advertise
+// evidence it persisted before the restart, not just keys it has served
+// since boot.
+func (s *Server) ensureSyncScan() error {
+	s.syncScanMu.Lock()
+	defer s.syncScanMu.Unlock()
+	if s.syncScanned {
+		return nil
+	}
+	all, err := s.store.EvidenceAll()
+	if err != nil {
+		return err
+	}
+	for k := range all {
+		sh := s.shard(k)
+		sh.mu.Lock()
+		_, err := s.loadEvidenceLocked(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	s.syncScanned = true
+	return nil
+}
+
+// handleSync serves both sync modes. With no query parameters: the full
+// digest. With app, workload and instance: that one evidence document,
+// 404 when absent.
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.RawQuery
+	app := queryParam(raw, "app")
+	workload := queryParam(raw, "workload")
+	instance := queryParam(raw, "instance")
+	if app == "" && workload == "" && instance == "" {
+		s.serveSyncDigest(w)
+		return
+	}
+	if app == "" || workload == "" || instance == "" {
+		http.Error(w, "planserver: sync document fetch requires app, workload and instance", http.StatusBadRequest)
+		return
+	}
+	sh := s.shard(profilestore.Key{App: app, Workload: workload})
+	sh.mu.Lock()
+	ev, err := s.loadEvidenceLocked(sh)
+	var p *analyzer.Profile
+	var st profilestore.Stamp
+	if err == nil {
+		p, st = ev[instance], sh.stamps[instance]
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if p == nil {
+		s.dropIfEmpty(sh)
+		http.Error(w, fmt.Sprintf("planserver: no evidence for %s/%s from %s", app, workload, instance), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(syncDoc{Instance: instance, Stamp: st, Profile: p})
+}
+
+func (s *Server) serveSyncDigest(w http.ResponseWriter) {
+	if err := s.ensureSyncScan(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.shardMu.RLock()
+	shards := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	s.shardMu.RUnlock()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].key.String() < shards[j].key.String() })
+	d := syncDigest{Daemon: s.selfID, Keys: []syncKeyDigest{}}
+	for _, sh := range shards {
+		sh.mu.Lock()
+		kd := syncKeyDigest{App: sh.key.App, Workload: sh.key.Workload}
+		for inst := range sh.evidence {
+			kd.Docs = append(kd.Docs, syncDocStamp{Instance: inst, Stamp: sh.stamps[inst]})
+		}
+		sort.Slice(kd.Docs, func(i, j int) bool { return kd.Docs[i].Instance < kd.Docs[j].Instance })
+		if s.ro != nil && sh.roll != nil {
+			kd.Quarantined = sh.roll.Snapshot().Quarantined
+		}
+		sh.mu.Unlock()
+		if len(kd.Docs) == 0 && len(kd.Quarantined) == 0 {
+			continue
+		}
+		d.Keys = append(d.Keys, kd)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d)
+}
+
+// SyncPeers runs one anti-entropy pass: pull every peer's digest, fetch
+// and apply each document whose stamp beats the local one, and union the
+// peers' quarantine sets. Returns the number of documents applied. A peer
+// that cannot be reached (or answers garbage) counts one sync error and
+// is skipped — anti-entropy is retried forever, so a missed pass costs
+// only staleness. Safe to call concurrently with serving; a no-peer
+// server returns 0 immediately.
+func (s *Server) SyncPeers() int {
+	if len(s.peers) == 0 {
+		return 0
+	}
+	total := 0
+	for _, peer := range s.peers {
+		at := s.opts.Now()
+		pulled, err := s.syncPeer(peer)
+		total += pulled
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+			s.peerSyncErrs.Inc()
+		} else {
+			s.peerSyncs.Inc()
+		}
+		if s.opts.Tracer.Enabled() {
+			s.opts.Tracer.EventAt(at, "planserver", "peer_sync",
+				trace.String("peer", peer),
+				trace.String("outcome", outcome),
+				trace.Int64("pulled", int64(pulled)))
+		}
+	}
+	// The divergence gauge is how far behind the last pass found us: the
+	// number of documents we had to pull. Zero at fixpoint.
+	s.peerDivergence.Set(int64(total))
+	return total
+}
+
+func (s *Server) syncPeer(peer string) (pulled int, err error) {
+	digest, err := s.fetchDigest(peer)
+	if err != nil {
+		return 0, err
+	}
+	for _, kd := range digest.Keys {
+		k := profilestore.Key{App: kd.App, Workload: kd.Workload}
+		if k.App == "" || k.Workload == "" {
+			return pulled, fmt.Errorf("planserver: peer digest names a key without labels")
+		}
+		if s.ro != nil && len(kd.Quarantined) > 0 {
+			if err := s.applyPeerQuarantine(k, kd.Quarantined); err != nil {
+				return pulled, err
+			}
+		}
+		for _, ds := range kd.Docs {
+			if ds.Stamp.IsZero() {
+				continue // legacy (unstamped) documents never replicate
+			}
+			if !s.needDoc(k, ds) {
+				continue
+			}
+			doc, err := s.fetchDoc(peer, k, ds.Instance)
+			if err != nil {
+				return pulled, err
+			}
+			if doc == nil {
+				continue // the document vanished on the peer between digest and fetch
+			}
+			n, err := s.applySyncDoc(k, doc)
+			if err != nil {
+				return pulled, err
+			}
+			pulled += n
+		}
+	}
+	return pulled, nil
+}
+
+// needDoc reports whether the advertised stamp strictly beats the local
+// document's — the pull predicate. Equal stamps identify the same write
+// (stamps are unique per write: origin disambiguates daemons, and each
+// daemon's sequence strictly advances), so only strictly-greater pulls.
+func (s *Server) needDoc(k profilestore.Key, ds syncDocStamp) bool {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, err := s.loadEvidenceLocked(sh); err != nil {
+		return false // the apply path would fail too; skip this pass
+	}
+	return sh.stamps[ds.Instance].Less(ds.Stamp)
+}
+
+func (s *Server) fetchDigest(peer string) (*syncDigest, error) {
+	resp, err := s.peerClient.Get(peer + "/v1/sync")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+		return nil, fmt.Errorf("planserver: peer digest status %d from %s", resp.StatusCode, peer)
+	}
+	var d syncDigest
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("planserver: decoding peer digest from %s: %w", peer, err)
+	}
+	return &d, nil
+}
+
+// fetchDoc pulls one evidence document and validates it exactly as the
+// upload path would: a peer is trusted no further than a fleet instance.
+// A 404 returns (nil, nil) — the document moved on.
+func (s *Server) fetchDoc(peer string, k profilestore.Key, instance string) (*syncDoc, error) {
+	u := peer + "/v1/sync?app=" + url.QueryEscape(k.App) +
+		"&workload=" + url.QueryEscape(k.Workload) +
+		"&instance=" + url.QueryEscape(instance)
+	resp, err := s.peerClient.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+		return nil, fmt.Errorf("planserver: peer document status %d from %s", resp.StatusCode, peer)
+	}
+	var doc syncDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("planserver: decoding peer document from %s: %w", peer, err)
+	}
+	switch {
+	case doc.Instance != instance || doc.Instance == "" || len(doc.Instance) > 128:
+		return nil, fmt.Errorf("planserver: peer document instance mismatch from %s", peer)
+	case doc.Stamp.IsZero():
+		return nil, fmt.Errorf("planserver: peer document carries no stamp from %s", peer)
+	case doc.Profile == nil || doc.Profile.App != k.App || doc.Profile.Workload != k.Workload:
+		return nil, fmt.Errorf("planserver: peer document key mismatch from %s", peer)
+	}
+	if err := doc.Profile.Validate(); err != nil {
+		return nil, fmt.Errorf("planserver: invalid peer document from %s: %w", peer, err)
+	}
+	if err := checkEvidence(doc.Profile); err != nil {
+		return nil, fmt.Errorf("planserver: inconsistent peer document from %s: %w", peer, err)
+	}
+	return &doc, nil
+}
+
+// applySyncDoc installs a pulled document through the normal merge
+// pipeline. The stamp comparison re-runs under the shard lock — a direct
+// upload or another pull may have advanced the local document since the
+// digest — and the remote stamp is adopted verbatim: replication moves
+// documents, it never re-versions them.
+func (s *Server) applySyncDoc(k profilestore.Key, doc *syncDoc) (int, error) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	ev, err := s.loadEvidenceLocked(sh)
+	if err != nil {
+		sh.mu.Unlock()
+		return 0, err
+	}
+	if !sh.stamps[doc.Instance].Less(doc.Stamp) {
+		sh.mu.Unlock()
+		return 0, nil
+	}
+	if err := s.store.PutEvidenceStamped(doc.Instance, doc.Stamp, doc.Profile); err != nil {
+		sh.mu.Unlock()
+		return 0, err
+	}
+	ev[doc.Instance] = doc.Profile
+	sh.stamps[doc.Instance] = doc.Stamp
+	sh.dirty++
+	if sh.instGauge == nil {
+		sh.instGauge = s.reg.Gauge(metrics.LabelName("evidence_instances",
+			metrics.Label{Key: "app", Value: k.App},
+			metrics.Label{Key: "workload", Value: k.Workload}))
+	}
+	sh.instGauge.Set(int64(len(ev)))
+	launch := s.ensureWorkerLocked(sh)
+	sh.mu.Unlock()
+	s.peerDocsApplied.Inc()
+	if launch != nil {
+		launch()
+	}
+	return 1, nil
+}
+
+// applyPeerQuarantine unions a peer's quarantined ETags into the key's
+// tracker. The union is monotone, so replication can only ever add
+// rollback knowledge — a stale peer cannot resurrect a quarantined plan.
+// Dropping a locally staged candidate records a "peer_quarantine"
+// transition (the rollback was decided — and counted — on the peer).
+func (s *Server) applyPeerQuarantine(k profilestore.Key, etags []string) error {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := s.restoreRolloutLocked(sh); err != nil {
+		return err
+	}
+	from := sh.roll.State()
+	cand := sh.roll.CandidateETag()
+	added, dropped := sh.roll.AddQuarantined(etags)
+	if added == 0 && !dropped {
+		return nil
+	}
+	if dropped {
+		sh.cand, sh.candProf = nil, nil
+	} else {
+		cand = ""
+	}
+	if err := s.persistRolloutLocked(sh); err != nil {
+		return err
+	}
+	s.recordTransition(sh, RolloutTransition{
+		Kind: "peer_quarantine", From: from, To: sh.roll.State(), ETag: cand,
+	}, trace.Int64("added", int64(added)))
+	return nil
+}

@@ -1,0 +1,464 @@
+package planserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"polm2/internal/profilestore"
+	"polm2/internal/rollout"
+)
+
+// newPeerServer builds a replication-enabled server: SelfID stamps its
+// uploads, and peers (when any) are pulled on demand via SyncPeers.
+func newPeerServer(t *testing.T, id string, peers ...string) (*Server, *httptest.Server, *profilestore.Store) {
+	t.Helper()
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{SyncMerges: true, SelfID: id, Peers: peers})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, store
+}
+
+func fetchDigestJSON(t *testing.T, url string) syncDigest {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("digest fetch = %d, want 200", resp.StatusCode)
+	}
+	var d syncDigest
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Upload stamping: every accepted upload strictly advances the instance's
+// sequence, the client's own sequence header can push it further, and the
+// assigned stamp is reported back — but only when the daemon has an id.
+func TestUploadStampAdvances(t *testing.T) {
+	_, ts, _ := newPeerServer(t, "daemon-0")
+
+	resp := postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 5)))
+	resp.Body.Close()
+	if got := resp.Header.Get(EvidenceStampHeader); got != "1@daemon-0" {
+		t.Fatalf("first upload stamp = %q, want 1@daemon-0", got)
+	}
+
+	resp = postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 6)))
+	resp.Body.Close()
+	if got := resp.Header.Get(EvidenceStampHeader); got != "2@daemon-0" {
+		t.Fatalf("second upload stamp = %q, want 2@daemon-0", got)
+	}
+
+	// A client-supplied sequence ahead of the local one is adopted, and a
+	// stale one cannot move the stamp backwards.
+	if got := postWithSeq(t, ts.URL, "inst-1", "10"); got != "10@daemon-0" {
+		t.Fatalf("client-seq upload stamp = %q, want 10@daemon-0", got)
+	}
+	if got := postWithSeq(t, ts.URL, "inst-1", "3"); got != "11@daemon-0" {
+		t.Fatalf("stale client-seq upload stamp = %q, want 11@daemon-0", got)
+	}
+}
+
+// postWithSeq uploads evidence carrying the client's own sequence header
+// and returns the stamp the daemon assigned.
+func postWithSeq(t *testing.T, url, instance, seq string) string {
+	t.Helper()
+	body, err := json.Marshal(evidence("Cassandra", "WI", site("A.a:1", 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url+"/v1/evidence", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(InstanceHeader, instance)
+	req.Header.Set(EvidenceSeqHeader, seq)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seq upload = %d, want 200", resp.StatusCode)
+	}
+	return resp.Header.Get(EvidenceStampHeader)
+}
+
+// An unreplicated server (no SelfID) keeps its upload responses
+// byte-identical to a pre-replication build: no stamp header.
+func TestUploadNoStampWithoutSelfID(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp := postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 5)))
+	resp.Body.Close()
+	if got := resp.Header.Get(EvidenceStampHeader); got != "" {
+		t.Fatalf("unreplicated upload carries stamp header %q, want none", got)
+	}
+	if _, ok := resp.Header["X-Polm2-Evidence-Stamp"]; ok {
+		t.Fatal("unreplicated upload response includes the stamp header key")
+	}
+}
+
+// The digest advertises every key and document with its stamp, sorted.
+func TestSyncDigest(t *testing.T) {
+	_, ts, _ := newPeerServer(t, "daemon-0")
+	postEvidence(t, ts.URL, "inst-2", evidence("Cassandra", "WI", site("A.a:1", 5))).Body.Close()
+	postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 6))).Body.Close()
+	postEvidence(t, ts.URL, "inst-1", evidence("App0", "w", site("B.b:2", 7))).Body.Close()
+
+	d := fetchDigestJSON(t, ts.URL)
+	if d.Daemon != "daemon-0" {
+		t.Fatalf("digest daemon = %q, want daemon-0", d.Daemon)
+	}
+	if len(d.Keys) != 2 {
+		t.Fatalf("digest has %d keys, want 2: %+v", len(d.Keys), d.Keys)
+	}
+	// Keys sort by String(): App0/w before Cassandra/WI.
+	if d.Keys[0].App != "App0" || d.Keys[1].App != "Cassandra" {
+		t.Fatalf("digest key order = %s, %s", d.Keys[0].App, d.Keys[1].App)
+	}
+	cass := d.Keys[1]
+	if len(cass.Docs) != 2 || cass.Docs[0].Instance != "inst-1" || cass.Docs[1].Instance != "inst-2" {
+		t.Fatalf("Cassandra docs = %+v, want inst-1 then inst-2", cass.Docs)
+	}
+	if got := cass.Docs[0].Stamp.String(); got != "1@daemon-0" {
+		t.Fatalf("inst-1 stamp = %s, want 1@daemon-0", got)
+	}
+}
+
+// The single-document mode returns the stored profile and stamp; partial
+// parameters are a client error and unknown documents are 404.
+func TestSyncDocFetch(t *testing.T) {
+	_, ts, _ := newPeerServer(t, "daemon-0")
+	postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 5))).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/sync?app=Cassandra&workload=WI&instance=inst-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc syncDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Instance != "inst-1" || doc.Stamp.String() != "1@daemon-0" || doc.Profile == nil {
+		t.Fatalf("sync doc = %+v", doc)
+	}
+	if doc.Profile.App != "Cassandra" || len(doc.Profile.Sites) != 1 {
+		t.Fatalf("sync doc profile = %+v", doc.Profile)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/sync?app=Cassandra&workload=WI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial params = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/sync?app=Cassandra&workload=WI&instance=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown instance = %d, want 404", resp.StatusCode)
+	}
+}
+
+// Two daemons, one upload each, one anti-entropy pass each way: both end
+// serving the identical merged plan, the pulled stamps are adopted
+// verbatim, and a repeat pass pulls nothing.
+func TestSyncPeersConverge(t *testing.T) {
+	// A is built against a placeholder peer (B's URL does not exist yet);
+	// the pair is closed once both listeners are up.
+	srvA, tsA, _ := newPeerServer(t, "daemon-0", "http://placeholder.invalid")
+	srvB, tsB, _ := newPeerServer(t, "daemon-1", tsA.URL)
+	srvA.peers = []string{tsB.URL}
+
+	postEvidence(t, tsA.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 5))).Body.Close()
+	postEvidence(t, tsB.URL, "inst-2", evidence("Cassandra", "WI", site("B.b:2", 9))).Body.Close()
+
+	if n := srvB.SyncPeers(); n != 1 {
+		t.Fatalf("B first pass pulled %d, want 1", n)
+	}
+	if n := srvA.SyncPeers(); n != 1 {
+		t.Fatalf("A first pass pulled %d, want 1", n)
+	}
+	srvA.Flush()
+	srvB.Flush()
+
+	ea := srvA.PlanETag("Cassandra", "WI")
+	eb := srvB.PlanETag("Cassandra", "WI")
+	if ea == "" || ea != eb {
+		t.Fatalf("plans diverge after sync: A=%s B=%s", ea, eb)
+	}
+
+	// B holds A's document under A's stamp, untouched by the pull.
+	d := fetchDigestJSON(t, tsB.URL)
+	if len(d.Keys) != 1 || len(d.Keys[0].Docs) != 2 {
+		t.Fatalf("B digest after sync = %+v", d.Keys)
+	}
+	if got := d.Keys[0].Docs[0].Stamp.String(); got != "1@daemon-0" {
+		t.Fatalf("B's copy of inst-1 stamped %s, want 1@daemon-0", got)
+	}
+
+	// Fixpoint: nothing left to pull, divergence gauge at zero.
+	if n := srvB.SyncPeers(); n != 0 {
+		t.Fatalf("B second pass pulled %d, want 0", n)
+	}
+	if v := srvB.Metrics().Gauge("peer_divergence_gauge").Value(); v != 0 {
+		t.Fatalf("divergence gauge = %d, want 0", v)
+	}
+	if v := srvB.Metrics().Counter("peer_sync_total").Value(); v != 2 {
+		t.Fatalf("peer_sync_total = %d, want 2", v)
+	}
+	if v := srvB.Metrics().Counter("peer_docs_applied_total").Value(); v != 1 {
+		t.Fatalf("peer_docs_applied_total = %d, want 1", v)
+	}
+}
+
+// A conflicting instance (same id written on both daemons) resolves to the
+// stamp-order winner on both sides — last write wins, deterministically.
+func TestSyncPeersLastWriteWins(t *testing.T) {
+	srvA, tsA, _ := newPeerServer(t, "daemon-0", "http://placeholder.invalid")
+	srvB, tsB, _ := newPeerServer(t, "daemon-1", tsA.URL)
+	srvA.peers = []string{tsB.URL}
+
+	// inst-1 writes once to A (seq 1), twice to B (seq 2 wins).
+	postEvidence(t, tsA.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 5))).Body.Close()
+	postEvidence(t, tsB.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 6))).Body.Close()
+	postEvidence(t, tsB.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 7))).Body.Close()
+
+	if n := srvB.SyncPeers(); n != 0 {
+		t.Fatalf("B pulled %d, want 0 (its seq 2 beats A's seq 1)", n)
+	}
+	if n := srvA.SyncPeers(); n != 1 {
+		t.Fatalf("A pulled %d, want 1 (B's seq 2 beats its seq 1)", n)
+	}
+	srvA.Flush()
+	srvB.Flush()
+	if ea, eb := srvA.PlanETag("Cassandra", "WI"), srvB.PlanETag("Cassandra", "WI"); ea != eb || ea == "" {
+		t.Fatalf("winner plans diverge: A=%s B=%s", ea, eb)
+	}
+	d := fetchDigestJSON(t, tsA.URL)
+	if got := d.Keys[0].Docs[0].Stamp.String(); got != "2@daemon-1" {
+		t.Fatalf("A's winner stamp = %s, want 2@daemon-1", got)
+	}
+}
+
+// A freshly constructed server over an existing store advertises the
+// persisted evidence without having served a single request — the digest
+// path performs the cold-restart store scan itself.
+func TestSyncDigestColdRestart(t *testing.T) {
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := New(store, Options{SyncMerges: true, SelfID: "daemon-0"})
+	ts := httptest.NewServer(first)
+	postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 5))).Body.Close()
+	ts.Close()
+
+	second := New(store, Options{SyncMerges: true, SelfID: "daemon-0"})
+	ts2 := httptest.NewServer(second)
+	defer ts2.Close()
+	d := fetchDigestJSON(t, ts2.URL)
+	if len(d.Keys) != 1 || len(d.Keys[0].Docs) != 1 {
+		t.Fatalf("cold-restart digest = %+v, want the persisted key", d.Keys)
+	}
+	if got := d.Keys[0].Docs[0].Stamp.String(); got != "1@daemon-0" {
+		t.Fatalf("cold-restart stamp = %s, want 1@daemon-0 (persisted, not re-derived)", got)
+	}
+}
+
+// Legacy (unstamped) documents appear in the digest with the zero stamp
+// and are never pulled by a peer.
+func TestSyncSkipsLegacyDocs(t *testing.T) {
+	srvA, tsA, storeA := newPeerServer(t, "daemon-0")
+	_ = srvA
+	p := evidence("Cassandra", "WI", site("A.a:1", 5))
+	if err := storeA.PutEvidence("inst-legacy", p); err != nil {
+		t.Fatal(err)
+	}
+
+	srvB, _, _ := newPeerServer(t, "daemon-1", tsA.URL)
+	if n := srvB.SyncPeers(); n != 0 {
+		t.Fatalf("B pulled %d legacy docs, want 0", n)
+	}
+	if v := srvB.Metrics().Counter("peer_sync_error_total").Value(); v != 0 {
+		t.Fatalf("legacy skip counted %d sync errors, want 0", v)
+	}
+}
+
+// An unreachable peer costs one sync error and nothing else; the pass as
+// a whole still completes.
+func TestSyncPeerUnreachable(t *testing.T) {
+	srv, _, _ := newPeerServer(t, "daemon-1", "http://127.0.0.1:1")
+	if n := srv.SyncPeers(); n != 0 {
+		t.Fatalf("unreachable peer pulled %d, want 0", n)
+	}
+	if v := srv.Metrics().Counter("peer_sync_error_total").Value(); v != 1 {
+		t.Fatalf("peer_sync_error_total = %d, want 1", v)
+	}
+	if v := srv.Metrics().Counter("peer_sync_total").Value(); v != 0 {
+		t.Fatalf("peer_sync_total = %d, want 0", v)
+	}
+}
+
+// A peer serving garbage digests is an error, and a peer serving a doc
+// that fails upload-grade validation is rejected without being applied.
+func TestSyncRejectsInvalidPeerDoc(t *testing.T) {
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.RawQuery == "" {
+			// Digest advertising one stamped doc.
+			json.NewEncoder(w).Encode(syncDigest{Daemon: "evil", Keys: []syncKeyDigest{{
+				App: "Cassandra", Workload: "WI",
+				Docs: []syncDocStamp{{Instance: "inst-1", Stamp: profilestore.Stamp{Seq: 9, Origin: "evil"}}},
+			}}})
+			return
+		}
+		// The doc itself claims a different key than advertised.
+		json.NewEncoder(w).Encode(syncDoc{
+			Instance: "inst-1",
+			Stamp:    profilestore.Stamp{Seq: 9, Origin: "evil"},
+			Profile:  evidence("Other", "x", site("A.a:1", 5)),
+		})
+	}))
+	defer evil.Close()
+
+	srv, _, _ := newPeerServer(t, "daemon-1", evil.URL)
+	if n := srv.SyncPeers(); n != 0 {
+		t.Fatalf("invalid peer doc applied %d, want 0", n)
+	}
+	if v := srv.Metrics().Counter("peer_sync_error_total").Value(); v != 1 {
+		t.Fatalf("peer_sync_error_total = %d, want 1", v)
+	}
+	if v := srv.Metrics().Counter("peer_docs_applied_total").Value(); v != 0 {
+		t.Fatalf("peer_docs_applied_total = %d, want 0", v)
+	}
+}
+
+// A peer's quarantine set unions in during sync: a staged local candidate
+// matching a quarantined ETag is dropped with a peer_quarantine transition,
+// the local rollback counter stays untouched (the decision was counted on
+// the peer), and a stale repeat of the same digest changes nothing.
+func TestSyncQuarantinePropagates(t *testing.T) {
+	store, err := profilestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rollout.Config{CanaryFraction: 0.5, MinReports: 1, RegressionPct: 10, Seed: 42}
+	quarantined := ""
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(syncDigest{Daemon: "daemon-0", Keys: []syncKeyDigest{{
+			App: "Cassandra", Workload: "WI", Quarantined: []string{quarantined},
+		}}})
+	}))
+	defer peer.Close()
+
+	srv := New(store, Options{SyncMerges: true, Rollout: &cfg, SelfID: "daemon-1", Peers: []string{peer.URL}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Adopt a stable plan, then stage a candidate canary.
+	postEvidence(t, ts.URL, "inst-1", evidence("Cassandra", "WI", site("A.a:1", 5))).Body.Close()
+	postEvidence(t, ts.URL, "inst-2", evidence("Cassandra", "WI", site("B.b:2", 9))).Body.Close()
+	canary, outside := splitCohort(cfg, "inst-1", "inst-2")
+	candidate := planETagFor(t, ts.URL, canary)
+	stable := planETagFor(t, ts.URL, outside)
+	if candidate == stable {
+		t.Fatalf("no candidate staged: canary and outside both see %s", stable)
+	}
+
+	// The peer announces the candidate was rolled back elsewhere.
+	quarantined = candidate
+	srv.SyncPeers()
+
+	snap, ok := srv.RolloutSnapshot("Cassandra", "WI")
+	if !ok {
+		t.Fatal("no rollout snapshot after sync")
+	}
+	if snap.State != rollout.StateRolledBack.String() || snap.CandidateETag != "" {
+		t.Fatalf("after peer quarantine: state=%v candidate=%q, want rolled_back with no candidate", snap.State, snap.CandidateETag)
+	}
+	found := false
+	for _, q := range snap.Quarantined {
+		if q == candidate {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("candidate %s missing from quarantine set %v", candidate, snap.Quarantined)
+	}
+	// The cohort member is back on the stable plan.
+	if got := planETagFor(t, ts.URL, canary); got != stable {
+		t.Fatalf("cohort member still sees %s after quarantine, want stable %s", got, stable)
+	}
+	// The rollback was decided (and counted) on the peer, not here.
+	if v := srv.Metrics().Counter("rollout_rollbacks_total").Value(); v != 0 {
+		t.Fatalf("rollout_rollbacks_total = %d, want 0", v)
+	}
+	trs := srv.RolloutTransitions()
+	last := trs[len(trs)-1]
+	if last.Kind != "peer_quarantine" || last.ETag != candidate {
+		t.Fatalf("last transition = %+v, want peer_quarantine of %s", last, candidate)
+	}
+
+	// Idempotent: the same stale digest neither transitions nor resurrects.
+	before := len(trs)
+	srv.SyncPeers()
+	if got := len(srv.RolloutTransitions()); got != before {
+		t.Fatalf("stale quarantine digest recorded %d new transitions", got-before)
+	}
+}
+
+// Peer metrics exist only on a server configured with peers; an
+// unreplicated server's exposition stays byte-identical.
+func TestPeerMetricsGated(t *testing.T) {
+	names := []string{"peer_sync_total", "peer_sync_error_total", "peer_docs_applied_total", "peer_divergence_gauge"}
+	plain, _, _ := newTestServer(t)
+	out := metricsText(t, plain)
+	for _, name := range names {
+		if hasMetricLine(out, name) {
+			t.Fatalf("unreplicated server exposes %s", name)
+		}
+	}
+	replicated, _, _ := newPeerServer(t, "daemon-0", "http://127.0.0.1:1")
+	out = metricsText(t, replicated)
+	for _, name := range names {
+		if !hasMetricLine(out, name) {
+			t.Fatalf("replicated server missing %s in exposition:\n%s", name, out)
+		}
+	}
+}
+
+func metricsText(t *testing.T, srv *Server) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metricsz", nil)
+	srv.ServeHTTP(rec, req)
+	return rec.Body.String()
+}
+
+func hasMetricLine(out, name string) bool {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, name) {
+			return true
+		}
+	}
+	return false
+}

@@ -303,9 +303,12 @@ func (s *Store) auditLocked() (*AuditReport, error) {
 
 // evidenceEntry is the on-disk form of one instance's evidence: the
 // uploaded profile plus the instance id it replaces-per, which the
-// sanitized file name cannot carry losslessly.
+// sanitized file name cannot carry losslessly. Stamp is the replication
+// version (see stamp.go); nil on documents written before replication
+// existed, which decode as the zero Stamp and lose every tiebreak.
 type evidenceEntry struct {
 	Instance string            `json:"instance"`
+	Stamp    *Stamp            `json:"stamp,omitempty"`
 	Profile  *analyzer.Profile `json:"profile"`
 }
 
@@ -355,6 +358,10 @@ func (s *Store) legacyEvidencePath(k Key, instance string) string {
 // last-write-wins-per-instance model that keeps fleet aggregation
 // idempotent under cumulative re-uploads and retried requests.
 func (s *Store) PutEvidence(instance string, p *analyzer.Profile) error {
+	return s.putEvidence(instance, nil, p)
+}
+
+func (s *Store) putEvidence(instance string, stamp *Stamp, p *analyzer.Profile) error {
 	if instance == "" {
 		return fmt.Errorf("profilestore: evidence must carry an instance id")
 	}
@@ -369,7 +376,7 @@ func (s *Store) PutEvidence(instance string, p *analyzer.Profile) error {
 	if err := os.MkdirAll(s.evidenceDir(), 0o755); err != nil {
 		return fmt.Errorf("profilestore: %w", err)
 	}
-	data, err := json.MarshalIndent(evidenceEntry{Instance: instance, Profile: p}, "", "  ")
+	data, err := json.MarshalIndent(evidenceEntry{Instance: instance, Stamp: stamp, Profile: p}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("profilestore: encoding evidence: %w", err)
 	}
@@ -455,15 +462,26 @@ func (s *Store) EvidenceInstances(app, workload string) ([]string, error) {
 // Evidence loads every instance's latest evidence for (app, workload),
 // keyed by instance id. A key with no evidence returns an empty map.
 func (s *Store) Evidence(app, workload string) (map[string]*analyzer.Profile, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	docs, err := s.EvidenceDocs(app, workload)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*analyzer.Profile, len(docs))
+	for instance, d := range docs {
+		out[instance] = d.Profile
+	}
+	return out, nil
+}
+
+// evidenceAllLocked scans every evidence document, validating each, and
+// groups the latest per (key, instance).
+func (s *Store) evidenceAllLocked() (map[Key]map[string]EvidenceDoc, error) {
 	paths, err := filepath.Glob(filepath.Join(s.evidenceDir(), "*.evidence.json"))
 	if err != nil {
 		return nil, fmt.Errorf("profilestore: %w", err)
 	}
-	k := Key{App: app, Workload: workload}
-	out := make(map[string]*analyzer.Profile)
-	modern := make(map[string]bool)
+	out := make(map[Key]map[string]EvidenceDoc)
+	modern := make(map[Key]map[string]bool)
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -479,18 +497,24 @@ func (s *Store) Evidence(app, workload string) (map[string]*analyzer.Profile, er
 		if err := e.Profile.Validate(); err != nil {
 			return nil, fmt.Errorf("profilestore: corrupt evidence %s: %w", filepath.Base(path), err)
 		}
-		if e.Profile.App != app || e.Profile.Workload != workload {
-			continue
-		}
+		k := Key{App: e.Profile.App, Workload: e.Profile.Workload}
 		// A crash between PutEvidence's write and its legacy retirement can
 		// leave both names on disk; the modern (key-fingerprinted) file is
 		// the newer write and must win regardless of glob order.
 		isModern := path == s.evidencePath(k, e.Instance)
-		if modern[e.Instance] && !isModern {
+		if modern[k][e.Instance] && !isModern {
 			continue
 		}
-		modern[e.Instance] = isModern
-		out[e.Instance] = e.Profile
+		if out[k] == nil {
+			out[k] = make(map[string]EvidenceDoc)
+			modern[k] = make(map[string]bool)
+		}
+		modern[k][e.Instance] = isModern
+		var st Stamp
+		if e.Stamp != nil {
+			st = *e.Stamp
+		}
+		out[k][e.Instance] = EvidenceDoc{Profile: e.Profile, Stamp: st}
 	}
 	return out, nil
 }

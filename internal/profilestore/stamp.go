@@ -1,0 +1,99 @@
+// Evidence stamps: the logical version carried by every replicated
+// evidence document. Each accepted upload advances the owning daemon's
+// per-(key, instance) sequence, so a stamp totally orders the writes one
+// daemon accepted; across daemons the origin id breaks ties
+// deterministically, which is what makes last-write-wins anti-entropy
+// (planserver GET /v1/sync) commutative — peers can apply the same set of
+// documents in any order and converge to the same winner per instance.
+package profilestore
+
+import (
+	"fmt"
+	"sort"
+
+	"polm2/internal/analyzer"
+)
+
+// Stamp is the logical version of one evidence document. The zero Stamp
+// marks a legacy (pre-replication) document and orders before every
+// stamped write.
+type Stamp struct {
+	// Seq is the daemon-assigned sequence. Every accepted direct upload
+	// strictly advances it past the previous document's stamp, so the
+	// sequence alone orders all writes a single daemon accepted.
+	Seq uint64 `json:"seq"`
+	// Origin is the accepting daemon's id, breaking cross-daemon ties
+	// lexicographically. Empty for a single (unreplicated) daemon.
+	Origin string `json:"origin"`
+}
+
+// IsZero reports whether the stamp is the legacy zero value.
+func (st Stamp) IsZero() bool { return st.Seq == 0 && st.Origin == "" }
+
+// Less orders stamps by sequence, then origin — the total order the
+// last-write-wins merge resolves conflicts with.
+func (st Stamp) Less(other Stamp) bool {
+	if st.Seq != other.Seq {
+		return st.Seq < other.Seq
+	}
+	return st.Origin < other.Origin
+}
+
+// String renders the stamp as seq@origin, the wire and display form.
+func (st Stamp) String() string { return fmt.Sprintf("%d@%s", st.Seq, st.Origin) }
+
+// EvidenceDoc is one instance's stored evidence with its stamp: what the
+// sync digest advertises and what a peer pulls.
+type EvidenceDoc struct {
+	Profile *analyzer.Profile
+	Stamp   Stamp
+}
+
+// PutEvidenceStamped stores one instance's evidence together with its
+// replication stamp. PutEvidence is the unstamped (legacy) form.
+func (s *Store) PutEvidenceStamped(instance string, stamp Stamp, p *analyzer.Profile) error {
+	var st *Stamp
+	if !stamp.IsZero() {
+		st = &stamp
+	}
+	return s.putEvidence(instance, st, p)
+}
+
+// EvidenceDocs loads every instance's latest evidence for (app, workload)
+// with stamps, keyed by instance id. Documents written before replication
+// existed carry the zero stamp.
+func (s *Store) EvidenceDocs(app, workload string) (map[string]EvidenceDoc, error) {
+	all, err := s.EvidenceAll()
+	if err != nil {
+		return nil, err
+	}
+	docs := all[Key{App: app, Workload: workload}]
+	if docs == nil {
+		docs = make(map[string]EvidenceDoc)
+	}
+	return docs, nil
+}
+
+// EvidenceAll scans the whole evidence directory and returns every stored
+// document grouped by key — the cold-restart seed for the sync digest,
+// which must advertise keys the daemon has not served since boot.
+func (s *Store) EvidenceAll() (map[Key]map[string]EvidenceDoc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evidenceAllLocked()
+}
+
+// EvidenceKeys lists every key with at least one evidence document,
+// sorted — the deterministic iteration order for digests and inspectors.
+func (s *Store) EvidenceKeys() ([]Key, error) {
+	all, err := s.EvidenceAll()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]Key, 0, len(all))
+	for k := range all {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys, nil
+}

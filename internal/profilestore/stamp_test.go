@@ -1,0 +1,170 @@
+package profilestore
+
+import (
+	"bytes"
+	"os"
+	"sort"
+	"testing"
+
+	"polm2/internal/analyzer"
+)
+
+func evProfile(app, workload string, n uint64) *analyzer.Profile {
+	return &analyzer.Profile{
+		App: app, Workload: workload, Generations: 1,
+		Sites: []analyzer.SiteStat{
+			{Trace: "App.serve:1;Worker.tick:9", Allocated: n, Buckets: []uint64{n}, Gen: 1},
+		},
+	}
+}
+
+func TestStampOrder(t *testing.T) {
+	cases := []struct {
+		a, b Stamp
+		less bool
+	}{
+		{Stamp{}, Stamp{Seq: 1}, true},                                         // zero loses to any write
+		{Stamp{Seq: 1, Origin: "b"}, Stamp{Seq: 2, Origin: "a"}, true},         // seq dominates origin
+		{Stamp{Seq: 3, Origin: "a"}, Stamp{Seq: 3, Origin: "b"}, true},         // origin breaks ties
+		{Stamp{Seq: 3, Origin: "b"}, Stamp{Seq: 3, Origin: "a"}, false},        // ...in one direction only
+		{Stamp{Seq: 5, Origin: "x"}, Stamp{Seq: 5, Origin: "x"}, false},        // irreflexive
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+	if !(Stamp{}).IsZero() || (Stamp{Seq: 1}).IsZero() || (Stamp{Origin: "d"}).IsZero() {
+		t.Error("IsZero misclassifies")
+	}
+	if got := (Stamp{Seq: 7, Origin: "daemon-1"}).String(); got != "7@daemon-1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPutEvidenceStampedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stamp{Seq: 3, Origin: "daemon-0"}
+	if err := s.PutEvidenceStamped("inst-1", st, evProfile("App", "w", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutEvidence("inst-2", evProfile("App", "w", 20)); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := s.EvidenceDocs("App", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("EvidenceDocs returned %d docs, want 2", len(docs))
+	}
+	if got := docs["inst-1"].Stamp; got != st {
+		t.Errorf("stamped doc round-tripped stamp %v, want %v", got, st)
+	}
+	if got := docs["inst-2"].Stamp; !got.IsZero() {
+		t.Errorf("unstamped doc carries stamp %v, want zero", got)
+	}
+	// The unstamped write must not serialize a stamp field at all: the
+	// on-disk bytes of a replication-off daemon's store are unchanged.
+	raw, err := os.ReadFile(s.evidencePath(Key{App: "App", Workload: "w"}, "inst-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte(`"stamp"`)) {
+		t.Errorf("unstamped evidence file contains a stamp field:\n%s", raw)
+	}
+	// Evidence (the unstamped view) still sees both.
+	ev, err := s.Evidence("App", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 || ev["inst-1"].Sites[0].Allocated != 10 {
+		t.Fatalf("Evidence view inconsistent: %v", ev)
+	}
+}
+
+// TestPutEvidenceStampedZeroStamp proves the zero stamp is treated as
+// "legacy": PutEvidenceStamped with a zero stamp writes the same document
+// PutEvidence would.
+func TestPutEvidenceStampedZeroStamp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutEvidenceStamped("inst-1", Stamp{}, evProfile("App", "w", 5)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.evidencePath(Key{App: "App", Workload: "w"}, "inst-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte(`"stamp"`)) {
+		t.Errorf("zero-stamp evidence file contains a stamp field:\n%s", raw)
+	}
+}
+
+func TestEvidenceAllGroupsByKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any evidence: empty map, no error; EvidenceDocs empty non-nil.
+	all, err := s.EvidenceAll()
+	if err != nil || len(all) != 0 {
+		t.Fatalf("empty store EvidenceAll = %v, %v", all, err)
+	}
+	docs, err := s.EvidenceDocs("App0", "w")
+	if err != nil || docs == nil || len(docs) != 0 {
+		t.Fatalf("empty store EvidenceDocs = %v, %v", docs, err)
+	}
+	puts := []struct {
+		app, inst string
+		seq       uint64
+	}{
+		{"App0", "inst-0", 1},
+		{"App0", "inst-2", 2},
+		{"App1", "inst-1", 1},
+		{"App1", "inst-0", 4}, // same instance id under a second key
+	}
+	for _, p := range puts {
+		st := Stamp{Seq: p.seq, Origin: "daemon-0"}
+		if err := s.PutEvidenceStamped(p.inst, st, evProfile(p.app, "w", p.seq*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err = s.EvidenceAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("EvidenceAll holds %d keys, want 2", len(all))
+	}
+	k0 := Key{App: "App0", Workload: "w"}
+	k1 := Key{App: "App1", Workload: "w"}
+	if len(all[k0]) != 2 || len(all[k1]) != 2 {
+		t.Fatalf("per-key doc counts = %d/%d, want 2/2", len(all[k0]), len(all[k1]))
+	}
+	if got := all[k1]["inst-0"].Stamp.Seq; got != 4 {
+		t.Errorf("inst-0 under App1 has seq %d, want 4 (cross-key collision?)", got)
+	}
+	if got := all[k0]["inst-0"].Stamp.Seq; got != 1 {
+		t.Errorf("inst-0 under App0 has seq %d, want 1", got)
+	}
+	keys, err := s.EvidenceKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Key{k0, k1}
+	if len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+		t.Errorf("EvidenceKeys = %v, want %v", keys, want)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() }) {
+		t.Error("EvidenceKeys not sorted")
+	}
+}

@@ -1,0 +1,142 @@
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"polm2/internal/core"
+)
+
+// cohortOracle is the spec restated independently: rank every id by
+// core.DeriveSeed(seed, "rollout", id) ascending (ties by id) and take the
+// first max(1, ceil(fraction*N)).
+func cohortOracle(seed int64, ids []string, fraction float64) map[string]bool {
+	if len(ids) == 0 {
+		return map[string]bool{}
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool {
+		hi := uint64(core.DeriveSeed(seed, "rollout", sorted[i]))
+		hj := uint64(core.DeriveSeed(seed, "rollout", sorted[j]))
+		if hi != hj {
+			return hi < hj
+		}
+		return sorted[i] < sorted[j]
+	})
+	k := int(math.Ceil(fraction * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := make(map[string]bool, k)
+	for _, id := range sorted[:k] {
+		out[id] = true
+	}
+	return out
+}
+
+// TestCohortFractionMonotone: the K% cohort is a superset of the (K-1)%
+// cohort at every fleet size — growing the fraction only ever adds
+// members, because the rank order is fixed and the cohort is its prefix.
+func TestCohortFractionMonotone(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 32, 100} {
+		ids := fleet(n)
+		prev := map[string]bool{}
+		for k := 1; k <= 100; k++ {
+			cur := Cohort(7, ids, float64(k)/100)
+			for id := range prev {
+				if !cur[id] {
+					t.Fatalf("n=%d: %s in %d%% cohort but not in %d%% cohort", n, id, k-1, k)
+				}
+			}
+			if want := int(math.Ceil(float64(k) / 100 * float64(n))); len(cur) != max(1, want) {
+				t.Fatalf("n=%d k=%d%%: cohort size %d, want max(1, %d)", n, k, len(cur), want)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestCohortMatchesOracle: the implementation agrees with the
+// independently restated hash-rank spec across seeds and fractions.
+func TestCohortMatchesOracle(t *testing.T) {
+	ids := fleet(24)
+	for _, seed := range []int64{1, 7, 42} {
+		for _, f := range []float64{0.01, 0.25, 0.5, 0.99, 1} {
+			got := Cohort(seed, ids, f)
+			want := cohortOracle(seed, ids, f)
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d f=%v: size %d, want %d", seed, f, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("seed=%d f=%v: oracle member %s missing", seed, f, id)
+				}
+			}
+		}
+	}
+}
+
+// TestCohortJoinStability: membership is stable under fleet growth. A
+// joining id never reshuffles the survivors — its hash rank slots it into
+// the fixed order, so at most the boundary member is displaced, and when
+// the joiner ranks outside the cohort the old cohort carries over whole.
+func TestCohortJoinStability(t *testing.T) {
+	const frac = 0.25
+	ids := fleet(16)
+	before := Cohort(42, ids, frac)
+	for j := 16; j < 48; j++ {
+		joined := append(append([]string(nil), ids...), fmt.Sprintf("inst-%d", j))
+		after := Cohort(42, joined, frac)
+		kept := 0
+		for id := range before {
+			if after[id] {
+				kept++
+			}
+		}
+		if kept < len(before)-1 {
+			t.Fatalf("join of inst-%d displaced %d existing members, want at most 1", j, len(before)-kept)
+		}
+		if !after[fmt.Sprintf("inst-%d", j)] && kept != len(before) {
+			t.Fatalf("join of inst-%d stayed outside the cohort yet displaced a member", j)
+		}
+	}
+}
+
+// TestCohortEmptyFleet: no instances means no cohort — an empty non-nil
+// map, never a panic and never a phantom member.
+func TestCohortEmptyFleet(t *testing.T) {
+	got := Cohort(1, nil, 0.25)
+	if got == nil || len(got) != 0 {
+		t.Fatalf("Cohort(empty fleet) = %v, want empty map", got)
+	}
+	got = Cohort(1, []string{}, 1)
+	if got == nil || len(got) != 0 {
+		t.Fatalf("Cohort(empty slice) = %v, want empty map", got)
+	}
+}
+
+// TestCohortDegenerateFractions: out-of-range fractions clamp instead of
+// panicking or emptying the cohort.
+func TestCohortDegenerateFractions(t *testing.T) {
+	ids := fleet(8)
+	for _, f := range []float64{-1, 0, math.NaN()} {
+		if got := Cohort(1, ids, f); len(got) != 2 { // clamps to the 0.25 default
+			t.Errorf("Cohort(f=%v) size %d, want 2", f, len(got))
+		}
+	}
+	if got := Cohort(1, ids, 99); len(got) != len(ids) {
+		t.Errorf("Cohort(f=99) size %d, want %d", len(got), len(ids))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package rollout
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Seed documents for both fuzz targets: the valid shapes the planserver
+// feedback handler sees in the smoke script and e2e tests, plus the edge
+// shapes Validate guards against. The nightly fuzz job (fuzz.yml) explores
+// from here; PR-time runs just replay the corpus.
+var reportSeeds = []string{
+	`{"app":"Cassandra","workload":"WI","etag":"\"abc\"","window_start_ns":0,"window_end_ns":60000000000,"pauses":8,"pause_p50_ns":6000000,"pause_p99_ns":15000000,"promotion_rate":0.2,"survivor_rate":0.8}`,
+	`{"app":"App0","workload":"w","etag":"\"e1\"","pauses":0,"pause_p50_ns":0,"pause_p99_ns":0,"promotion_rate":0,"survivor_rate":0}`,
+	`{"app":"","workload":"w","etag":"\"e\""}`,
+	`{"app":"a","workload":"w","etag":"\"e\"","window_start_ns":10,"window_end_ns":5}`,
+	`{"app":"a","workload":"w","etag":"\"e\"","pauses":-1}`,
+	`{"app":"a","workload":"w","etag":"\"e\"","pause_p50_ns":20,"pause_p99_ns":10}`,
+	`{"app":"a","workload":"w","etag":"\"e\"","promotion_rate":1.5}`,
+	`{"app":"a","workload":"w","etag":"\"e\"","survivor_rate":-0.1}`,
+	`{}`,
+	`{"app":"a","workload":"w","etag":"\"e\"","unknown_field":1}`,
+	`not json at all`,
+	`{"app":"a","workload":"w","etag":"\"e\"","pauses":1e99}`,
+}
+
+// FuzzReportValidate hammers the lenient decode path: any byte string
+// that parses as a Report must validate without panicking, and a report
+// Validate accepts must re-encode and re-validate — the wire form is
+// stable under round trips.
+func FuzzReportValidate(f *testing.F) {
+	for _, s := range reportSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Report
+		if json.Unmarshal(data, &r) != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			return
+		}
+		// Accepted reports satisfy the documented field constraints.
+		if r.App == "" || r.Workload == "" || r.ETag == "" {
+			t.Fatalf("Validate accepted a report with empty identity: %+v", r)
+		}
+		if r.PauseP50 > r.PauseP99 || r.PauseP99 < 0 || r.Pauses < 0 {
+			t.Fatalf("Validate accepted inconsistent pause stats: %+v", r)
+		}
+		if !rateOK(r.PromotionRate) || !rateOK(r.SurvivorRate) {
+			t.Fatalf("Validate accepted out-of-range rate: %+v", r)
+		}
+		// Round trip: encode, strict-decode, validate again.
+		enc, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatalf("accepted report does not re-encode: %v", err)
+		}
+		var back Report
+		dec := json.NewDecoder(bytes.NewReader(enc))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&back); err != nil {
+			t.Fatalf("re-encoded report does not strict-decode: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped report fails validation: %v", err)
+		}
+		if back != r {
+			t.Fatalf("round trip changed the report: %+v -> %+v", r, back)
+		}
+	})
+}
+
+// FuzzFeedbackDecode mirrors the planserver feedback handler end to end:
+// strict decode (unknown fields rejected), Validate, then Record against a
+// live tracker in every state a handler can see one in. Whatever the
+// bytes, the tracker must neither panic nor leave its state machine.
+func FuzzFeedbackDecode(f *testing.F) {
+	for _, s := range reportSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rep Report
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if dec.Decode(&rep) != nil {
+			return
+		}
+		if rep.Validate() != nil {
+			return
+		}
+		for _, inCohort := range []bool{true, false} {
+			tr := NewTracker(Config{MinReports: 1})
+			tr.Observe(`"stable"`)
+			tr.Observe(rep.ETag) // maybe opens a canary on the fuzzed etag
+			out := tr.Record(&rep, inCohort)
+			if out.Decision != DecisionNone && out.Decision != DecisionPromote && out.Decision != DecisionRollback {
+				t.Fatalf("Record produced unknown decision %v", out.Decision)
+			}
+			switch tr.State() {
+			case StateStable, StateCanary, StatePromoting, StateRolledBack:
+			default:
+				t.Fatalf("tracker left the state machine: %v", tr.State())
+			}
+			// A decision clears the candidate; quarantined sets only grow.
+			if out.Decision != DecisionNone && tr.CandidateETag() != "" {
+				t.Fatalf("decision %v left a staged candidate %q", out.Decision, tr.CandidateETag())
+			}
+		}
+	})
+}

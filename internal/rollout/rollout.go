@@ -382,6 +382,36 @@ func Regressed(canaryP99, baselineP99 time.Duration, pct float64) bool {
 	return float64(canaryP99) > float64(baselineP99)*(1+pct/100)
 }
 
+// AddQuarantined unions peer-learned quarantined ETags into the tracker —
+// the replication path for rollback decisions. The quarantine set is
+// grow-only, so the union is commutative and idempotent and a stale peer
+// can never resurrect a rolled-back plan. When the staged candidate itself
+// arrives quarantined the canary is abandoned: the candidate is dropped
+// and the key pins back to stable, but the local rollback counter is NOT
+// advanced — the decision was made (and counted) on the peer that saw the
+// regression. The stable ETag is never dropped even if listed: serving
+// the last-good plan beats serving nothing, and the decision rule only
+// ever quarantines candidates, so a quarantined stable marks peer
+// disagreement to be resolved by the next merge, not a plan to withhold.
+func (t *Tracker) AddQuarantined(etags []string) (added int, droppedCandidate bool) {
+	for _, e := range etags {
+		if e == "" || t.quarantined[e] {
+			continue
+		}
+		t.quarantined[e] = true
+		added++
+	}
+	if t.candidateETag != "" && t.quarantined[t.candidateETag] {
+		t.candidateETag = ""
+		t.canary = side{}
+		t.baseline = side{}
+		t.lastObserved = "" // the next quarantined re-merge is a fresh event
+		t.state = StateRolledBack
+		droppedCandidate = true
+	}
+	return added, droppedCandidate
+}
+
 // Snapshot is the persistable image of a tracker. Feedback windows are
 // deliberately absent: after a restart the canary window starts over, so a
 // decision is never made on evidence the daemon cannot re-derive.

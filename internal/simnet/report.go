@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,6 +64,11 @@ type Report struct {
 	// the scenario meant to.
 	TaintedDelivered uint64
 
+	// Replication accounting, populated on multi-daemon runs: the daemon
+	// count and the anti-entropy counters summed across daemons.
+	Daemons                                  int
+	PeerSyncs, PeerSyncErrs, PeerDocsApplied uint64
+
 	// Rollout-mode accounting, populated when the run enabled the canary
 	// controller: the daemon's feedback and decision counters plus the
 	// per-key controller end state.
@@ -74,9 +80,13 @@ type Report struct {
 	Violations []string
 }
 
-// RolloutKeyReport is one key's rollout controller end state.
+// RolloutKeyReport is one key's rollout controller end state — one row
+// per daemon on a replicated run.
 type RolloutKeyReport struct {
-	Key         profilestore.Key
+	Key profilestore.Key
+	// Daemon names the replica this row reports; "" on single-daemon
+	// runs, which keeps their logs byte-identical.
+	Daemon      string
 	State       string
 	StableETag  string
 	Quarantined int
@@ -99,6 +109,10 @@ func (r *Report) Log() string {
 		r.SimTime, r.Events, r.Deliveries, r.Net.Refused, r.Net.Dropped, r.Net.Dup, r.Net.Stale, r.Net.Delayed, r.Net.Err5xx)
 	fmt.Fprintf(&b, "uploads=%d merges=%d coalesced=%d rejected=%d store_errors=%d tainted_max=%d\n",
 		r.Uploads, r.Merges, r.Coalesced, r.Rejected, r.StoreErrs, r.TaintedDelivered)
+	if r.Daemons > 1 {
+		fmt.Fprintf(&b, "replication: daemons=%d syncs=%d sync_errors=%d docs_applied=%d\n",
+			r.Daemons, r.PeerSyncs, r.PeerSyncErrs, r.PeerDocsApplied)
+	}
 	for _, k := range r.PerKey {
 		fmt.Fprintf(&b, "key %s: instances=%d uploads=%d converged=%d/%d etag=%s expected=%s\n",
 			k.Key, k.DistinctInstances, k.Uploads, k.Converged, k.Members,
@@ -108,8 +122,12 @@ func (r *Report) Log() string {
 		fmt.Fprintf(&b, "rollout: feedback=%d canaries=%d promotions=%d rollbacks=%d\n",
 			r.Feedback, r.Canaries, r.Promotions, r.Rollbacks)
 		for _, k := range r.Rollout {
+			name := k.Key.String()
+			if k.Daemon != "" {
+				name += "@" + k.Daemon
+			}
 			fmt.Fprintf(&b, "rollout key %s: state=%s stable=%s quarantined=%d promotions=%d rollbacks=%d\n",
-				k.Key, k.State, shortETag(k.StableETag), k.Quarantined, k.Promotions, k.Rollbacks)
+				name, k.State, shortETag(k.StableETag), k.Quarantined, k.Promotions, k.Rollbacks)
 		}
 	}
 	if len(r.Violations) == 0 {
@@ -157,25 +175,37 @@ func (s *sim) report(plan *faultio.NetPlan) *Report {
 		Deliveries: len(s.net.deliveries),
 		Net:        s.net.stats,
 	}
-	reg := s.srv.Metrics()
-	r.Uploads = reg.Counter("evidence_upload_total").Value()
-	r.Merges = reg.Counter("evidence_merge_total").Value()
-	r.Coalesced = reg.Counter("evidence_coalesced_total").Value()
-	r.Rejected = reg.Counter("evidence_reject_total").Value()
-	r.StoreErrs = reg.Counter("store_error_total").Value()
-	if s.cfg.Rollout != nil {
-		r.RolloutEnabled = true
-		r.Feedback = reg.Counter("feedback_reports_total").Value()
-		r.Canaries = reg.Counter("rollout_canary_total").Value()
-		r.Promotions = reg.Counter("rollout_promotions_total").Value()
-		r.Rollbacks = reg.Counter("rollout_rollbacks_total").Value()
+	r.RolloutEnabled = s.cfg.Rollout != nil
+	r.Daemons = s.cfg.Daemons
+	for _, srv := range s.srvs {
+		reg := srv.Metrics()
+		r.Uploads += reg.Counter("evidence_upload_total").Value()
+		r.Merges += reg.Counter("evidence_merge_total").Value()
+		r.Coalesced += reg.Counter("evidence_coalesced_total").Value()
+		r.Rejected += reg.Counter("evidence_reject_total").Value()
+		r.StoreErrs += reg.Counter("store_error_total").Value()
+		if r.RolloutEnabled {
+			r.Feedback += reg.Counter("feedback_reports_total").Value()
+			r.Canaries += reg.Counter("rollout_canary_total").Value()
+			r.Promotions += reg.Counter("rollout_promotions_total").Value()
+			r.Rollbacks += reg.Counter("rollout_rollbacks_total").Value()
+		}
+		if s.cfg.Daemons > 1 {
+			r.PeerSyncs += reg.Counter("peer_sync_total").Value()
+			r.PeerSyncErrs += reg.Counter("peer_sync_error_total").Value()
+			r.PeerDocsApplied += reg.Counter("peer_docs_applied_total").Value()
+		}
 	}
 
 	model := s.checkDeliveries(r)
 	s.checkCounters(r, model)
-	s.checkKeys(r, model)
-	if r.RolloutEnabled {
-		s.checkRollout(r, model)
+	if s.cfg.Daemons > 1 {
+		s.checkMulti(r, model)
+	} else {
+		s.checkKeys(r, model)
+		if r.RolloutEnabled {
+			s.checkRollout(r, model)
+		}
 	}
 
 	if s.tracer.Enabled() && len(r.Violations) == 0 {
@@ -203,8 +233,25 @@ func (s *sim) checkDeliveries(r *Report) *deliveredModel {
 		evidence: make(map[profilestore.Key]map[string]*analyzer.Profile),
 		uploads:  make(map[profilestore.Key]int),
 	}
-	current := make(map[profilestore.Key]string)
-	abandoned := make(map[profilestore.Key]map[string]bool)
+	// Version histories are per daemon: replicas converge through sync but
+	// never promise lockstep publication. On a single-daemon run the
+	// daemon component is the constant "polm2d", so the keying is
+	// identical to the historical per-key check.
+	type daemonKey struct {
+		daemon string
+		key    profilestore.Key
+	}
+	current := make(map[daemonKey]string)
+	abandoned := make(map[daemonKey]map[string]bool)
+	// In a replicated run one instance's uploads can land on different
+	// daemons (failover), and duplicate redeliveries advance the receiving
+	// daemon's sequence past the client's — so the fleet-wide winner for
+	// an instance's evidence is decided by the daemons' own contract, the
+	// highest stamp, not by delivery-log order.
+	var best map[profilestore.Key]map[string]profilestore.Stamp
+	if s.cfg.Daemons > 1 {
+		best = make(map[profilestore.Key]map[string]profilestore.Stamp)
+	}
 	for i, d := range s.net.deliveries {
 		if !d.etagHonest {
 			s.violate(r, "content addressing: delivery %d (%s %s) body does not hash to its ETag %s",
@@ -223,19 +270,20 @@ func (s *sim) checkDeliveries(r *Report) *deliveredModel {
 		// fleet to an earlier version by design. Rollout runs get the
 		// containment and convergence checks (checkRollout) instead.
 		if s.cfg.Rollout == nil && d.etag != "" && (d.status == http.StatusOK || d.status == http.StatusNotModified) {
-			cur, ok := current[d.key]
+			dk := daemonKey{d.daemon, d.key}
+			cur, ok := current[dk]
 			if !ok || cur != d.etag {
-				if abandoned[d.key][d.etag] {
-					s.violate(r, "etag monotonicity: key %s revisited abandoned version %s at delivery %d",
-						d.key, shortETag(d.etag), i)
+				if abandoned[dk][d.etag] {
+					s.violate(r, "etag monotonicity: key %s on %s revisited abandoned version %s at delivery %d",
+						d.key, d.daemon, shortETag(d.etag), i)
 				}
 				if ok {
-					if abandoned[d.key] == nil {
-						abandoned[d.key] = make(map[string]bool)
+					if abandoned[dk] == nil {
+						abandoned[dk] = make(map[string]bool)
 					}
-					abandoned[d.key][cur] = true
+					abandoned[dk][cur] = true
 				}
-				current[d.key] = d.etag
+				current[dk] = d.etag
 			}
 		}
 		if d.op == "upload" && d.status == http.StatusOK && d.evidence != nil {
@@ -245,7 +293,22 @@ func (s *sim) checkDeliveries(r *Report) *deliveredModel {
 				m.evidence[d.key] = ev
 				m.keys = append(m.keys, d.key)
 			}
-			ev[d.instance] = d.evidence
+			if best == nil {
+				ev[d.instance] = d.evidence
+			} else if st, ok := parseStamp(d.stamp); !ok {
+				s.violate(r, "replication: accepted upload delivery %d (%s on %s) carries no parseable stamp %q",
+					i, d.instance, d.daemon, d.stamp)
+			} else {
+				bk := best[d.key]
+				if bk == nil {
+					bk = make(map[string]profilestore.Stamp)
+					best[d.key] = bk
+				}
+				if cur, seen := bk[d.instance]; !seen || cur.Less(st) {
+					bk[d.instance] = st
+					ev[d.instance] = d.evidence
+				}
+			}
 			m.uploads[d.key]++
 			var tainted uint64
 			for _, site := range d.evidence.Sites {
@@ -274,9 +337,13 @@ func (s *sim) checkCounters(r *Report, m *deliveredModel) {
 		s.violate(r, "counter accounting: evidence_upload_total=%d, delivery log has %d accepted uploads",
 			r.Uploads, delivered)
 	}
-	if r.Uploads != r.Merges+r.Coalesced {
-		s.violate(r, "counter accounting: uploads=%d != merges=%d + coalesced=%d",
-			r.Uploads, r.Merges, r.Coalesced)
+	// Every dirty increment a merge pass covers is either a direct upload
+	// or (replicated runs) a document pulled from a peer; on a
+	// single-daemon run PeerDocsApplied is zero and this is the historical
+	// uploads == merges + coalesced identity.
+	if r.Uploads+r.PeerDocsApplied != r.Merges+r.Coalesced {
+		s.violate(r, "counter accounting: uploads=%d + peer_docs_applied=%d != merges=%d + coalesced=%d",
+			r.Uploads, r.PeerDocsApplied, r.Merges, r.Coalesced)
 	}
 	if r.Rejected != 0 {
 		s.violate(r, "counter accounting: %d uploads rejected on a fault plan that never corrupts payloads", r.Rejected)
@@ -555,6 +622,320 @@ func (s *sim) checkRollout(r *Report, m *deliveredModel) {
 			}
 		}
 	}
+}
+
+// checkMulti evaluates the replicated-run invariants after the quiesce
+// sync fixpoint:
+//
+//   - Post-heal convergence: every daemon independently recomputed the
+//     same content-addressed plan as the checker's stamp-winner merge of
+//     the delivery log — no evidence document lost to a partition, none
+//     double-counted by a duplicated or failed-over upload — and every
+//     daemon's evidence_instances gauge agrees with the log's distinct
+//     uploaders (the replicated documents all arrived).
+//   - Stamp discipline (checkStamps) and per-daemon counter accounting
+//     (checkDaemonCounters).
+//   - Rollout mode: every daemon's controller reached a terminal state,
+//     every rolled-back version is quarantined on every daemon
+//     (checkMultiRollout), and one more anti-entropy round changes
+//     nothing — a stale peer never resurrects a quarantined candidate
+//     (checkResurrection).
+func (s *sim) checkMulti(r *Report, m *deliveredModel) {
+	members := make(map[profilestore.Key][]*instance)
+	for _, in := range s.instances {
+		members[in.key] = append(members[in.key], in)
+	}
+
+	// Rollout end state first: it yields each key's set of per-daemon
+	// stable versions, the convergence targets below — sticky failover
+	// means an instance's final poll may land on any replica.
+	stables := make(map[profilestore.Key]map[string]bool)
+	if r.RolloutEnabled {
+		s.checkMultiRollout(r, m, stables)
+	}
+
+	for _, key := range m.keys {
+		kr := KeyReport{Key: key, Uploads: m.uploads[key], Members: len(members[key])}
+		ev := m.evidence[key]
+		kr.DistinctInstances = len(ev)
+
+		ids := make([]string, 0, len(ev))
+		for id := range ev {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		inputs := make([]*analyzer.Profile, 0, len(ids))
+		for _, id := range ids {
+			inputs = append(inputs, ev[id])
+		}
+		expected, err := analyzer.MergeProfiles(analyzer.Options{App: key.App, Workload: key.Workload}, inputs...)
+		if err != nil {
+			s.violate(r, "model merge for key %s failed: %v", key, err)
+			r.PerKey = append(r.PerKey, kr)
+			continue
+		}
+		kr.ExpectedETag, err = etagOf(expected)
+		if err != nil {
+			s.violate(r, "model encode for key %s failed: %v", key, err)
+			r.PerKey = append(r.PerKey, kr)
+			continue
+		}
+
+		for i, srv := range s.srvs {
+			// Rollout mode skips the plan-identity check: a quarantined
+			// candidate is withheld by design, so a daemon's stable plan
+			// and the full merge of delivered evidence legitimately differ.
+			if !r.RolloutEnabled {
+				if got := srv.PlanETag(key.App, key.Workload); got != kr.ExpectedETag {
+					s.violate(r, "replication convergence: %s serves %s for key %s, stamp-winner merge is %s",
+						daemonName(i), shortETag(got), key, shortETag(kr.ExpectedETag))
+				}
+			}
+			gauge := srv.Metrics().Gauge(metrics.LabelName("evidence_instances",
+				metrics.Label{Key: "app", Value: key.App},
+				metrics.Label{Key: "workload", Value: key.Workload}))
+			if got := gauge.Value(); got != int64(len(ev)) {
+				s.violate(r, "gauge accounting: evidence_instances for %s on %s = %d, delivery log has %d distinct uploaders",
+					key, daemonName(i), got, len(ev))
+			}
+		}
+
+		for _, in := range members[key] {
+			if in.finalErr != nil {
+				s.violate(r, "convergence: %s final poll failed on a quiet network: %v", in.id, in.finalErr)
+				continue
+			}
+			if in.finalOutcome != fleetclient.OutcomeFresh && in.finalOutcome != fleetclient.OutcomeNotModified {
+				s.violate(r, "convergence: %s final poll outcome %s, want a daemon-served plan", in.id, in.finalOutcome)
+				continue
+			}
+			if r.RolloutEnabled {
+				if !stables[key][in.finalETag] {
+					s.violate(r, "rollout convergence: %s installed %s, not any daemon's stable version",
+						in.id, shortETag(in.finalETag))
+					continue
+				}
+				if poisoned(in.finalPlan) {
+					s.violate(r, "rollout convergence: %s ends the run on a plan carrying the regression site", in.id)
+					continue
+				}
+			} else if in.finalETag != kr.ExpectedETag {
+				s.violate(r, "convergence: %s installed %s, fleet merge of delivered evidence is %s",
+					in.id, shortETag(in.finalETag), shortETag(kr.ExpectedETag))
+				continue
+			}
+			kr.Converged++
+			if kr.ETag == "" {
+				kr.ETag = in.finalETag
+			}
+		}
+		r.PerKey = append(r.PerKey, kr)
+	}
+
+	for key, ins := range members {
+		if m.evidence[key] != nil {
+			continue
+		}
+		for _, in := range ins {
+			if in.finalErr != nil || in.finalOutcome != fleetclient.OutcomeNoPlan {
+				s.violate(r, "convergence: %s got outcome %s for key %s with no delivered evidence, want no-plan",
+					in.id, outcomeString(in.finalOutcome, in.finalErr), key)
+			}
+		}
+	}
+
+	s.checkStamps(r)
+	s.checkDaemonCounters(r)
+	if r.RolloutEnabled {
+		s.checkResurrection(r)
+	}
+}
+
+// checkMultiRollout pins every daemon's rollout controller end state on a
+// replicated run: terminal everywhere, never stable on a rolled-back
+// version, and every version any daemon ever rolled back quarantined on
+// every daemon — the grow-only union the quarantine anti-entropy
+// promises. It fills stables with each key's per-daemon stable set and
+// appends one r.Rollout row per (key, daemon).
+func (s *sim) checkMultiRollout(r *Report, m *deliveredModel, stables map[profilestore.Key]map[string]bool) {
+	regressed := make(map[profilestore.Key]map[string]bool)
+	var rollbacks uint64
+	for _, srv := range s.srvs {
+		for _, tr := range srv.RolloutTransitions() {
+			if tr.Kind == "rollback" {
+				rollbacks++
+				if regressed[tr.Key] == nil {
+					regressed[tr.Key] = make(map[string]bool)
+				}
+				regressed[tr.Key][tr.ETag] = true
+			}
+		}
+	}
+	if s.cfg.RegressAt > 0 && rollbacks == 0 {
+		s.violate(r, "rollout: regression injected at %s but no daemon ever rolled back", s.cfg.RegressAt)
+	}
+
+	for _, key := range m.keys {
+		bad := make([]string, 0, len(regressed[key]))
+		for etag := range regressed[key] {
+			bad = append(bad, etag)
+		}
+		sort.Strings(bad)
+		set := make(map[string]bool)
+		stables[key] = set
+		for i, srv := range s.srvs {
+			name := daemonName(i)
+			snap, ok := srv.RolloutSnapshot(key.App, key.Workload)
+			if !ok {
+				s.violate(r, "rollout: no controller state for key %s on %s", key, name)
+				continue
+			}
+			if snap.State == rollout.StateCanary.String() || snap.State == rollout.StatePromoting.String() {
+				s.violate(r, "rollout: key %s on %s still mid-canary (%s) after the settle phase", key, name, snap.State)
+			}
+			if snap.StableETag == "" {
+				s.violate(r, "rollout: key %s on %s has delivered evidence but no stable plan", key, name)
+			}
+			set[snap.StableETag] = true
+			if regressed[key][snap.StableETag] {
+				s.violate(r, "rollout convergence: key %s on %s ends stable on rolled-back version %s",
+					key, name, shortETag(snap.StableETag))
+			}
+			quarantined := make(map[string]bool, len(snap.Quarantined))
+			for _, etag := range snap.Quarantined {
+				quarantined[etag] = true
+			}
+			for _, etag := range bad {
+				if !quarantined[etag] {
+					s.violate(r, "rollout quarantine: version %s was rolled back but %s does not quarantine it (key %s)",
+						shortETag(etag), name, key)
+				}
+			}
+			r.Rollout = append(r.Rollout, RolloutKeyReport{
+				Key:         key,
+				Daemon:      name,
+				State:       snap.State,
+				StableETag:  snap.StableETag,
+				Quarantined: len(snap.Quarantined),
+				Promotions:  snap.Promotions,
+				Rollbacks:   snap.Rollbacks,
+			})
+		}
+	}
+}
+
+// checkStamps audits the stamp discipline on the delivery log: each
+// daemon's stamps for one (key, instance) strictly increase in delivery
+// order, and an assigned sequence never trails the client's own upload
+// sequence — the property that keeps a replayed stale upload from
+// outliving the fresh one that follows it.
+func (s *sim) checkStamps(r *Report) {
+	last := make(map[string]profilestore.Stamp)
+	for i, d := range s.net.deliveries {
+		if d.op != "upload" || d.status != http.StatusOK || d.evidence == nil {
+			continue
+		}
+		st, ok := parseStamp(d.stamp)
+		if !ok {
+			continue // checkDeliveries already reported the missing stamp
+		}
+		if st.Seq < d.clientSeq {
+			s.violate(r, "stamp discipline: delivery %d (%s on %s) assigned seq %d behind client sequence %d",
+				i, d.instance, d.daemon, st.Seq, d.clientSeq)
+		}
+		id := d.daemon + "|" + d.key.String() + "|" + d.instance
+		if prev, seen := last[id]; seen && !prev.Less(st) {
+			s.violate(r, "stamp discipline: delivery %d (%s on %s) stamp %s does not advance past %s",
+				i, d.instance, d.daemon, st, prev)
+		}
+		last[id] = st
+	}
+}
+
+// checkDaemonCounters closes each replica's books individually: the
+// uploads it counted are exactly the accepted deliveries the fabric
+// handed it, and its merge passes covered exactly its own uploads plus
+// its peer pulls.
+func (s *sim) checkDaemonCounters(r *Report) {
+	delivered := make(map[string]uint64)
+	for _, d := range s.net.deliveries {
+		if d.op == "upload" && d.status == http.StatusOK && d.evidence != nil {
+			delivered[d.daemon]++
+		}
+	}
+	for i, srv := range s.srvs {
+		name := daemonName(i)
+		reg := srv.Metrics()
+		uploads := reg.Counter("evidence_upload_total").Value()
+		merges := reg.Counter("evidence_merge_total").Value()
+		coalesced := reg.Counter("evidence_coalesced_total").Value()
+		applied := reg.Counter("peer_docs_applied_total").Value()
+		if uploads != delivered[name] {
+			s.violate(r, "counter accounting: %s counted %d uploads, the fabric delivered it %d",
+				name, uploads, delivered[name])
+		}
+		if uploads+applied != merges+coalesced {
+			s.violate(r, "counter accounting: %s uploads=%d + applied=%d != merges=%d + coalesced=%d",
+				name, uploads, applied, merges, coalesced)
+		}
+	}
+}
+
+// checkResurrection is the anti-resurrection probe: after every other
+// check has read the settled end state, one more anti-entropy round runs,
+// and no daemon's controller state, stable version, or quarantine set may
+// move — a quarantined candidate stays dead no matter how late a peer's
+// copy of it arrives.
+func (s *sim) checkResurrection(r *Report) {
+	snapshot := func() map[string]string {
+		out := make(map[string]string)
+		for i, srv := range s.srvs {
+			for k := 0; k < s.cfg.Keys; k++ {
+				app := "App" + strconv.Itoa(k)
+				snap, ok := srv.RolloutSnapshot(app, "w")
+				if !ok {
+					continue
+				}
+				q := append([]string(nil), snap.Quarantined...)
+				sort.Strings(q)
+				out[daemonName(i)+"|"+app] = snap.State + "|" + snap.StableETag + "|" + strings.Join(q, ",")
+			}
+		}
+		return out
+	}
+	before := snapshot()
+	for _, srv := range s.srvs {
+		srv.SyncPeers()
+	}
+	s.flushAll()
+	after := snapshot()
+	ids := make([]string, 0, len(before))
+	for id := range before {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if after[id] != before[id] {
+			s.violate(r, "resurrection: %s changed across a settled sync round: %q -> %q", id, before[id], after[id])
+		}
+	}
+	if len(after) != len(before) {
+		s.violate(r, "resurrection: rollout state appeared or vanished across a settled sync round (%d -> %d keys)",
+			len(before), len(after))
+	}
+}
+
+// parseStamp parses the seq@origin wire form of a replication stamp.
+func parseStamp(s string) (profilestore.Stamp, bool) {
+	seqStr, origin, ok := strings.Cut(s, "@")
+	if !ok || origin == "" {
+		return profilestore.Stamp{}, false
+	}
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil || seq == 0 {
+		return profilestore.Stamp{}, false
+	}
+	return profilestore.Stamp{Seq: seq, Origin: origin}, true
 }
 
 // etagOf computes the content-addressed version the daemon would assign a

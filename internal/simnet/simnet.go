@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -67,6 +68,19 @@ type Config struct {
 	// Rounds is the number of chaos-phase re-profile rounds per instance
 	// (one recovery round after faults clear is always added). Default 3.
 	Rounds int
+	// Daemons is the number of replicated planserver daemons. Default 1 —
+	// one daemon at http://polm2d.simnet, byte-identical to every
+	// pre-replication build. With more, daemon i serves
+	// http://daemon-i.simnet from its own store under StoreDir/daemon-i,
+	// replicating evidence and rollout state from the others by pull-based
+	// anti-entropy (planserver sync.go); instance i homes on daemon
+	// i mod Daemons with the rest as fleetclient failover targets, and a
+	// fault spec can partition a daemon by name ("partition:daemon-1..1@…")
+	// to isolate it from instances and peers alike.
+	Daemons int
+	// SyncInterval is each daemon's anti-entropy cadence in a replicated
+	// run. Default Cadence/2.
+	SyncInterval time.Duration
 	// TaintRounds: during the first TaintRounds rounds, every third
 	// instance uploads evidence whose per-instance site is mostly
 	// tainted — enough to push it under the analyzer's confidence floor
@@ -132,6 +146,12 @@ func (c Config) withDefaults() Config {
 	if c.Cadence == 0 {
 		c.Cadence = 30 * time.Second
 	}
+	if c.Daemons == 0 {
+		c.Daemons = 1
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = c.Cadence / 2
+	}
 	if c.DrainDelay == 0 {
 		c.DrainDelay = 200 * time.Millisecond
 	}
@@ -148,7 +168,14 @@ type instance struct {
 	id     string
 	key    profilestore.Key
 	client *fleetclient.Client
-	taints bool
+	// alts are per-daemon side channels to the non-home daemons of a
+	// replicated rollout run (ascending daemon index, home skipped): each
+	// daemon runs its own canary controller and only decides on feedback
+	// it hears itself, so the settle phase reports every instance's window
+	// to every replica. altLast tracks each channel's previous window end.
+	alts    []*fleetclient.Client
+	altLast []time.Duration
+	taints  bool
 	// poisons marks the key's designated regression source: from
 	// Config.RegressAt on, its uploads carry the poison site.
 	poisons bool
@@ -176,7 +203,8 @@ type sim struct {
 	clock  *simclock.Clock
 	q      *simclock.Queue
 	net    *network
-	srv    *planserver.Server
+	srv    *planserver.Server   // srvs[0]; the only daemon when Daemons is 1
+	srvs   []*planserver.Server // every daemon, index order
 	tracer *trace.Tracer
 
 	instances []*instance
@@ -211,11 +239,6 @@ func Run(cfg Config) (*Report, error) {
 			plan.Seed = cfg.Seed
 		}
 	}
-	store, err := profilestore.Open(cfg.StoreDir)
-	if err != nil {
-		return nil, err
-	}
-
 	clock := simclock.New()
 	s := &sim{
 		cfg:   cfg,
@@ -226,19 +249,61 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.TraceWriter != nil {
 		s.tracer = trace.New(trace.Options{Writer: cfg.TraceWriter, Now: clock.Now})
 	}
-	s.srv = planserver.New(store, planserver.Options{
-		Now:      clock.Now,
-		Tracer:   s.tracer,
-		Schedule: s.schedule,
-		Pump:     s.runWorker,
-		Rollout:  cfg.Rollout,
-	})
-	s.net = newNetwork(s.srv, clock, plan)
+	// The network is built before the daemons so a replicated daemon's
+	// anti-entropy client can ride the same fabric (and the same fault
+	// plan) as the fleet; its fallback handler is daemon zero.
+	s.net = newNetwork(nil, clock, plan)
+	for i := 0; i < cfg.Daemons; i++ {
+		name, host, dir := "polm2d", "polm2d.simnet", cfg.StoreDir
+		opts := planserver.Options{
+			Now:      clock.Now,
+			Tracer:   s.tracer,
+			Schedule: s.schedule,
+			Pump:     s.runWorker,
+			Rollout:  cfg.Rollout,
+		}
+		if cfg.Daemons > 1 {
+			name = daemonName(i)
+			host = name + ".simnet"
+			dir = filepath.Join(cfg.StoreDir, name)
+			opts.SelfID = name
+			for j := 0; j < cfg.Daemons; j++ {
+				if j != i {
+					opts.Peers = append(opts.Peers, daemonURL(j))
+				}
+			}
+			opts.PeerClient = &http.Client{Transport: s.net.transport(name)}
+		}
+		store, err := profilestore.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		srv := planserver.New(store, opts)
+		s.srvs = append(s.srvs, srv)
+		s.net.route(host, srv)
+	}
+	s.srv = s.srvs[0]
+	s.net.handler = s.srv
 
 	for i := 0; i < cfg.Instances; i++ {
 		id := "inst-" + strconv.Itoa(i)
+		home := i % cfg.Daemons
+		base := "http://polm2d.simnet"
+		var alternates []string
+		if cfg.Daemons > 1 {
+			// Home daemon first, the rest in index order as sticky
+			// failover targets: an instance partitioned from its home
+			// keeps uploading through whichever replica it can reach.
+			base = daemonURL(home)
+			for j := 0; j < cfg.Daemons; j++ {
+				if j != home {
+					alternates = append(alternates, daemonURL(j))
+				}
+			}
+		}
 		client, err := fleetclient.New(fleetclient.Options{
-			BaseURL:    "http://polm2d.simnet",
+			BaseURL:    base,
+			BaseURLs:   alternates,
 			Seed:       core.DeriveSeed(cfg.Seed, "simnet", id),
 			InstanceID: id,
 			HTTPClient: &http.Client{Transport: s.net.transport(id)},
@@ -248,13 +313,34 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.instances = append(s.instances, &instance{
+		in := &instance{
 			idx:    i,
 			id:     id,
 			key:    profilestore.Key{App: "App" + strconv.Itoa(i%cfg.Keys), Workload: "w"},
 			client: client,
 			taints: cfg.TaintRounds > 0 && i%3 == 0,
-		})
+		}
+		if cfg.Daemons > 1 && cfg.Rollout != nil {
+			for j := 0; j < cfg.Daemons; j++ {
+				if j == home {
+					continue
+				}
+				alt, err := fleetclient.New(fleetclient.Options{
+					BaseURL:    daemonURL(j),
+					Seed:       core.DeriveSeed(cfg.Seed, "simnet", id, "alt-"+strconv.Itoa(j)),
+					InstanceID: id,
+					HTTPClient: &http.Client{Transport: s.net.transport(id)},
+					Sleep:      func(d time.Duration) { clock.Advance(d) },
+					Tracer:     s.tracer,
+				})
+				if err != nil {
+					return nil, err
+				}
+				in.alts = append(in.alts, alt)
+				in.altLast = append(in.altLast, 0)
+			}
+		}
+		s.instances = append(s.instances, in)
 	}
 	if cfg.Rollout != nil && cfg.RegressAt > 0 {
 		// The highest-index member of each key is the regression source.
@@ -272,14 +358,56 @@ func Run(cfg Config) (*Report, error) {
 		s.events++
 	}
 	// Quiesce: publish every accepted upload (Flush pumps any still-
-	// parked merge workers), settle any canary still open (rollout mode),
-	// then poll the whole fleet once on the now-quiet network.
-	s.srv.Flush()
+	// parked merge workers), run anti-entropy to fixpoint so every daemon
+	// has heard everything (replicated runs), settle any canary still
+	// open (rollout mode), sync once more so the settle decisions
+	// propagate, then poll the whole fleet on the now-quiet network.
+	s.flushAll()
+	s.syncToFixpoint()
 	if cfg.Rollout != nil {
 		s.settleRollouts()
 	}
+	s.syncToFixpoint()
 	s.finalPolls()
 	return s.report(plan), nil
+}
+
+// daemonName and daemonURL name the replicas of a multi-daemon run; a
+// single-daemon run keeps the historical polm2d.simnet identity.
+func daemonName(i int) string { return "daemon-" + strconv.Itoa(i) }
+func daemonURL(i int) string  { return "http://" + daemonName(i) + ".simnet" }
+
+// flushAll publishes every accepted upload on every daemon.
+func (s *sim) flushAll() {
+	for _, srv := range s.srvs {
+		srv.Flush()
+	}
+}
+
+// syncToFixpoint runs anti-entropy rounds across every daemon until a
+// full round pulls nothing: the replicated quiesce point at which no
+// daemon holds a document its peers haven't heard. Each round flushes,
+// so pulled evidence is merged and published before the next digest
+// comparison. Stamps are totally ordered and pulls only move forward, so
+// the fixpoint exists; the bound is a stall backstop, not a limit the
+// protocol can reach. No-op on a single-daemon run.
+func (s *sim) syncToFixpoint() {
+	if s.cfg.Daemons <= 1 {
+		return
+	}
+	for round := 0; round < 8; round++ {
+		applied := 0
+		for _, srv := range s.srvs {
+			applied += srv.SyncPeers()
+		}
+		s.flushAll()
+		if applied == 0 {
+			return
+		}
+	}
+	if s.tracer.Enabled() {
+		s.tracer.Event("simnet", "sync_exhausted")
+	}
 }
 
 // scheduleFleet lays out the whole run on the event queue: jittered boots,
@@ -304,6 +432,19 @@ func (s *sim) scheduleFleet(plan *faultio.NetPlan) {
 	}
 	if clear := plan.PartitionsClearBy(); clear+cadence/2 > chaosEnd {
 		chaosEnd = clear + cadence/2
+	}
+	if s.cfg.Daemons > 1 {
+		// Each daemon pulls its peers on a jittered anti-entropy cadence,
+		// through the chaos phase (partitioned pulls fail and count sync
+		// errors — that is the protocol under test) and far enough past it
+		// to observe recovery before the quiesce fixpoint.
+		for i, srv := range s.srvs {
+			srv := srv
+			off := s.jitter("sync", daemonName(i), s.cfg.SyncInterval)
+			for t := s.cfg.SyncInterval + off; t < chaosEnd+2*cadence; t += s.cfg.SyncInterval {
+				s.q.At(t, s.pri.next(), func() { srv.SyncPeers() })
+			}
+		}
 	}
 	s.q.At(chaosEnd, s.pri.next(), func() {
 		s.net.quiet = true
@@ -444,24 +585,70 @@ const maxSettleSweeps = 24
 // so the quiesce phase must keep feedback flowing until it has decided.
 func (s *sim) settleRollouts() {
 	for sweep := 0; sweep < maxSettleSweeps; sweep++ {
-		open := false
-		for k := 0; k < s.cfg.Keys; k++ {
-			snap, ok := s.srv.RolloutSnapshot("App"+strconv.Itoa(k), "w")
-			if ok && snap.State == rollout.StateCanary.String() {
-				open = true
-				break
-			}
-		}
-		if !open {
+		if !s.openCanary() {
 			return
 		}
 		s.clock.Advance(s.cfg.Cadence / 4)
 		for _, in := range s.instances {
 			s.poll(in)
 		}
+		s.altSweep()
+		s.syncToFixpoint()
 	}
 	if s.tracer.Enabled() {
 		s.tracer.Event("simnet", "settle_exhausted")
+	}
+}
+
+// openCanary reports whether any key on any daemon is still mid-canary.
+func (s *sim) openCanary() bool {
+	for _, srv := range s.srvs {
+		for k := 0; k < s.cfg.Keys; k++ {
+			snap, ok := srv.RolloutSnapshot("App"+strconv.Itoa(k), "w")
+			if ok && snap.State == rollout.StateCanary.String() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// altSweep reports one health window per instance to every non-home
+// daemon. A replicated run's canary controllers decide independently on
+// the feedback each daemon hears itself; a replica that served only
+// failover traffic would otherwise hold its canary open forever. Each
+// report runs a fetch first — fleetclient stamps feedback with the plan
+// version it last saw, and the window's health is a function of that
+// plan's content, exactly as on the home path. No-op on single-daemon
+// runs (no instance has alternates).
+func (s *sim) altSweep() {
+	for _, in := range s.instances {
+		for j, alt := range in.alts {
+			plan, _, err := alt.FetchPlan(in.key.App, in.key.Workload)
+			if err != nil || plan == nil {
+				continue
+			}
+			start := in.altLast[j]
+			in.altLast[j] = s.clock.Now()
+			r := &rollout.Report{
+				App:           in.key.App,
+				Workload:      in.key.Workload,
+				WindowStart:   start,
+				WindowEnd:     s.clock.Now(),
+				Pauses:        8,
+				PauseP50:      6 * time.Millisecond,
+				PauseP99:      15 * time.Millisecond,
+				PromotionRate: 0.2,
+				SurvivorRate:  0.8,
+			}
+			if poisoned(plan) {
+				r.PauseP50, r.PauseP99 = 9*time.Millisecond, 40*time.Millisecond
+				r.PromotionRate, r.SurvivorRate = 0.7, 0.3
+			}
+			if sent, err := alt.ReportFeedback(r); err == nil && sent {
+				in.feedbacks++
+			}
+		}
 	}
 }
 

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"polm2/internal/analyzer"
 	"polm2/internal/faultio"
+	"polm2/internal/planserver"
 	"polm2/internal/profilestore"
 	"polm2/internal/rollout"
 	"polm2/internal/simclock"
@@ -38,12 +40,19 @@ const (
 type delivery struct {
 	at       time.Duration
 	instance string
-	op       string // "fetch" | "upload" | "feedback"
+	op       string // "fetch" | "upload" | "feedback" | "sync"
 	key      profilestore.Key
 	status   int
 	etag     string // response ETag ("" when none)
 	dup      bool   // duplicate redelivery of the preceding delivery
 	stale    bool   // redelivery of the instance's previous upload body
+	// daemon names the target daemon ("polm2d" on a single-daemon fabric).
+	// clientSeq is the uploader's own sequence header and stamp the stamp
+	// the daemon assigned (seq@origin, "" when unreplicated) — together the
+	// replication checker's per-write ground truth.
+	daemon    string
+	clientSeq uint64
+	stamp     string
 	// evidence is the parsed uploaded profile for accepted (200) uploads;
 	// nil otherwise. It feeds the checker's independent fleet-merge model.
 	evidence *analyzer.Profile
@@ -62,12 +71,18 @@ type netStats struct {
 	Refused, Dropped, Dup, Stale, Delayed, Err5xx int
 }
 
-// network is the shared fabric between every instance and the daemon. It
-// is driven only from the single-threaded event loop, so it needs no lock.
+// network is the shared fabric between every instance and the daemon (or
+// daemons: a replicated simulation routes by the request's virtual host).
+// It is driven only from the single-threaded event loop, so it needs no
+// lock.
 type network struct {
 	handler http.Handler
-	clock   *simclock.Clock
-	plan    *faultio.NetPlan
+	// handlers routes additional virtual hosts (daemon-0.simnet, ...) to
+	// their daemons; hosts not present fall back to handler, which keeps
+	// the single-daemon fabric byte-identical.
+	handlers map[string]http.Handler
+	clock    *simclock.Clock
+	plan     *faultio.NetPlan
 	// quiet disables every fault (set when the chaos phase ends): the
 	// convergence invariant is "the fleet converges once faults clear",
 	// so the recovery phase must actually clear them.
@@ -85,12 +100,20 @@ type network struct {
 func newNetwork(handler http.Handler, clock *simclock.Clock, plan *faultio.NetPlan) *network {
 	return &network{
 		handler:    handler,
+		handlers:   make(map[string]http.Handler),
 		clock:      clock,
 		plan:       plan,
 		decisions:  make(map[string]uint64),
 		lastUpload: make(map[string][]byte),
 	}
 }
+
+// route registers a virtual host's daemon handler.
+func (n *network) route(host string, h http.Handler) { n.handlers[host] = h }
+
+// hostName strips the fabric's ".simnet" suffix: the identity partition
+// windows match a daemon under ("daemon-1" for "daemon-1.simnet").
+func hostName(host string) string { return strings.TrimSuffix(host, ".simnet") }
 
 // transport returns the RoundTripper carrying one instance's traffic.
 func (n *network) transport(instance string) http.RoundTripper {
@@ -139,6 +162,11 @@ func (t *instanceTransport) RoundTrip(req *http.Request) (*http.Response, error)
 		} else {
 			op = "upload"
 		}
+	} else if strings.HasSuffix(req.URL.Path, "/sync") {
+		// Anti-entropy pulls between daemons: their own decision stream
+		// (the carrier's identity is the pulling daemon), so replication
+		// traffic never shifts an instance's fault draws.
+		op = "sync"
 	}
 	var body []byte
 	if req.Body != nil {
@@ -150,10 +178,15 @@ func (t *instanceTransport) RoundTrip(req *http.Request) (*http.Response, error)
 	}
 
 	if !n.quiet {
-		if n.plan.Partitioned(t.instance, n.clock.Now()) {
+		// A partition isolates whoever it names on either side of the
+		// request: the carrier (instance or pulling daemon) and the target
+		// daemon. The single-daemon host ("polm2d") matches no partition
+		// window's <prefix>-<n> pattern, so unreplicated runs are
+		// unaffected.
+		if n.plan.Partitioned(t.instance, n.clock.Now()) || n.plan.Partitioned(hostName(req.URL.Host), n.clock.Now()) {
 			n.stats.Refused++
 			n.clock.Advance(refuseCost)
-			return nil, fmt.Errorf("simnet: %s partitioned from the daemon", t.instance)
+			return nil, fmt.Errorf("simnet: %s partitioned from %s", t.instance, hostName(req.URL.Host))
 		}
 		id := t.instance + "|" + op
 		seq := n.decisions[id]
@@ -200,14 +233,18 @@ func (t *instanceTransport) RoundTrip(req *http.Request) (*http.Response, error)
 	return resp, nil
 }
 
-// deliver hands one request body to the daemon's handler and records the
-// delivery.
+// deliver hands one request body to the target daemon's handler and
+// records the delivery.
 func (n *network) deliver(req *http.Request, body []byte, instance, op string, stale, dup bool) *http.Response {
 	r := req.Clone(req.Context())
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	r.ContentLength = int64(len(body))
+	handler := n.handler
+	if h, ok := n.handlers[req.URL.Host]; ok {
+		handler = h
+	}
 	w := newMemWriter()
-	n.handler.ServeHTTP(w, r)
+	handler.ServeHTTP(w, r)
 	resp := w.response(req)
 
 	d := delivery{
@@ -218,6 +255,13 @@ func (n *network) deliver(req *http.Request, body []byte, instance, op string, s
 		etag:     resp.Header.Get("ETag"),
 		stale:    stale,
 		dup:      dup,
+		daemon:   hostName(req.URL.Host),
+		stamp:    resp.Header.Get(planserver.EvidenceStampHeader),
+	}
+	if op == "upload" {
+		if seq, err := strconv.ParseUint(req.Header.Get(planserver.EvidenceSeqHeader), 10, 64); err == nil {
+			d.clientSeq = seq
+		}
 	}
 	if op == "fetch" {
 		d.key = profilestore.Key{

@@ -9,6 +9,11 @@
 # phase restarts against a fresh store with -rollout: the first merged
 # plan is adopted as stable (rollout_state 0), a plan-health report lands
 # on POST /v1/feedback, and fresh evidence opens a canary (rollout_state 1).
+# A third phase boots a replicated pair with -peer pointed at each other:
+# each daemon gets one instance's evidence, anti-entropy must carry the
+# missing document both ways, and both daemons must publish the same
+# merged plan — proven again offline by polm2-inspect sync over the two
+# stores.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -174,5 +179,90 @@ curl -s "$url/metricsz" | grep -q '^rollout_canary_total 1' \
 kill -TERM "$pid"
 wait "$pid" || fail "rollout daemon exited non-zero after SIGTERM"
 grep -q 'shutdown complete' "$log" || fail "rollout daemon did not report a clean shutdown"
+
+# --- replication phase: a pair of daemons pulling each other by anti-entropy ---
+storeA=$(mktemp -d); storeB=$(mktemp -d)
+logA=$(mktemp); logB=$(mktemp)
+
+await_url() { # logfile -> base URL
+  local u=
+  for _ in $(seq 100); do
+    u=$(sed -n 's|^polm2d: serving on \(http://[^ ]*\).*|\1|p' "$1")
+    [ -n "$u" ] && break
+    sleep 0.1
+  done
+  echo "$u"
+}
+
+# The pair needs each other's address before either exists: boot A plain
+# just to claim a port, then restart it on that fixed port once B (pointed
+# at it) is up.
+/tmp/polm2d-smoke-bin -addr 127.0.0.1:0 -store "$storeA" >"$logA" 2>&1 &
+pidA=$!
+trap 'kill "$pidA" 2>/dev/null || true' EXIT
+urlA=$(await_url "$logA")
+[ -n "$urlA" ] || { log=$logA; fail "daemon A never printed its listen address"; }
+addrA=${urlA#http://}
+kill -TERM "$pidA"; wait "$pidA" || { log=$logA; fail "daemon A exited non-zero on port probe"; }
+
+/tmp/polm2d-smoke-bin -addr 127.0.0.1:0 -store "$storeB" -id smoke-b \
+  -peer "$urlA" -sync-interval 200ms >"$logB" 2>&1 &
+pidB=$!
+trap 'kill "$pidB" 2>/dev/null || true' EXIT
+urlB=$(await_url "$logB")
+[ -n "$urlB" ] || { log=$logB; fail "daemon B never printed its listen address"; }
+
+/tmp/polm2d-smoke-bin -addr "$addrA" -store "$storeA" -id smoke-a \
+  -peer "$urlB" -sync-interval 200ms >"$logA" 2>&1 &
+pidA=$!
+trap 'kill "$pidA" "$pidB" 2>/dev/null || true' EXIT
+urlA=$(await_url "$logA")
+[ -n "$urlA" ] || { log=$logA; fail "daemon A never printed its address after restart"; }
+grep -q 'replicating with 1 peer(s) as smoke-a' "$logA" \
+  || { log=$logA; fail "daemon A did not announce replication"; }
+echo "replicated pair up: A=$urlA B=$urlB"
+
+# One instance's evidence to each daemon: only anti-entropy can build the
+# full merged plan on both sides.
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Content-Type: application/json' -H 'X-Polm2-Instance: smoke-1' \
+  -d "$evidence1" "$urlA/v1/evidence")
+[ "$code" = "200" ] || { log=$logA; fail "replication-phase upload to A status $code"; }
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Content-Type: application/json' -H 'X-Polm2-Instance: smoke-2' \
+  -d "$evidence2" "$urlB/v1/evidence")
+[ "$code" = "200" ] || { log=$logB; fail "replication-phase upload to B status $code"; }
+
+for url in "$urlA" "$urlB"; do
+  shared= nsites=
+  for _ in $(seq 150); do
+    curl -s -o /tmp/polm2d-smoke-plan.json "$url/v1/plan?app=Cassandra&workload=WI"
+    shared=$(jq '[.sites[]? | select(.trace=="S.serve:1;Memtable.put:10") | .allocated] | add' \
+      /tmp/polm2d-smoke-plan.json 2>/dev/null)
+    nsites=$(jq '.sites | length' /tmp/polm2d-smoke-plan.json 2>/dev/null)
+    [ "$shared" = "150" ] && [ "$nsites" = "3" ] && break
+    sleep 0.1
+  done
+  [ "$shared" = "150" ] && [ "$nsites" = "3" ] \
+    || { log=$logA; fail "replica $url never converged (shared=$shared nsites=$nsites)"; }
+done
+curl -s "$urlA/metricsz" | grep -q '^peer_sync_total' \
+  || { log=$logA; fail "daemon A exposes no peer sync counters"; }
+
+kill -TERM "$pidA" "$pidB"
+wait "$pidA" || { log=$logA; fail "daemon A exited non-zero after SIGTERM"; }
+wait "$pidB" || { log=$logB; fail "daemon B exited non-zero after SIGTERM"; }
+
+# Offline proof of convergence: both stores list the same stamped
+# evidence documents.
+go build -o /tmp/polm2-inspect-smoke-bin ./cmd/polm2-inspect
+/tmp/polm2-inspect-smoke-bin sync "$storeA" >/tmp/polm2d-smoke-sync-a.txt \
+  || fail "polm2-inspect sync failed on store A"
+/tmp/polm2-inspect-smoke-bin sync "$storeB" >/tmp/polm2d-smoke-sync-b.txt \
+  || fail "polm2-inspect sync failed on store B"
+diff /tmp/polm2d-smoke-sync-a.txt /tmp/polm2d-smoke-sync-b.txt \
+  || fail "replica stores diverge after convergence (see diff above)"
+grep -q '@smoke-' /tmp/polm2d-smoke-sync-a.txt \
+  || fail "converged store carries no replication stamps: $(cat /tmp/polm2d-smoke-sync-a.txt)"
 
 echo "polm2d-smoke: PASS"
